@@ -1,0 +1,120 @@
+// Command evaluate regenerates every table and figure of the paper's
+// evaluation (§5): Table 1 (subjects), Figure 2 (branch coverage per
+// subject and tool), Tables 2–4 (token inventories), Figure 3 (tokens
+// generated per token length), and the §5.3 token-coverage aggregates.
+//
+// Usage:
+//
+//	evaluate [-scale f] [-seed n] [-runs n] [-subjects a,b,c] [-out dir]
+//	         [-table1] [-fig2] [-fig3] [-tables] [-summary]
+//
+// Without selector flags everything is produced. -scale multiplies
+// the execution budgets (1.0 ≈ one minute; the paper ran 48 hours per
+// tool and subject, so expect shape, not absolute numbers).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pfuzzer/internal/eval"
+	"pfuzzer/internal/registry"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 1.0, "multiply execution budgets")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		runs     = flag.Int("runs", 3, "repetitions per campaign; best run reported")
+		subjects = flag.String("subjects", "ini,csv,cjson,tinyc,mjs", "comma-separated subjects")
+		outDir   = flag.String("out", "", "directory for CSV results (optional)")
+		table1   = flag.Bool("table1", false, "print Table 1 only")
+		fig2     = flag.Bool("fig2", false, "print Figure 2 only")
+		fig3     = flag.Bool("fig3", false, "print Figure 3 only")
+		tables   = flag.Bool("tables", false, "print Tables 2-4 only")
+		summary  = flag.Bool("summary", false, "print the §5.3 summary only")
+	)
+	flag.Parse()
+
+	all := !*table1 && !*fig2 && !*fig3 && !*tables && !*summary
+
+	var entries []registry.Entry
+	for _, name := range strings.Split(*subjects, ",") {
+		e, ok := registry.Get(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "evaluate: unknown subject %q (have %s)\n",
+				name, strings.Join(registry.Names(), ", "))
+			os.Exit(2)
+		}
+		entries = append(entries, e)
+	}
+
+	if all || *table1 {
+		fmt.Println(eval.Table1(entries))
+	}
+	if all || *tables {
+		for _, e := range entries {
+			switch e.Name {
+			case "cjson":
+				fmt.Println(eval.TokenTable("Table 2. json tokens per length.", e.Inventory))
+			case "tinyc":
+				fmt.Println(eval.TokenTable("Table 3. tinyC tokens per length.", e.Inventory))
+			case "mjs":
+				fmt.Println(eval.TokenTable("Table 4. mjs tokens per length.", e.Inventory))
+			}
+		}
+	}
+
+	needRuns := all || *fig2 || *fig3 || *summary
+	if !needRuns {
+		return
+	}
+
+	budget := eval.DefaultBudget().Scale(*scale)
+	budget.Seed = *seed
+	budget.Runs = *runs
+	fmt.Printf("Running campaigns: pFuzzer=%d execs, AFL=%d execs, KLEE=%d execs, %d run(s) each...\n\n",
+		budget.PFuzzerExecs, budget.AFLExecs, budget.KLEEExecs, budget.Runs)
+
+	results := eval.Matrix(entries, budget)
+
+	if all || *fig2 {
+		fmt.Println(eval.Figure2(results))
+	}
+	if all || *fig3 {
+		fmt.Println(eval.Figure3(results))
+	}
+	if all || *summary {
+		fmt.Println(eval.SummaryReport(results))
+		fmt.Println(eval.ExecsReport(results))
+	}
+
+	if *outDir != "" {
+		if err := writeCSV(filepath.Join(*outDir, "results.csv"), eval.CSV(results)); err != nil {
+			fmt.Fprintf(os.Stderr, "evaluate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Wrote %s\n", filepath.Join(*outDir, "results.csv"))
+	}
+}
+
+func writeCSV(path string, rows [][]string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}

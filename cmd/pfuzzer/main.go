@@ -1,0 +1,66 @@
+// Command pfuzzer runs parser-directed fuzzing on one of the built-in
+// subjects and streams the valid inputs it synthesizes, the way the
+// paper's prototype prints every accepted input that covers new code.
+//
+// Usage:
+//
+//	pfuzzer -subject cjson [-execs 100000] [-seed 1] [-quiet]
+//
+// Subjects: ini, csv, cjson, tinyc, mjs, expr, paren.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pfuzzer/internal/core"
+	"pfuzzer/internal/registry"
+)
+
+func main() {
+	var (
+		subjectName = flag.String("subject", "expr", "subject to fuzz")
+		execs       = flag.Int("execs", 100000, "execution budget")
+		seed        = flag.Int64("seed", 1, "RNG seed")
+		maxValids   = flag.Int("valids", 0, "stop after N valid inputs (0 = run out the budget)")
+		quiet       = flag.Bool("quiet", false, "print only the summary")
+	)
+	flag.Parse()
+
+	entry, ok := registry.Get(*subjectName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pfuzzer: unknown subject %q (have %s)\n",
+			*subjectName, strings.Join(registry.Names(), ", "))
+		os.Exit(2)
+	}
+
+	cfg := core.Config{Seed: *seed, MaxExecs: *execs, MaxValids: *maxValids}
+	if !*quiet {
+		cfg.OnValid = func(input []byte, execs int) {
+			fmt.Printf("%8d  %q\n", execs, input)
+		}
+	}
+	res := core.New(entry.New(), cfg).Run()
+
+	prog := entry.New()
+	fmt.Printf("\nsubject=%s execs=%d valids=%d coverage=%d/%d (%.1f%%) elapsed=%v\n",
+		entry.Name, res.Execs, len(res.Valids), len(res.Coverage), prog.Blocks(),
+		100*float64(len(res.Coverage))/float64(prog.Blocks()), res.Elapsed.Round(1000000))
+
+	found := map[string]bool{}
+	for _, v := range res.Valids {
+		for tok := range entry.Tokenize(v.Input) {
+			found[tok] = true
+		}
+	}
+	var names []string
+	for _, tok := range entry.Inventory {
+		if found[tok.Name] {
+			names = append(names, tok.Name)
+		}
+	}
+	fmt.Printf("tokens covered (%d/%d): %s\n", len(names), entry.Inventory.Count(),
+		strings.Join(names, " "))
+}

@@ -1,0 +1,53 @@
+// Jsonfuzz fuzzes the cJSON subject and shows the paper's central
+// claim on a real format: parser-directed fuzzing discovers the json
+// keywords true, false and null through the parser's own strncmp
+// calls — the tokens AFL misses entirely (paper §5.3, Table 2) — and
+// fills the Table 2 token inventory as it goes.
+//
+// Run with: go run ./examples/jsonfuzz
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"pfuzzer/internal/core"
+	"pfuzzer/internal/subjects/cjson"
+	"pfuzzer/internal/tokens"
+)
+
+func main() {
+	prog := cjson.New()
+	found := map[string]bool{}
+
+	fmt.Println("Fuzzing the cJSON parser; watch the token inventory fill:")
+	fuzzer := core.New(prog, core.Config{
+		Seed:     1,
+		MaxExecs: 60000,
+		OnValid: func(input []byte, execs int) {
+			newTokens := []string{}
+			for tok := range cjson.Tokenize(input) {
+				if !found[tok] {
+					found[tok] = true
+					newTokens = append(newTokens, tok)
+				}
+			}
+			if len(newTokens) > 0 {
+				fmt.Printf("  exec %6d: %-24q new tokens: %s\n",
+					execs, string(input), strings.Join(newTokens, " "))
+			}
+		},
+	})
+	fuzzer.Run()
+
+	cov := tokens.Cover(cjson.Inventory, found)
+	fmt.Println("\nToken coverage by length (paper Table 2 / Figure 3):")
+	for _, n := range cjson.Inventory.Lengths() {
+		fmt.Printf("  length %d: %d/%d\n", n, cov.FoundLen(n), cjson.Inventory.CountLen(n))
+	}
+	if missing := cov.Missing(); len(missing) > 0 {
+		fmt.Printf("  missing: %s\n", strings.Join(missing, " "))
+	} else {
+		fmt.Println("  all tokens covered — including the keywords AFL cannot guess.")
+	}
+}

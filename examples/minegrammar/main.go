@@ -1,0 +1,72 @@
+// Minegrammar runs the tool chain the paper proposes as future work
+// (§7.4): parser-directed fuzzing explores the input language
+// shallowly but validly; a grammar miner generalizes the valid inputs
+// into a token-level grammar; and the mined grammar generates longer,
+// more repetitive inputs than the fuzzer would reach on its own.
+//
+// Run with: go run ./examples/minegrammar
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pfuzzer/internal/core"
+	"pfuzzer/internal/mine"
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/subjects/tinyc"
+	"pfuzzer/internal/trace"
+)
+
+func main() {
+	// Phase 1: parser-directed fuzzing produces the seed corpus.
+	fmt.Println("Phase 1: fuzzing Tiny-C for a corpus of valid inputs...")
+	res := core.New(tinyc.New(), core.Config{Seed: 1, MaxExecs: 60000}).Run()
+	longest := 0
+	for _, v := range res.Valids {
+		fmt.Printf("  %q\n", v.Input)
+		if len(v.Input) > longest {
+			longest = len(v.Input)
+		}
+	}
+
+	// Phase 2: mine a token-level grammar from the corpus.
+	g := mine.Mine(res.ValidInputs(), mine.SimpleLexer([]string{"if", "do", "else", "while"}))
+	s := g.Stats()
+	fmt.Printf("\nPhase 2: mined grammar: %d token classes, %d spellings, %d bigrams\n",
+		s.Classes, s.Spellings, s.Bigrams)
+	for _, c := range g.Classes() {
+		fmt.Printf("  %-12q may be followed by %v\n", c, g.Follows(c))
+	}
+
+	// Phase 3: generate longer inputs from the mined grammar and
+	// validate them against the parser.
+	fmt.Println("\nPhase 3: generating longer inputs from the mined grammar:")
+	rng := rand.New(rand.NewSource(2))
+	accepted, total, longer := 0, 0, 0
+	var samples [][]byte
+	for i := 0; i < 500; i++ {
+		gen := g.Generate(rng, 30)
+		if len(gen) == 0 {
+			continue
+		}
+		total++
+		if len(gen) > longest {
+			longer++
+		}
+		rec := subject.Execute(tinyc.New(), gen, trace.Options{})
+		if rec.Accepted() {
+			accepted++
+			if len(gen) > longest && len(samples) < 5 {
+				samples = append(samples, gen)
+			}
+		}
+	}
+	for _, s := range samples {
+		fmt.Printf("  valid and longer than the corpus: %q\n", s)
+	}
+	fmt.Printf("\n%d/%d generated inputs valid; %d longer than anything the fuzzer emitted (max %d bytes).\n",
+		accepted, total, longer, longest)
+	fmt.Println("A regular (bigram) approximation cannot balance brackets — the gap full")
+	fmt.Println("grammar mining (AutoGram) closes, as §7.4 of the paper proposes.")
+}

@@ -1,0 +1,316 @@
+// Package afl implements the AFL-style baseline the paper compares
+// against (§5, §6.2): a high-throughput, coverage-guided mutational
+// fuzzer. Like AFL it maintains a 64 KiB bucketed edge bitmap, keeps a
+// queue of inputs that produced new edge buckets, and mutates queue
+// entries with an abbreviated deterministic stage followed by stacked
+// "havoc" mutations and splicing. Matching the paper's setup (§5.1),
+// the default seed corpus is a single space character, and validity
+// of generated inputs is determined by the subject's exit code.
+package afl
+
+import (
+	"math/rand"
+	"time"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+// Config controls an AFL-style campaign.
+type Config struct {
+	// Seed seeds the mutation RNG.
+	Seed int64
+	// MaxExecs bounds subject executions (0 = 1e6).
+	MaxExecs int
+	// Seeds is the initial corpus (nil = a single " ", as in §5.1).
+	Seeds [][]byte
+	// MaxLen bounds generated inputs (0 = 512).
+	MaxLen int
+	// Deadline bounds wall-clock time (0 = none).
+	Deadline time.Duration
+	// OnValid, if non-nil, observes each new valid input.
+	OnValid func(input []byte, execs int)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxExecs == 0 {
+		out.MaxExecs = 1000000
+	}
+	if out.MaxLen == 0 {
+		out.MaxLen = 512
+	}
+	if len(out.Seeds) == 0 {
+		out.Seeds = [][]byte{[]byte(" ")}
+	}
+	return out
+}
+
+// Valid is one distinct valid input found during the campaign.
+type Valid struct {
+	Input []byte
+	Exec  int
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Valids   []Valid
+	Execs    int
+	QueueLen int
+	Coverage map[uint32]bool // union block coverage of the valid inputs
+	Elapsed  time.Duration
+}
+
+// ValidInputs returns the raw valid inputs.
+func (r *Result) ValidInputs() [][]byte {
+	out := make([][]byte, len(r.Valids))
+	for i := range r.Valids {
+		out[i] = r.Valids[i].Input
+	}
+	return out
+}
+
+// bucket classifies a raw edge count into AFL's eight hit buckets.
+func bucket(n byte) byte {
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return 1
+	case n == 2:
+		return 2
+	case n == 3:
+		return 4
+	case n <= 7:
+		return 8
+	case n <= 15:
+		return 16
+	case n <= 31:
+		return 32
+	case n <= 127:
+		return 64
+	default:
+		return 128
+	}
+}
+
+// Fuzzer is one AFL-style campaign over a subject.
+type Fuzzer struct {
+	cfg  Config
+	prog subject.Program
+	rng  *rand.Rand
+
+	virgin    []byte // seen edge buckets
+	queue     [][]byte
+	seenValid map[string]struct{}
+	res       Result
+	start     time.Time
+}
+
+// New prepares a fuzzer for prog.
+func New(prog subject.Program, cfg Config) *Fuzzer {
+	c := cfg.withDefaults()
+	return &Fuzzer{
+		cfg:       c,
+		prog:      prog,
+		rng:       rand.New(rand.NewSource(c.Seed)),
+		virgin:    make([]byte, trace.EdgeMapSize),
+		seenValid: make(map[string]struct{}),
+	}
+}
+
+// Run executes the campaign.
+func (f *Fuzzer) Run() *Result {
+	f.start = time.Now()
+	f.res.Coverage = make(map[uint32]bool)
+
+	for _, s := range f.cfg.Seeds {
+		f.execute(append([]byte{}, s...), true)
+	}
+	for !f.done() {
+		if len(f.queue) == 0 {
+			// Degrade to blind fuzzing on a random input, as AFL does
+			// without instrumentation feedback.
+			f.execute(f.randomInput(), true)
+			continue
+		}
+		entry := f.queue[f.rng.Intn(len(f.queue))]
+		f.deterministic(entry)
+		f.havoc(entry)
+	}
+	f.res.QueueLen = len(f.queue)
+	f.res.Elapsed = time.Since(f.start)
+	return &f.res
+}
+
+func (f *Fuzzer) done() bool {
+	if f.res.Execs >= f.cfg.MaxExecs {
+		return true
+	}
+	if f.cfg.Deadline > 0 && time.Since(f.start) > f.cfg.Deadline {
+		return true
+	}
+	return false
+}
+
+// execute runs one input, updates the edge map, and queues the input
+// if it produced new coverage. force queues it unconditionally.
+func (f *Fuzzer) execute(input []byte, force bool) {
+	if f.done() {
+		return
+	}
+	f.res.Execs++
+	rec := subject.Execute(f.prog, input, trace.Options{Edges: true})
+	interesting := force
+	for i, n := range rec.Edges {
+		b := bucket(n)
+		if b&^f.virgin[i] != 0 {
+			f.virgin[i] |= b
+			interesting = true
+		}
+	}
+	if interesting {
+		f.queue = append(f.queue, append([]byte{}, input...))
+		// Valid inputs enter the analysis corpus only when they are
+		// interesting: an input exercising a new token necessarily
+		// takes a new parser edge, and this keeps the corpus bounded
+		// on subjects where almost all random inputs are valid.
+		if rec.Accepted() {
+			f.recordValid(input)
+		}
+	}
+}
+
+// recordValid re-traces a valid input with block recording to
+// attribute coverage, the way the paper post-processes AFL's corpus
+// with gcov (§5.1).
+func (f *Fuzzer) recordValid(input []byte) {
+	key := string(input)
+	if _, dup := f.seenValid[key]; dup {
+		return
+	}
+	f.seenValid[key] = struct{}{}
+	f.res.Execs++
+	rec := subject.Execute(f.prog, input, trace.Options{Blocks: true})
+	for id := range rec.BlockFirst {
+		f.res.Coverage[id] = true
+	}
+	v := Valid{Input: append([]byte{}, input...), Exec: f.res.Execs}
+	f.res.Valids = append(f.res.Valids, v)
+	if f.cfg.OnValid != nil {
+		f.cfg.OnValid(v.Input, v.Exec)
+	}
+}
+
+func (f *Fuzzer) randomInput() []byte {
+	n := 1 + f.rng.Intn(16)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(f.rng.Intn(256))
+	}
+	return out
+}
+
+// interestingBytes are AFL's "interesting" 8-bit values plus common
+// ASCII structure characters.
+var interestingBytes = []byte{0, 1, 16, 32, 64, 100, 127, 128, 255, '\n', '\t', ' ', '"', '\''}
+
+// deterministic runs an abbreviated deterministic stage on entry:
+// walking bitflips, arithmetic, and interesting-byte overwrites.
+func (f *Fuzzer) deterministic(entry []byte) {
+	if len(entry) > 64 {
+		return // AFL skips deterministic stages on large inputs
+	}
+	buf := append([]byte{}, entry...)
+	for i := 0; i < len(buf) && !f.done(); i++ {
+		orig := buf[i]
+		for bit := 0; bit < 8; bit++ {
+			buf[i] = orig ^ (1 << bit)
+			f.execute(buf, false)
+		}
+		for _, d := range []int{1, -1, 2, -2, 4, -4} {
+			buf[i] = byte(int(orig) + d)
+			f.execute(buf, false)
+		}
+		for _, v := range interestingBytes {
+			buf[i] = v
+			f.execute(buf, false)
+		}
+		buf[i] = orig
+	}
+}
+
+// havoc applies stacked random mutations, occasionally splicing in a
+// second queue entry.
+func (f *Fuzzer) havoc(entry []byte) {
+	const rounds = 256
+	for r := 0; r < rounds && !f.done(); r++ {
+		buf := append([]byte{}, entry...)
+		if len(f.queue) > 1 && f.rng.Intn(8) == 0 {
+			other := f.queue[f.rng.Intn(len(f.queue))]
+			buf = f.splice(buf, other)
+		}
+		stack := 1 << (1 + f.rng.Intn(6)) // 2..64 stacked ops
+		for s := 0; s < stack; s++ {
+			buf = f.mutateOnce(buf)
+		}
+		if len(buf) == 0 || len(buf) > f.cfg.MaxLen {
+			continue
+		}
+		f.execute(buf, false)
+	}
+}
+
+func (f *Fuzzer) splice(a, b []byte) []byte {
+	if len(a) == 0 || len(b) == 0 {
+		return a
+	}
+	ca := f.rng.Intn(len(a))
+	cb := f.rng.Intn(len(b))
+	out := append([]byte{}, a[:ca]...)
+	return append(out, b[cb:]...)
+}
+
+// mutateOnce applies one random havoc operation.
+func (f *Fuzzer) mutateOnce(buf []byte) []byte {
+	if len(buf) == 0 {
+		return []byte{byte(f.rng.Intn(256))}
+	}
+	switch f.rng.Intn(8) {
+	case 0: // flip a random bit
+		i := f.rng.Intn(len(buf))
+		buf[i] ^= 1 << f.rng.Intn(8)
+	case 1: // set a random byte
+		buf[f.rng.Intn(len(buf))] = byte(f.rng.Intn(256))
+	case 2: // set an interesting byte
+		buf[f.rng.Intn(len(buf))] = interestingBytes[f.rng.Intn(len(interestingBytes))]
+	case 3: // arithmetic
+		i := f.rng.Intn(len(buf))
+		buf[i] = byte(int(buf[i]) + f.rng.Intn(35) - 17)
+	case 4: // delete a block
+		if len(buf) > 1 {
+			i := f.rng.Intn(len(buf))
+			n := 1 + f.rng.Intn(min(8, len(buf)-i))
+			buf = append(buf[:i], buf[i+n:]...)
+		}
+	case 5: // insert a random byte
+		i := f.rng.Intn(len(buf) + 1)
+		buf = append(buf[:i], append([]byte{byte(f.rng.Intn(256))}, buf[i:]...)...)
+	case 6: // clone a block
+		if len(buf) < f.cfg.MaxLen {
+			src := f.rng.Intn(len(buf))
+			n := 1 + f.rng.Intn(min(8, len(buf)-src))
+			dst := f.rng.Intn(len(buf) + 1)
+			blk := append([]byte{}, buf[src:src+n]...)
+			buf = append(buf[:dst], append(blk, buf[dst:]...)...)
+		}
+	case 7: // overwrite with a block copy
+		if len(buf) > 1 {
+			src := f.rng.Intn(len(buf))
+			dst := f.rng.Intn(len(buf))
+			n := 1 + f.rng.Intn(min(4, len(buf)-max(src, dst)))
+			copy(buf[dst:dst+n], buf[src:src+n])
+		}
+	}
+	return buf
+}

@@ -1,0 +1,89 @@
+package afl
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/subjects/cjson"
+	"pfuzzer/internal/subjects/csvp"
+	"pfuzzer/internal/subjects/ini"
+	"pfuzzer/internal/subjects/tinyc"
+	"pfuzzer/internal/trace"
+)
+
+func TestBucket(t *testing.T) {
+	cases := map[byte]byte{0: 0, 1: 1, 2: 2, 3: 4, 5: 8, 9: 16, 20: 32, 100: 64, 200: 128}
+	for in, want := range cases {
+		if got := bucket(in); got != want {
+			t.Errorf("bucket(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFindsValidInputsOnSimpleSubjects(t *testing.T) {
+	for _, prog := range []subject.Program{ini.New(), csvp.New()} {
+		f := New(prog, Config{Seed: 1, MaxExecs: 20000})
+		res := f.Run()
+		if len(res.Valids) == 0 {
+			t.Errorf("%s: no valid inputs in 20000 execs", prog.Name())
+		}
+		for _, v := range res.Valids {
+			rec := subject.Execute(prog, v.Input, trace.Options{})
+			if !rec.Accepted() {
+				t.Errorf("%s: recorded valid input %q is rejected", prog.Name(), v.Input)
+			}
+		}
+	}
+}
+
+func TestCoverageGrowsWithBudget(t *testing.T) {
+	small := New(cjson.New(), Config{Seed: 1, MaxExecs: 2000}).Run()
+	large := New(cjson.New(), Config{Seed: 1, MaxExecs: 50000}).Run()
+	if len(large.Coverage) < len(small.Coverage) {
+		t.Errorf("coverage shrank with budget: %d -> %d", len(small.Coverage), len(large.Coverage))
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	run := func() (int, int) {
+		res := New(tinyc.New(), Config{Seed: 9, MaxExecs: 5000}).Run()
+		return len(res.Valids), len(res.Coverage)
+	}
+	v1, c1 := run()
+	v2, c2 := run()
+	if v1 != v2 || c1 != c2 {
+		t.Errorf("same seed diverged: (%d,%d) vs (%d,%d)", v1, c1, v2, c2)
+	}
+}
+
+func TestRespectsExecBudget(t *testing.T) {
+	res := New(cjson.New(), Config{Seed: 1, MaxExecs: 500}).Run()
+	// recordValid adds one re-trace per distinct valid input.
+	if res.Execs > 500+len(res.Valids)+1 {
+		t.Errorf("Execs = %d exceeds budget 500 by more than the valid re-traces", res.Execs)
+	}
+}
+
+// TestLongKeywordsUnreachable documents AFL's defining weakness from
+// the paper: within a realistic budget, blind mutation does not
+// synthesize multi-character keywords on tinyC.
+func TestLongKeywordsUnreachable(t *testing.T) {
+	res := New(tinyc.New(), Config{Seed: 3, MaxExecs: 50000}).Run()
+	for _, v := range res.Valids {
+		s := string(v.Input)
+		for _, kw := range []string{"while", "else"} {
+			if contains(s, kw) {
+				t.Logf("note: AFL found %q in %q (rare but possible)", kw, s)
+			}
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

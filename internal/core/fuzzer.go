@@ -1,0 +1,457 @@
+// Package core implements parser-directed fuzzing: Algorithm 1 of
+// "Parser-Directed Fuzzing" (Mathis et al., PLDI 2019).
+//
+// The fuzzer feeds a candidate input to the instrumented subject and
+// observes the comparisons made against each input character. On
+// rejection it substitutes the compared characters with the values
+// they were compared against; when the parser attempts to read past
+// the end of the input, it appends a random character. Candidate
+// inputs wait in a priority queue ordered by a heuristic over the
+// parent's new branch coverage, the input length, the replacement
+// length, the parser stack depth, the number of substitutions on the
+// search path, and path novelty (§3.1–3.2). Valid inputs that cover
+// new code are emitted; by construction every emitted input is
+// accepted by the parser.
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"pfuzzer/internal/pqueue"
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+// DefaultCharset is the alphabet used for random extensions: printable
+// ASCII plus newline and tab, matching the paper's "random character
+// from the set of all ASCII characters".
+func DefaultCharset() []byte {
+	cs := make([]byte, 0, 98)
+	for b := byte(0x20); b < 0x7f; b++ {
+		cs = append(cs, b)
+	}
+	return append(cs, '\n', '\t')
+}
+
+// Config controls a fuzzing campaign.
+type Config struct {
+	// Seed seeds the random number generator.
+	Seed int64
+	// MaxExecs bounds the number of subject executions (0 = 100000).
+	MaxExecs int
+	// MaxValids stops the campaign after this many valid inputs
+	// (0 = unlimited).
+	MaxValids int
+	// MaxLen discards candidate inputs longer than this (0 = 512).
+	MaxLen int
+	// MaxQueue bounds the priority queue (0 = 50000).
+	MaxQueue int
+	// Charset is the random-extension alphabet (nil = DefaultCharset).
+	Charset []byte
+	// Deadline bounds wall-clock time (0 = none).
+	Deadline time.Duration
+	// OnValid, if non-nil, is invoked for every emitted valid input.
+	OnValid func(input []byte, execs int)
+	// DebugPop, if non-nil, observes every queue pop (diagnostics).
+	DebugPop func(input []byte, score float64, execs, queueLen int)
+
+	// Ablation switches; all false reproduces the paper's heuristic.
+	// They exist for the ablation benchmarks listed in DESIGN.md.
+	NoLengthTerm       bool // drop the -len(input) term
+	NoReplacementBonus bool // drop the +2*len(replacement) term
+	NoStackTerm        bool // drop the -avgStackSize term
+	NoParentsTerm      bool // drop the parent-count term
+	NoPathNovelty      bool // drop the path-novelty re-ranking
+	CoverageOnly       bool // coverage term only (degenerates to depth-first)
+	BFS                bool // breadth-first: shortest inputs first
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxExecs == 0 {
+		out.MaxExecs = 100000
+	}
+	if out.MaxLen == 0 {
+		out.MaxLen = 512
+	}
+	if out.MaxQueue == 0 {
+		out.MaxQueue = 50000
+	}
+	if len(out.Charset) == 0 {
+		out.Charset = DefaultCharset()
+	}
+	return out
+}
+
+// Valid is one emitted input: accepted by the parser and covering new
+// code at the time it was found.
+type Valid struct {
+	Input     []byte
+	NewBlocks int // blocks this input covered first
+	Exec      int // execution index at which it was found
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Valids   []Valid
+	Execs    int
+	Coverage map[uint32]bool // union block coverage of the valid inputs
+	Elapsed  time.Duration
+}
+
+// ValidInputs returns the raw emitted inputs.
+func (r *Result) ValidInputs() [][]byte {
+	out := make([][]byte, len(r.Valids))
+	for i := range r.Valids {
+		out[i] = r.Valids[i].Input
+	}
+	return out
+}
+
+// candidate is a queued input together with the parent-run facts the
+// heuristic needs, stored so scores can be recomputed without
+// re-running the subject (§3.2).
+type candidate struct {
+	input       []byte
+	replacement []byte   // the substituted value ("c" in Algorithm 1)
+	parentBlks  []uint32 // parent's trimmed covered blocks
+	parentStack float64  // parent's avg stack depth at last two comparisons
+	parentPath  uint64   // parent's path hash
+	parents     int      // substitutions on the search path so far
+	retries     int      // times this input was already extended
+}
+
+// Fuzzer is one parser-directed fuzzing campaign over a subject.
+type Fuzzer struct {
+	cfg  Config
+	prog subject.Program
+	rng  *rand.Rand
+
+	vBr       map[uint32]bool // blocks covered by valid inputs
+	queue     pqueue.Queue[*candidate]
+	seen      map[string]struct{} // inputs ever enqueued or run
+	pathSeen  map[uint64]int      // executions per path hash
+	validSeen map[string]struct{}
+
+	res        Result
+	start      time.Time
+	curParents int // substitution depth of the input being processed
+}
+
+// New prepares a fuzzer for prog.
+func New(prog subject.Program, cfg Config) *Fuzzer {
+	c := cfg.withDefaults()
+	return &Fuzzer{
+		cfg:       c,
+		prog:      prog,
+		rng:       rand.New(rand.NewSource(c.Seed)),
+		vBr:       make(map[uint32]bool),
+		seen:      make(map[string]struct{}),
+		pathSeen:  make(map[uint64]int),
+		validSeen: make(map[string]struct{}),
+	}
+}
+
+// Run executes the campaign and returns its result.
+func (f *Fuzzer) Run() *Result {
+	f.start = time.Now()
+	f.res.Coverage = make(map[uint32]bool)
+
+	// The paper starts from the empty string, whose rejection via an
+	// EOF access at index 0 teaches the fuzzer to append (Figure 1).
+	input := []byte{}
+	eInp := []byte{f.randChar()}
+
+	var cur *candidate
+	for !f.done() {
+		rec, ok := f.runCheck(input)
+		if !ok {
+			recE, okE := f.runCheck(eInp)
+			if !okE {
+				f.addInputs(eInp, recE)
+			}
+			// Re-enqueue the processed input with a retry decay: the
+			// random extension is drawn fresh on every pop, so a
+			// prefix whose extension led nowhere (for example a
+			// keyword destroyed by appending a letter) gets another
+			// chance later. The paper's queue admits duplicate
+			// inputs and retries the same way.
+			if cur != nil {
+				cur.retries++
+				f.queue.Push(cur, f.score(cur))
+			}
+			_ = rec
+		}
+		next, score, found := f.queue.PopRescored(f.score)
+		if !found {
+			// Queue exhausted: restart from a fresh random character.
+			input = []byte{f.randChar()}
+			f.curParents = 0
+			cur = nil
+		} else {
+			input = next.input
+			f.curParents = next.parents
+			cur = next
+			if f.cfg.DebugPop != nil {
+				f.cfg.DebugPop(input, score, f.res.Execs, f.queue.Len())
+			}
+		}
+		eInp = append(append([]byte{}, input...), f.randChar())
+	}
+
+	f.res.Elapsed = time.Since(f.start)
+	return &f.res
+}
+
+func (f *Fuzzer) done() bool {
+	if f.res.Execs >= f.cfg.MaxExecs {
+		return true
+	}
+	if f.cfg.MaxValids > 0 && len(f.res.Valids) >= f.cfg.MaxValids {
+		return true
+	}
+	if f.cfg.Deadline > 0 && time.Since(f.start) > f.cfg.Deadline {
+		return true
+	}
+	return false
+}
+
+func (f *Fuzzer) randChar() byte {
+	return f.cfg.Charset[f.rng.Intn(len(f.cfg.Charset))]
+}
+
+// runCheck executes input and, if it is valid and covers new code,
+// processes it as a new valid input (Algorithm 1, runCheck/validInp).
+// It returns the record and whether the input was treated as valid.
+func (f *Fuzzer) runCheck(input []byte) (*trace.Record, bool) {
+	rec := f.run(input)
+	if rec.Accepted() && f.hasNewBlocks(rec) {
+		f.validInp(rec)
+		return rec, true
+	}
+	return rec, false
+}
+
+func (f *Fuzzer) run(input []byte) *trace.Record {
+	f.res.Execs++
+	rec := subject.Execute(f.prog, input, trace.Full())
+	f.pathSeen[rec.PathHash]++
+	return rec
+}
+
+func (f *Fuzzer) hasNewBlocks(rec *trace.Record) bool {
+	for id := range rec.BlockFirst {
+		if !f.vBr[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// validInp emits the input, merges its coverage into vBr, re-scores
+// the queue against the grown vBr, and derives successors from the
+// valid run's comparisons (Algorithm 1, validInp).
+func (f *Fuzzer) validInp(rec *trace.Record) {
+	key := string(rec.Input)
+	if _, dup := f.validSeen[key]; !dup {
+		f.validSeen[key] = struct{}{}
+		newBlocks := 0
+		for id := range rec.BlockFirst {
+			if !f.res.Coverage[id] {
+				f.res.Coverage[id] = true
+				newBlocks++
+			}
+		}
+		v := Valid{
+			Input:     append([]byte{}, rec.Input...),
+			NewBlocks: newBlocks,
+			Exec:      f.res.Execs,
+		}
+		f.res.Valids = append(f.res.Valids, v)
+		if f.cfg.OnValid != nil {
+			f.cfg.OnValid(v.Input, v.Exec)
+		}
+	}
+	for id := range rec.BlockFirst {
+		f.vBr[id] = true
+	}
+	f.queue.Reorder(f.score)
+	f.addInputs(rec.Input, rec)
+}
+
+// addInputs derives one successor input per comparison made to the
+// last compared character and enqueues it (Algorithm 1, addInputs).
+// Substituting only at the failing index is what the paper describes
+// throughout: "the fuzzer then corrects the invalid character to pass
+// one of the character comparisons that was made at that index" (§1),
+// "the mutations always occur at the last index where the comparison
+// failed" (§6.2). The replacement is one of the values the character
+// was compared against; range and set comparisons pick a random
+// member, so repeated executions of the same comparison explore
+// different members. For a comparison spanning input[s..e], the
+// successor is input[:s] + expected + input[e+1:]; for wrapped strcmp
+// comparisons the whole literal is substituted, which is how keywords
+// enter the inputs.
+func (f *Fuzzer) addInputs(input []byte, rec *trace.Record) {
+	parent := f.parentFacts(rec)
+	last := rec.LastComparedIndex()
+	comps := rec.ComparisonsAt(last)
+	for i := range comps {
+		c := &comps[i]
+		for _, cand := range f.pick(c) {
+			if c.Matched && len(cand) == len(c.Actual) && string(cand) == string(c.Actual) {
+				continue // no-op substitution
+			}
+			child := substitute(input, c, cand)
+			if len(child) > f.cfg.MaxLen {
+				continue
+			}
+			key := string(child)
+			if _, dup := f.seen[key]; dup {
+				continue
+			}
+			f.seen[key] = struct{}{}
+			cd := &candidate{
+				input:       child,
+				replacement: cand,
+				parentBlks:  parent.blocks,
+				parentStack: parent.stack,
+				parentPath:  rec.PathHash,
+				parents:     parent.parents + 1,
+			}
+			f.queue.Push(cd, f.score(cd))
+		}
+	}
+	// Prune with hysteresis: draining the heap is O(max·log n), so do
+	// it only when the queue has grown half again past its bound.
+	if f.queue.Len() > f.cfg.MaxQueue+f.cfg.MaxQueue/2 {
+		f.queue.Prune(f.cfg.MaxQueue)
+	}
+}
+
+// pick selects the replacement values to try for one comparison:
+// the full literal for equality and strcmp comparisons, one random
+// member different from the actual value for ranges and sets.
+func (f *Fuzzer) pick(c *trace.Comparison) [][]byte {
+	switch c.Kind {
+	case trace.CmpCharEq, trace.CmpStrEq:
+		return [][]byte{c.Expected}
+	case trace.CmpCharRange:
+		if len(c.Expected) != 2 || c.Expected[0] > c.Expected[1] {
+			return nil
+		}
+		lo, hi := int(c.Expected[0]), int(c.Expected[1])
+		b := byte(lo + f.rng.Intn(hi-lo+1))
+		if len(c.Actual) == 1 && b == c.Actual[0] && hi > lo {
+			b = byte(lo + (int(b)-lo+1)%(hi-lo+1))
+		}
+		return [][]byte{{b}}
+	case trace.CmpCharSet:
+		if len(c.Expected) == 0 {
+			return nil
+		}
+		b := c.Expected[f.rng.Intn(len(c.Expected))]
+		if len(c.Actual) == 1 && b == c.Actual[0] && len(c.Expected) > 1 {
+			// Try once more for a different member.
+			b = c.Expected[f.rng.Intn(len(c.Expected))]
+		}
+		return [][]byte{{b}}
+	}
+	return nil
+}
+
+// substitute replaces the span of comparison c in input with cand.
+func substitute(input []byte, c *trace.Comparison, cand []byte) []byte {
+	s, e := c.Index, c.Last
+	if s < 0 || s > len(input) {
+		return append(append([]byte{}, input...), cand...)
+	}
+	if e >= len(input) {
+		e = len(input) - 1
+	}
+	out := make([]byte, 0, s+len(cand)+len(input)-e-1)
+	out = append(out, input[:s]...)
+	out = append(out, cand...)
+	out = append(out, input[e+1:]...)
+	return out
+}
+
+// parentFacts extracts from a run the facts the heuristic stores with
+// each child: covered blocks trimmed to before the first comparison of
+// the last compared character (so error-handling coverage does not
+// count, §3.1), the stack average, and the substitution depth.
+type facts struct {
+	blocks  []uint32
+	stack   float64
+	parents int
+}
+
+func (f *Fuzzer) parentFacts(rec *trace.Record) facts {
+	// The paper trims at "the first comparison of the last character"
+	// (§3.1). With an interleaved lexer that rule is blind to the
+	// blocks that recognize a just-completed keyword, because the
+	// lexer's lookahead touches the failing character before the
+	// parser acts on the keyword. Trimming at the last comparison
+	// keeps those blocks while still excluding error-handling code,
+	// which fires after the final failed comparison — the behaviour
+	// the trimming exists to produce (see DESIGN.md §4).
+	var blks map[uint32]bool
+	if n := len(rec.Comparisons); n > 0 {
+		blks = rec.BlocksBeforeSeq(rec.Comparisons[n-1].Seq + 1)
+	} else {
+		blks = rec.CoveredBlocks()
+	}
+	ids := make([]uint32, 0, len(blks))
+	for id := range blks {
+		ids = append(ids, id)
+	}
+	return facts{blocks: ids, stack: rec.AvgStackLastTwo(), parents: f.depthOf(rec)}
+}
+
+// depthOf returns the substitution depth of the run's input: the
+// number of substitutions on the search path from the initial input
+// (the root and queue restarts have depth 0).
+func (f *Fuzzer) depthOf(_ *trace.Record) int { return f.curParents }
+
+// score computes the queue priority of a candidate (Algorithm 1,
+// heur, with the parent-count sign following the paper's prose: fewer
+// parents rank higher).
+func (f *Fuzzer) score(c *candidate) float64 {
+	if f.cfg.BFS {
+		return -float64(len(c.input))
+	}
+	newBlocks := 0
+	for _, id := range c.parentBlks {
+		if !f.vBr[id] {
+			newBlocks++
+		}
+	}
+	s := float64(newBlocks)
+	if f.cfg.CoverageOnly {
+		return s
+	}
+	if !f.cfg.NoLengthTerm {
+		s -= float64(len(c.input))
+	}
+	if !f.cfg.NoReplacementBonus {
+		s += 2 * float64(len(c.replacement))
+	}
+	if !f.cfg.NoStackTerm {
+		s -= c.parentStack
+	}
+	if !f.cfg.NoParentsTerm {
+		s -= float64(c.parents)
+	}
+	if !f.cfg.NoPathNovelty {
+		// Rank down inputs from frequently-seen paths (§3.2). The
+		// penalty is logarithmic and capped: it breaks ties in favour
+		// of novel paths without drowning the replacement bonus that
+		// pulls keyword substitutions forward — children of hot paths
+		// (every identifier run shares one path) must stay reachable.
+		s -= min(math.Log2(1+float64(f.pathSeen[c.parentPath])), 8)
+	}
+	s -= 2 * float64(c.retries)
+	return s
+}

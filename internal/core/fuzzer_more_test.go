@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subjects/cjson"
+	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/subjects/tinyc"
+	"pfuzzer/internal/trace"
+)
+
+// TestSubstitute checks the span-replacement rule for every
+// comparison shape.
+func TestSubstitute(t *testing.T) {
+	cases := []struct {
+		input string
+		cmp   trace.Comparison
+		cand  string
+		want  string
+	}{
+		// Single char replaced mid-input.
+		{"abc", trace.Comparison{Index: 1, Last: 1}, "X", "aXc"},
+		// Single char replaced at the end.
+		{"abc", trace.Comparison{Index: 2, Last: 2}, "X", "abX"},
+		// strcmp span replaced by a longer literal (keyword entry).
+		{"whXle", trace.Comparison{Index: 0, Last: 4}, "while", "while"},
+		// Partial keyword extended: span covers the whole suffix.
+		{"(tr", trace.Comparison{Index: 1, Last: 2}, "true", "(true"},
+		// Span end beyond input length is clamped.
+		{"ab", trace.Comparison{Index: 1, Last: 5}, "ZZ", "aZZ"},
+	}
+	for _, c := range cases {
+		got := substitute([]byte(c.input), &c.cmp, []byte(c.cand))
+		if string(got) != c.want {
+			t.Errorf("substitute(%q, [%d..%d], %q) = %q, want %q",
+				c.input, c.cmp.Index, c.cmp.Last, c.cand, got, c.want)
+		}
+	}
+}
+
+// TestFindsJSONKeywordsFast: the headline behaviour — keywords arrive
+// through strcmp substitution within a few hundred executions.
+func TestFindsJSONKeywordsFast(t *testing.T) {
+	found := map[string]bool{}
+	f := New(cjson.New(), Config{Seed: 1, MaxExecs: 5000,
+		OnValid: func(in []byte, _ int) {
+			for tok := range cjson.Tokenize(in) {
+				found[tok] = true
+			}
+		}})
+	f.Run()
+	for _, kw := range []string{"true", "false", "null"} {
+		if !found[kw] {
+			t.Errorf("keyword %q not synthesized within 5000 execs", kw)
+		}
+	}
+}
+
+func TestMaxValidsStops(t *testing.T) {
+	f := New(expr.New(), Config{Seed: 1, MaxExecs: 100000, MaxValids: 3})
+	res := f.Run()
+	if len(res.Valids) != 3 {
+		t.Errorf("valids = %d, want exactly 3", len(res.Valids))
+	}
+	if res.Execs >= 100000 {
+		t.Error("campaign ran out the exec budget despite MaxValids")
+	}
+}
+
+func TestMaxLenRespected(t *testing.T) {
+	f := New(expr.New(), Config{Seed: 2, MaxExecs: 5000, MaxLen: 6})
+	res := f.Run()
+	for _, v := range res.Valids {
+		// Emitted inputs come from queue entries (<= MaxLen) plus at
+		// most one random extension.
+		if len(v.Input) > 7 {
+			t.Errorf("emitted input %q exceeds MaxLen+1", v.Input)
+		}
+	}
+}
+
+func TestOnValidSeesEveryEmission(t *testing.T) {
+	var seen [][]byte
+	f := New(expr.New(), Config{Seed: 4, MaxExecs: 3000,
+		OnValid: func(in []byte, _ int) { seen = append(seen, in) }})
+	res := f.Run()
+	if len(seen) != len(res.Valids) {
+		t.Errorf("OnValid saw %d inputs, result has %d", len(seen), len(res.Valids))
+	}
+	for i := range seen {
+		if string(seen[i]) != string(res.Valids[i].Input) {
+			t.Errorf("OnValid order mismatch at %d", i)
+		}
+	}
+}
+
+// TestAblationsRun ensures every heuristic variant is executable and
+// still emits only accepted inputs.
+func TestAblationsRun(t *testing.T) {
+	variants := map[string]Config{
+		"NoLengthTerm":       {NoLengthTerm: true},
+		"NoReplacementBonus": {NoReplacementBonus: true},
+		"NoStackTerm":        {NoStackTerm: true},
+		"NoParentsTerm":      {NoParentsTerm: true},
+		"NoPathNovelty":      {NoPathNovelty: true},
+		"CoverageOnly":       {CoverageOnly: true},
+		"BFS":                {BFS: true},
+	}
+	for name, cfg := range variants {
+		cfg.Seed = 1
+		cfg.MaxExecs = 2000
+		res := New(tinyc.New(), cfg).Run()
+		for _, v := range res.Valids {
+			rec := New(tinyc.New(), Config{}).run(v.Input)
+			if !rec.Accepted() {
+				t.Errorf("%s: emitted invalid input %q", name, v.Input)
+			}
+		}
+	}
+}
+
+// TestCoverageMatchesValids: the result's coverage must be exactly
+// the union of the valid inputs' block sets.
+func TestCoverageMatchesValids(t *testing.T) {
+	f := New(expr.New(), Config{Seed: 6, MaxExecs: 4000})
+	res := f.Run()
+	union := map[uint32]bool{}
+	for _, v := range res.Valids {
+		rec := New(expr.New(), Config{}).run(v.Input)
+		for id := range rec.BlockFirst {
+			union[id] = true
+		}
+	}
+	if len(union) != len(res.Coverage) {
+		t.Fatalf("coverage = %d blocks, union of valids = %d", len(res.Coverage), len(union))
+	}
+	for id := range union {
+		if !res.Coverage[id] {
+			t.Errorf("block %d in union but not in coverage", id)
+		}
+	}
+}
+
+// TestEveryValidAddedNewCoverage: emissions are gated on new code
+// (the paper's runCheck condition).
+func TestEveryValidAddedNewCoverage(t *testing.T) {
+	f := New(cjson.New(), Config{Seed: 8, MaxExecs: 5000})
+	res := f.Run()
+	for _, v := range res.Valids {
+		if v.NewBlocks == 0 {
+			t.Errorf("valid %q emitted without new coverage", v.Input)
+		}
+	}
+}

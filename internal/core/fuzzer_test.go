@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/subjects/paren"
+	"pfuzzer/internal/trace"
+)
+
+// TestFuzzExprFindsValidInputs reproduces the §2 walkthrough: starting
+// from nothing, the fuzzer must synthesize valid arithmetic
+// expressions within a modest execution budget.
+func TestFuzzExprFindsValidInputs(t *testing.T) {
+	f := New(expr.New(), Config{Seed: 1, MaxExecs: 4000})
+	res := f.Run()
+	if len(res.Valids) == 0 {
+		t.Fatalf("no valid inputs after %d execs", res.Execs)
+	}
+	for _, v := range res.Valids {
+		rec := subject.Execute(expr.New(), v.Input, trace.Full())
+		if !rec.Accepted() {
+			t.Errorf("emitted input %q is not accepted by the parser", v.Input)
+		}
+	}
+	t.Logf("valids=%d execs=%d first=%q", len(res.Valids), res.Execs, res.Valids[0].Input)
+}
+
+// TestFuzzExprCoversTokens checks input coverage: the fuzzer should
+// discover every expr token (numbers, +, -, parentheses).
+func TestFuzzExprCoversTokens(t *testing.T) {
+	f := New(expr.New(), Config{Seed: 7, MaxExecs: 20000})
+	res := f.Run()
+	found := map[string]bool{}
+	for _, v := range res.Valids {
+		for tok := range expr.Tokenize(v.Input) {
+			found[tok] = true
+		}
+	}
+	for _, want := range []string{"number", "+", "-", "(", ")"} {
+		if !found[want] {
+			t.Errorf("token %q never produced; valids=%d", want, len(res.Valids))
+		}
+	}
+}
+
+// TestFuzzParenClosesBrackets exercises the §3 motivation: the
+// heuristic must close bracket structures rather than opening forever.
+func TestFuzzParenClosesBrackets(t *testing.T) {
+	f := New(paren.New(), Config{Seed: 3, MaxExecs: 20000})
+	res := f.Run()
+	if len(res.Valids) == 0 {
+		t.Fatalf("no valid bracket inputs after %d execs", res.Execs)
+	}
+	kinds := map[string]bool{}
+	for _, v := range res.Valids {
+		for tok := range paren.Tokenize(v.Input) {
+			kinds[tok] = true
+		}
+	}
+	if len(kinds) < 4 {
+		t.Errorf("expected at least 4 distinct bracket tokens, got %v", kinds)
+	}
+}
+
+// TestEmittedInputsAreUnique verifies the valid-input dedup.
+func TestEmittedInputsAreUnique(t *testing.T) {
+	f := New(expr.New(), Config{Seed: 11, MaxExecs: 5000})
+	res := f.Run()
+	seen := map[string]bool{}
+	for _, v := range res.Valids {
+		if seen[string(v.Input)] {
+			t.Errorf("duplicate valid input %q", v.Input)
+		}
+		seen[string(v.Input)] = true
+	}
+}
+
+// TestDeterministicUnderSeed verifies that equal seeds produce equal
+// campaigns.
+func TestDeterministicUnderSeed(t *testing.T) {
+	run := func() []string {
+		f := New(expr.New(), Config{Seed: 42, MaxExecs: 3000})
+		res := f.Run()
+		out := make([]string, len(res.Valids))
+		for i, v := range res.Valids {
+			out[i] = string(v.Input)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

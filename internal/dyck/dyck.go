@@ -1,0 +1,66 @@
+// Package dyck reproduces the combinatorial argument of the paper's
+// §3 (footnote 2): a random walk over open/close brackets that stays
+// non-negative for 2n steps ends balanced with probability only
+// 1/(n+1) — the n-th Catalan number over the positive-path count.
+// This is why purely random choice between '(' and ')' almost never
+// closes a long prefix, motivating pFuzzer's heuristic search.
+package dyck
+
+import "math/rand"
+
+// Catalan returns the n-th Catalan number C(n) = (2n choose n)/(n+1),
+// computed exactly with the product formula (valid up to n = 33 in
+// uint64).
+func Catalan(n int) uint64 {
+	// C(0) = 1; C(k+1) = C(k) * 2(2k+1)/(k+2).
+	c := uint64(1)
+	for k := 0; k < n; k++ {
+		c = c * 2 * (2*uint64(k) + 1) / (uint64(k) + 2)
+	}
+	return c
+}
+
+// ClosingProbability returns the paper's closed-form probability
+// 1/(n+1) that a positive bracket walk of 2n steps ends balanced.
+func ClosingProbability(n int) float64 {
+	return 1 / float64(n+1)
+}
+
+// SimulateClosing estimates, by Monte-Carlo over trials random walks,
+// the probability that a walk of 2n fair open/close steps stays
+// non-negative and ends at zero — the event whose probability the
+// paper bounds by 1/(n+1). Walks that would go negative are
+// conditioned away, as in the paper's Dyck-path argument (paths that
+// "stay positive").
+func SimulateClosing(n, trials int, rng *rand.Rand) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	stayed := 0
+	closed := 0
+	for t := 0; t < trials; t++ {
+		depth := 0
+		ok := true
+		for s := 0; s < 2*n; s++ {
+			if rng.Intn(2) == 0 {
+				depth++
+			} else {
+				depth--
+			}
+			if depth < 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			stayed++
+			if depth == 0 {
+				closed++
+			}
+		}
+	}
+	if stayed == 0 {
+		return 0
+	}
+	return float64(closed) / float64(stayed)
+}

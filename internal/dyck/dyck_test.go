@@ -1,0 +1,50 @@
+package dyck
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCatalan(t *testing.T) {
+	want := []uint64{1, 1, 2, 5, 14, 42, 132, 429, 1430, 4862}
+	for n, w := range want {
+		if got := Catalan(n); got != w {
+			t.Errorf("Catalan(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestClosingProbabilityFormula(t *testing.T) {
+	// The paper's concrete example: after 100 steps (n = 100) the
+	// probability is about 1%.
+	if got := ClosingProbability(100); math.Abs(got-0.0099) > 0.0002 {
+		t.Errorf("ClosingProbability(100) = %v, want ~0.0099", got)
+	}
+}
+
+// TestSimulationMatchesFormula checks the Monte-Carlo estimate against
+// 1/(n+1) for small n.
+func TestSimulationMatchesFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		got := SimulateClosing(n, 200000, rng)
+		want := ClosingProbability(n)
+		if math.Abs(got-want) > 0.15*want+0.01 {
+			t.Errorf("n=%d: simulated %v, formula %v", n, got, want)
+		}
+	}
+}
+
+// TestClosingProbabilityDecreases verifies the paper's point: the
+// chance of randomly closing decreases as prefixes grow.
+func TestClosingProbabilityDecreases(t *testing.T) {
+	prev := 1.0
+	for n := 1; n <= 128; n *= 2 {
+		p := ClosingProbability(n)
+		if p >= prev {
+			t.Fatalf("probability did not decrease at n=%d", n)
+		}
+		prev = p
+	}
+}

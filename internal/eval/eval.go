@@ -1,0 +1,218 @@
+// Package eval is the campaign harness behind the paper's evaluation
+// (§5): it runs each tool on each subject under a budget, keeps the
+// best of N repetitions (the paper runs every tool three times and
+// reports the best run, §5.1), and derives the two metrics the paper
+// reports — branch coverage of the valid inputs (Figure 2) and token
+// coverage of the valid inputs grouped by token length (Figure 3,
+// Tables 2–4, and the §5.3 aggregates).
+package eval
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pfuzzer/internal/afl"
+	"pfuzzer/internal/core"
+	"pfuzzer/internal/klee"
+	"pfuzzer/internal/registry"
+	"pfuzzer/internal/tokens"
+)
+
+// Tool identifies one of the three compared test generators.
+type Tool string
+
+// The compared tools.
+const (
+	PFuzzer Tool = "pFuzzer"
+	AFL     Tool = "AFL"
+	KLEE    Tool = "KLEE"
+)
+
+// Tools lists the tools in the paper's presentation order.
+var Tools = []Tool{AFL, KLEE, PFuzzer}
+
+// Budget scales the campaigns. The paper gives every tool 48 hours;
+// here executions are the budget currency, with AFL given roughly
+// three orders of magnitude more executions than pFuzzer, matching
+// the throughput ratio the paper reports ("generating 1,000 times
+// more inputs than pFuzzer", §5.2).
+type Budget struct {
+	PFuzzerExecs int
+	AFLExecs     int
+	KLEEExecs    int
+	Runs         int   // repetitions; the best run is reported
+	Seed         int64 // base RNG seed
+	Deadline     time.Duration
+}
+
+// DefaultBudget approximates the paper's effective execution counts:
+// pFuzzer ran through a ~100× instrumentation slowdown for 48 h
+// (~10^5 executions) while AFL ran at native speed ("generating 1,000
+// times more inputs than pFuzzer", §5.2). The full matrix at this
+// budget takes some minutes; use Scale for quicker runs.
+func DefaultBudget() Budget {
+	return Budget{
+		PFuzzerExecs: 100000,
+		AFLExecs:     1000000,
+		KLEEExecs:    100000,
+		Runs:         3,
+		Seed:         1,
+	}
+}
+
+// Scale multiplies all execution budgets by f.
+func (b Budget) Scale(f float64) Budget {
+	b.PFuzzerExecs = int(float64(b.PFuzzerExecs) * f)
+	b.AFLExecs = int(float64(b.AFLExecs) * f)
+	b.KLEEExecs = int(float64(b.KLEEExecs) * f)
+	return b
+}
+
+// SubjectResult is the outcome of one tool on one subject (best run).
+type SubjectResult struct {
+	Subject     string
+	Tool        Tool
+	Execs       int
+	Valids      [][]byte
+	Coverage    map[uint32]bool
+	Blocks      int     // subject block count (coverage denominator)
+	CoveragePct float64 // Figure 2 value
+	TokenCov    tokens.Coverage
+	Elapsed     time.Duration
+}
+
+// Run executes one tool on one subject with the given budget and
+// returns the best of budget.Runs repetitions, where "best" is the
+// run with the highest valid-input branch coverage (ties broken by
+// token coverage).
+func Run(entry registry.Entry, tool Tool, budget Budget) SubjectResult {
+	runs := budget.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	var best SubjectResult
+	for r := 0; r < runs; r++ {
+		seed := budget.Seed + int64(r)*7919
+		res := runOnce(entry, tool, budget, seed)
+		if r == 0 || better(res, best) {
+			best = res
+		}
+	}
+	return best
+}
+
+func better(a, b SubjectResult) bool {
+	if a.CoveragePct != b.CoveragePct {
+		return a.CoveragePct > b.CoveragePct
+	}
+	return a.TokenCov.FoundCount() > b.TokenCov.FoundCount()
+}
+
+func runOnce(entry registry.Entry, tool Tool, budget Budget, seed int64) SubjectResult {
+	out := SubjectResult{Subject: entry.Name, Tool: tool}
+	prog := entry.New()
+	out.Blocks = prog.Blocks()
+
+	switch tool {
+	case PFuzzer:
+		f := core.New(prog, core.Config{
+			Seed:     seed,
+			MaxExecs: budget.PFuzzerExecs,
+			Deadline: budget.Deadline,
+		})
+		res := f.Run()
+		out.Execs = res.Execs
+		out.Valids = res.ValidInputs()
+		out.Coverage = res.Coverage
+		out.Elapsed = res.Elapsed
+	case AFL:
+		f := afl.New(prog, afl.Config{
+			Seed:     seed,
+			MaxExecs: budget.AFLExecs,
+			Deadline: budget.Deadline,
+		})
+		res := f.Run()
+		out.Execs = res.Execs
+		out.Valids = res.ValidInputs()
+		out.Coverage = res.Coverage
+		out.Elapsed = res.Elapsed
+	case KLEE:
+		e := klee.New(prog, klee.Config{
+			MaxExecs: budget.KLEEExecs,
+			Deadline: budget.Deadline,
+		})
+		res := e.Run()
+		out.Execs = res.Execs
+		out.Valids = res.ValidInputs()
+		out.Coverage = res.Coverage
+		out.Elapsed = res.Elapsed
+	}
+
+	out.CoveragePct = tokens.Percent(len(out.Coverage), out.Blocks)
+	found := map[string]bool{}
+	for _, in := range out.Valids {
+		for tok := range entry.Tokenize(in) {
+			found[tok] = true
+		}
+	}
+	out.TokenCov = tokens.Cover(entry.Inventory, found)
+	return out
+}
+
+// Matrix runs every tool on every given subject, reporting progress
+// on stderr.
+func Matrix(entries []registry.Entry, budget Budget) []SubjectResult {
+	var out []SubjectResult
+	for _, e := range entries {
+		for _, tool := range Tools {
+			start := time.Now()
+			r := Run(e, tool, budget)
+			fmt.Fprintf(os.Stderr, "  %-6s %-8s execs=%-8d valids=%-5d cov=%5.1f%%  (%v)\n",
+				e.Name, tool, r.Execs, len(r.Valids), r.CoveragePct,
+				time.Since(start).Round(time.Millisecond))
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Summary is the §5.3 aggregate: token coverage pooled over all
+// subjects, split at token length 3.
+type Summary struct {
+	Tool       Tool
+	ShortFound int
+	ShortTotal int
+	LongFound  int
+	LongTotal  int
+}
+
+// ShortPct returns the percentage of tokens of length <= 3 found.
+func (s Summary) ShortPct() float64 { return tokens.Percent(s.ShortFound, s.ShortTotal) }
+
+// LongPct returns the percentage of tokens of length > 3 found.
+func (s Summary) LongPct() float64 { return tokens.Percent(s.LongFound, s.LongTotal) }
+
+// Summarize pools token coverage per tool across subjects.
+func Summarize(results []SubjectResult) []Summary {
+	byTool := map[Tool]*Summary{}
+	var order []Tool
+	for _, r := range results {
+		s := byTool[r.Tool]
+		if s == nil {
+			s = &Summary{Tool: r.Tool}
+			byTool[r.Tool] = s
+			order = append(order, r.Tool)
+		}
+		sf, st, lf, lt := r.TokenCov.Split(3)
+		s.ShortFound += sf
+		s.ShortTotal += st
+		s.LongFound += lf
+		s.LongTotal += lt
+	}
+	out := make([]Summary, 0, len(order))
+	for _, tool := range order {
+		out = append(out, *byTool[tool])
+	}
+	return out
+}

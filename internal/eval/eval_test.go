@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"pfuzzer/internal/registry"
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/tokens"
+	"pfuzzer/internal/trace"
+)
+
+func tinyBudget() Budget {
+	return Budget{PFuzzerExecs: 1500, AFLExecs: 6000, KLEEExecs: 1500, Runs: 1, Seed: 1}
+}
+
+func TestRunProducesConsistentResult(t *testing.T) {
+	e, _ := registry.Get("cjson")
+	for _, tool := range Tools {
+		r := Run(e, tool, tinyBudget())
+		if r.Subject != "cjson" || r.Tool != tool {
+			t.Fatalf("identity wrong: %+v", r)
+		}
+		if r.Blocks <= 0 {
+			t.Fatalf("%s: no blocks", tool)
+		}
+		if r.CoveragePct < 0 || r.CoveragePct > 100 {
+			t.Errorf("%s: coverage %v out of range", tool, r.CoveragePct)
+		}
+		for _, in := range r.Valids {
+			rec := subject.Execute(e.New(), in, trace.Options{})
+			if !rec.Accepted() {
+				t.Errorf("%s: recorded valid input %q rejected", tool, in)
+			}
+		}
+	}
+}
+
+func TestBestOfRunsNotWorseThanSingle(t *testing.T) {
+	e, _ := registry.Get("expr")
+	b := tinyBudget()
+	single := Run(e, PFuzzer, b)
+	b.Runs = 3
+	best := Run(e, PFuzzer, b)
+	if best.CoveragePct < single.CoveragePct {
+		t.Errorf("best-of-3 coverage %v < single-run coverage %v", best.CoveragePct, single.CoveragePct)
+	}
+}
+
+func TestSummarizePoolsCounts(t *testing.T) {
+	entries := []registry.Entry{}
+	for _, name := range []string{"expr", "paren"} {
+		e, _ := registry.Get(name)
+		entries = append(entries, e)
+	}
+	results := Matrix(entries, tinyBudget())
+	sums := Summarize(results)
+	if len(sums) != len(Tools) {
+		t.Fatalf("summaries = %d, want %d", len(sums), len(Tools))
+	}
+	wantShort := 0
+	for _, e := range entries {
+		_, st, _, _ := tokens.Cover(e.Inventory, nil).Split(3)
+		wantShort += st
+	}
+	for _, s := range sums {
+		if s.ShortTotal != wantShort {
+			t.Errorf("%s: short total %d, want %d", s.Tool, s.ShortTotal, wantShort)
+		}
+		if s.ShortPct() < 0 || s.ShortPct() > 100 {
+			t.Errorf("%s: short pct %v out of range", s.Tool, s.ShortPct())
+		}
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	e, _ := registry.Get("expr")
+	results := Matrix([]registry.Entry{e}, tinyBudget())
+	for name, out := range map[string]string{
+		"fig2":    Figure2(results),
+		"fig3":    Figure3(results),
+		"summary": SummaryReport(results),
+		"execs":   ExecsReport(results),
+		"table1":  Table1(registry.Paper()),
+	} {
+		if len(strings.TrimSpace(out)) == 0 {
+			t.Errorf("%s report is empty", name)
+		}
+	}
+	csv := CSV(results)
+	if len(csv) != len(results)+1 {
+		t.Errorf("CSV rows = %d, want %d", len(csv), len(results)+1)
+	}
+}

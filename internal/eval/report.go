@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pfuzzer/internal/registry"
+	"pfuzzer/internal/textplot"
+	"pfuzzer/internal/tokens"
+)
+
+// Table1 renders the subject overview (paper Table 1), extended with
+// this reproduction's block counts.
+func Table1(entries []registry.Entry) string {
+	rows := [][]string{{"Name", "Accessed", "Lines of Code (paper)", "Blocks (this repo)"}}
+	for _, e := range entries {
+		rows = append(rows, []string{
+			e.Name, e.Accessed, strconv.Itoa(e.PaperLoC), strconv.Itoa(e.New().Blocks()),
+		})
+	}
+	return textplot.Table("Table 1. The subjects used for the evaluation.", rows)
+}
+
+// Figure2 renders coverage per subject and tool as a bar chart.
+func Figure2(results []SubjectResult) string {
+	groups := groupBySubject(results, func(r SubjectResult) textplot.Bar {
+		return textplot.Bar{Label: string(r.Tool), Value: r.CoveragePct}
+	})
+	return textplot.BarChart("Figure 2. Obtained coverage per subject and tool (valid inputs).", groups, 40, "%")
+}
+
+// Figure3 renders the token counts per token length, per subject and
+// tool.
+func Figure3(results []SubjectResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3. Number of tokens generated, grouped by token length.\n")
+	subjects := subjectOrder(results)
+	for _, s := range subjects {
+		var inv tokens.Inventory
+		for _, r := range results {
+			if r.Subject == s {
+				inv = r.TokenCov.Inventory
+				break
+			}
+		}
+		lengths := inv.Lengths()
+		rows := [][]string{append([]string{s, "total"}, lengthHeader(lengths)...)}
+		totalRow := []string{"", ""}
+		for _, n := range lengths {
+			totalRow = append(totalRow, strconv.Itoa(inv.CountLen(n)))
+		}
+		rows = append(rows, totalRow)
+		for _, tool := range Tools {
+			for _, r := range results {
+				if r.Subject != s || r.Tool != tool {
+					continue
+				}
+				row := []string{"", string(tool)}
+				for _, n := range lengths {
+					row = append(row, strconv.Itoa(r.TokenCov.FoundLen(n)))
+				}
+				rows = append(rows, row)
+			}
+		}
+		sb.WriteString(textplot.Table("", rows))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func lengthHeader(lengths []int) []string {
+	out := make([]string, len(lengths))
+	for i, n := range lengths {
+		out[i] = "len" + strconv.Itoa(n)
+	}
+	return out
+}
+
+// TokenTable renders a subject's token inventory grouped by length
+// (paper Tables 2, 3 and 4).
+func TokenTable(title string, inv tokens.Inventory) string {
+	rows := [][]string{{"Length", "#", "Examples"}}
+	for _, n := range inv.Lengths() {
+		var names []string
+		for _, t := range inv {
+			if t.Len == n {
+				names = append(names, t.Name)
+			}
+		}
+		example := strings.Join(names, " ")
+		if len(example) > 60 {
+			example = example[:57] + "..."
+		}
+		rows = append(rows, []string{strconv.Itoa(n), strconv.Itoa(len(names)), example})
+	}
+	return textplot.Table(title, rows)
+}
+
+// SummaryReport renders the §5.3 aggregates next to the paper's
+// numbers.
+func SummaryReport(results []SubjectResult) string {
+	paperShort := map[Tool]float64{AFL: 91.5, KLEE: 28.7, PFuzzer: 81.9}
+	paperLong := map[Tool]float64{AFL: 5.0, KLEE: 7.5, PFuzzer: 52.5}
+	rows := [][]string{{"Tool", "len<=3 found", "len<=3 %", "paper %", "len>3 found", "len>3 %", "paper %"}}
+	for _, s := range Summarize(results) {
+		rows = append(rows, []string{
+			string(s.Tool),
+			fmt.Sprintf("%d/%d", s.ShortFound, s.ShortTotal),
+			fmt.Sprintf("%.1f", s.ShortPct()),
+			fmt.Sprintf("%.1f", paperShort[s.Tool]),
+			fmt.Sprintf("%d/%d", s.LongFound, s.LongTotal),
+			fmt.Sprintf("%.1f", s.LongPct()),
+			fmt.Sprintf("%.1f", paperLong[s.Tool]),
+		})
+	}
+	return textplot.Table("Token coverage across all subjects (paper §5.3).", rows)
+}
+
+// ExecsReport renders executions and valid-input counts per campaign,
+// documenting the orders-of-magnitude gap between AFL and pFuzzer.
+func ExecsReport(results []SubjectResult) string {
+	rows := [][]string{{"Subject", "Tool", "Execs", "Valid inputs", "Coverage %"}}
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Subject, string(r.Tool),
+			strconv.Itoa(r.Execs), strconv.Itoa(len(r.Valids)),
+			fmt.Sprintf("%.1f", r.CoveragePct),
+		})
+	}
+	return textplot.Table("Campaign statistics.", rows)
+}
+
+// CSV renders the full result matrix as CSV rows (for results/).
+func CSV(results []SubjectResult) [][]string {
+	rows := [][]string{{"subject", "tool", "execs", "valids", "blocks", "covered", "coverage_pct",
+		"tokens_found", "tokens_total", "short_found", "short_total", "long_found", "long_total"}}
+	for _, r := range results {
+		sf, st, lf, lt := r.TokenCov.Split(3)
+		rows = append(rows, []string{
+			r.Subject, string(r.Tool),
+			strconv.Itoa(r.Execs), strconv.Itoa(len(r.Valids)),
+			strconv.Itoa(r.Blocks), strconv.Itoa(len(r.Coverage)),
+			fmt.Sprintf("%.2f", r.CoveragePct),
+			strconv.Itoa(r.TokenCov.FoundCount()), strconv.Itoa(r.TokenCov.Inventory.Count()),
+			strconv.Itoa(sf), strconv.Itoa(st), strconv.Itoa(lf), strconv.Itoa(lt),
+		})
+	}
+	return rows
+}
+
+func groupBySubject(results []SubjectResult, bar func(SubjectResult) textplot.Bar) []textplot.Group {
+	var groups []textplot.Group
+	for _, s := range subjectOrder(results) {
+		g := textplot.Group{Name: s}
+		for _, tool := range Tools {
+			for _, r := range results {
+				if r.Subject == s && r.Tool == tool {
+					g.Bars = append(g.Bars, bar(r))
+				}
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+func subjectOrder(results []SubjectResult) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range results {
+		if !seen[r.Subject] {
+			seen[r.Subject] = true
+			out = append(out, r.Subject)
+		}
+	}
+	return out
+}

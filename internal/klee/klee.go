@@ -1,0 +1,273 @@
+// Package klee implements the KLEE-style baseline the paper compares
+// against (§5): a whitebox test generator that treats every recorded
+// comparison of an input byte as a symbolic branch decision and
+// explores the decision tree breadth-first, one flipped decision per
+// child state (the generational search of whitebox fuzzers).
+//
+// String comparisons are handled at byte granularity, as a real
+// symbolic executor sees strcmp: matching an n-byte keyword needs n
+// consecutive correct flips, one generation each. This is what makes
+// the baseline solve shallow magic-byte constraints easily (the json
+// keywords) while drowning in path explosion on subjects whose lexers
+// branch dozens of ways per character (mjs) — exactly the behaviour
+// the paper reports (§5.2, §5.3).
+//
+// Like the paper's KLEE configuration, the explorer emits only inputs
+// that cover new code (§5.1).
+package klee
+
+import (
+	"time"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+// Config controls a campaign.
+type Config struct {
+	// MaxExecs bounds subject executions (0 = 100000).
+	MaxExecs int
+	// MaxStates bounds the frontier size; children beyond the bound
+	// are dropped, modelling KLEE's memory cap (0 = 200000).
+	MaxStates int
+	// MaxLen bounds input length (0 = 64; KLEE fixes the size of its
+	// symbolic stdin).
+	MaxLen int
+	// Deadline bounds wall-clock time (0 = none).
+	Deadline time.Duration
+	// OnValid, if non-nil, observes each emitted valid input.
+	OnValid func(input []byte, execs int)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxExecs == 0 {
+		out.MaxExecs = 100000
+	}
+	if out.MaxStates == 0 {
+		out.MaxStates = 200000
+	}
+	if out.MaxLen == 0 {
+		out.MaxLen = 64
+	}
+	return out
+}
+
+// Valid is one emitted valid input.
+type Valid struct {
+	Input []byte
+	Exec  int
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Valids    []Valid
+	Execs     int
+	States    int // states ever enqueued
+	Dropped   int // children dropped at the frontier bound
+	Coverage  map[uint32]bool
+	Elapsed   time.Duration
+	Exhausted bool // frontier ran dry before the budget did
+}
+
+// ValidInputs returns the raw emitted inputs.
+func (r *Result) ValidInputs() [][]byte {
+	out := make([][]byte, len(r.Valids))
+	for i := range r.Valids {
+		out[i] = r.Valids[i].Input
+	}
+	return out
+}
+
+// Explorer is one symbolic-execution-style campaign.
+type Explorer struct {
+	cfg  Config
+	prog subject.Program
+
+	frontier [][]byte
+	seen     map[string]struct{}
+	vBr      map[uint32]bool
+	res      Result
+	start    time.Time
+}
+
+// New prepares an explorer for prog.
+func New(prog subject.Program, cfg Config) *Explorer {
+	return &Explorer{
+		cfg:  cfg.withDefaults(),
+		prog: prog,
+		seen: make(map[string]struct{}),
+		vBr:  make(map[uint32]bool),
+	}
+}
+
+// Run executes the campaign.
+func (e *Explorer) Run() *Result {
+	e.start = time.Now()
+	e.res.Coverage = make(map[uint32]bool)
+
+	e.push([]byte{})
+	for len(e.frontier) > 0 && !e.done() {
+		// Breadth-first: oldest state first.
+		input := e.frontier[0]
+		e.frontier = e.frontier[1:]
+		e.expand(input)
+	}
+	e.res.Exhausted = len(e.frontier) == 0
+	e.res.Elapsed = time.Since(e.start)
+	return &e.res
+}
+
+func (e *Explorer) done() bool {
+	if e.res.Execs >= e.cfg.MaxExecs {
+		return true
+	}
+	if e.cfg.Deadline > 0 && time.Since(e.start) > e.cfg.Deadline {
+		return true
+	}
+	return false
+}
+
+func (e *Explorer) push(input []byte) {
+	if len(input) > e.cfg.MaxLen {
+		return
+	}
+	key := string(input)
+	if _, dup := e.seen[key]; dup {
+		return
+	}
+	e.seen[key] = struct{}{}
+	if len(e.frontier) >= e.cfg.MaxStates {
+		e.res.Dropped++
+		return
+	}
+	e.res.States++
+	e.frontier = append(e.frontier, input)
+}
+
+// expand executes one state's input and forks a child per flippable
+// decision observed on the path.
+func (e *Explorer) expand(input []byte) {
+	e.res.Execs++
+	rec := subject.Execute(e.prog, input, trace.Full())
+
+	if rec.Accepted() && e.hasNewBlocks(rec) {
+		for id := range rec.BlockFirst {
+			e.vBr[id] = true
+			e.res.Coverage[id] = true
+		}
+		v := Valid{Input: append([]byte{}, input...), Exec: e.res.Execs}
+		e.res.Valids = append(e.res.Valids, v)
+		if e.cfg.OnValid != nil {
+			e.cfg.OnValid(v.Input, v.Exec)
+		}
+	}
+
+	// An attempted read past the end extends the symbolic input.
+	if rec.EOFAtEnd() && len(input) < e.cfg.MaxLen {
+		e.push(append(append([]byte{}, input...), 0))
+	}
+
+	for i := range rec.Comparisons {
+		c := &rec.Comparisons[i]
+		for _, child := range e.flip(input, c) {
+			e.push(child)
+		}
+	}
+}
+
+func (e *Explorer) hasNewBlocks(rec *trace.Record) bool {
+	for id := range rec.BlockFirst {
+		if !e.vBr[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// flip solves the negation of one comparison, producing child inputs
+// that differ from the parent in a single byte (or extend it by one).
+func (e *Explorer) flip(input []byte, c *trace.Comparison) [][]byte {
+	setByte := func(pos int, b byte) []byte {
+		if pos < 0 {
+			return nil
+		}
+		out := append([]byte{}, input...)
+		for len(out) <= pos {
+			out = append(out, 0)
+		}
+		out[pos] = b
+		return out
+	}
+
+	switch c.Kind {
+	case trace.CmpCharEq:
+		if c.Matched {
+			// Negate equality: smallest printable byte that differs.
+			return [][]byte{setByte(c.Index, other(c.Expected[0]))}
+		}
+		return [][]byte{setByte(c.Index, c.Expected[0])}
+
+	case trace.CmpCharRange:
+		if len(c.Expected) != 2 {
+			return nil
+		}
+		lo, hi := c.Expected[0], c.Expected[1]
+		if c.Matched {
+			return [][]byte{setByte(c.Index, other(lo))}
+		}
+		return [][]byte{setByte(c.Index, lo), setByte(c.Index, hi)}
+
+	case trace.CmpCharSet:
+		if len(c.Expected) == 0 {
+			return nil
+		}
+		if c.Matched {
+			return [][]byte{setByte(c.Index, other(c.Expected[0]))}
+		}
+		// Fork one child per set member, as a symbolic strchr does.
+		out := make([][]byte, 0, len(c.Expected))
+		for _, b := range c.Expected {
+			out = append(out, setByte(c.Index, b))
+		}
+		return out
+
+	case trace.CmpStrEq:
+		// Byte-granular strcmp: advance or break the match at the
+		// first differing byte, one generation at a time.
+		lit := c.Expected
+		actual := c.Actual
+		if c.Matched {
+			if len(lit) == 0 {
+				return nil
+			}
+			return [][]byte{setByte(c.Index, other(lit[0]))}
+		}
+		k := 0
+		for k < len(actual) && k < len(lit) && actual[k] == lit[k] {
+			k++
+		}
+		switch {
+		case k < len(actual) && k < len(lit):
+			// Mismatch inside the overlap: fix that byte.
+			return [][]byte{setByte(c.Index+k, lit[k])}
+		case k == len(actual) && k < len(lit):
+			// Actual is a proper prefix: extend by the next byte.
+			return [][]byte{setByte(c.Index+k, lit[k])}
+		case k == len(lit) && k < len(actual):
+			// Actual is longer: the real strcmp fails on the byte
+			// after the literal; nothing solvable byte-wise here.
+			return nil
+		}
+	}
+	return nil
+}
+
+// other returns a printable byte different from b, the deterministic
+// counterexample a solver would produce.
+func other(b byte) byte {
+	if b == 'A' {
+		return 'B'
+	}
+	return 'A'
+}

@@ -1,0 +1,78 @@
+package klee
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/subjects/cjson"
+	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/subjects/mjs"
+	"pfuzzer/internal/trace"
+)
+
+func TestFindsValidExpressions(t *testing.T) {
+	res := New(expr.New(), Config{MaxExecs: 5000}).Run()
+	if len(res.Valids) == 0 {
+		t.Fatal("no valid inputs on expr in 5000 execs")
+	}
+	for _, v := range res.Valids {
+		rec := subject.Execute(expr.New(), v.Input, trace.Options{})
+		if !rec.Accepted() {
+			t.Errorf("emitted input %q is rejected", v.Input)
+		}
+	}
+}
+
+// TestSolvesJSONKeywords reproduces the paper's key KLEE observation:
+// path-level search solves the json keywords (it misses at most a
+// token or two), because the constraints are shallow.
+func TestSolvesJSONKeywords(t *testing.T) {
+	res := New(cjson.New(), Config{MaxExecs: 30000}).Run()
+	found := map[string]bool{}
+	for _, v := range res.Valids {
+		for tok := range cjson.Tokenize(v.Input) {
+			found[tok] = true
+		}
+	}
+	for _, kw := range []string{"true", "false", "null"} {
+		if !found[kw] {
+			t.Errorf("KLEE-style search did not solve keyword %q; found %v", kw, found)
+		}
+	}
+}
+
+// TestPathExplosionOnMJS reproduces the paper's other key KLEE
+// observation: on mjs the frontier explodes and almost nothing valid
+// is found (§5.2: "KLEE, suffering from the path explosion problem,
+// finds almost no valid inputs for mjs").
+func TestPathExplosionOnMJS(t *testing.T) {
+	res := New(mjs.New(), Config{MaxExecs: 10000, MaxStates: 50000}).Run()
+	if res.Dropped == 0 && !res.Exhausted && res.States < 40000 {
+		t.Errorf("expected frontier pressure on mjs; states=%d dropped=%d", res.States, res.Dropped)
+	}
+	// The defining result: far fewer valid inputs than on json at the
+	// same budget.
+	js := New(cjson.New(), Config{MaxExecs: 10000}).Run()
+	if len(res.Valids) > len(js.Valids) {
+		t.Errorf("mjs valids (%d) should not exceed cjson valids (%d)", len(res.Valids), len(js.Valids))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() (int, int) {
+		res := New(cjson.New(), Config{MaxExecs: 3000}).Run()
+		return len(res.Valids), res.States
+	}
+	v1, s1 := run()
+	v2, s2 := run()
+	if v1 != v2 || s1 != s2 {
+		t.Errorf("deterministic search diverged: (%d,%d) vs (%d,%d)", v1, s1, v2, s2)
+	}
+}
+
+func TestRespectsBudgets(t *testing.T) {
+	res := New(cjson.New(), Config{MaxExecs: 100, MaxStates: 50}).Run()
+	if res.Execs > 101 {
+		t.Errorf("Execs = %d, want <= 101", res.Execs)
+	}
+}

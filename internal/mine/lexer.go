@@ -1,0 +1,64 @@
+package mine
+
+// SimpleLexer builds a sequence-valued Lexer suitable for the
+// C-family subjects: punctuation characters are their own classes,
+// maximal letter runs are keywords (when listed) or "identifier",
+// digit runs are "number", and double-quoted strings are "string".
+// Whitespace separates tokens and is dropped.
+func SimpleLexer(keywords []string) Lexer {
+	kw := map[string]bool{}
+	for _, k := range keywords {
+		kw[k] = true
+	}
+	return func(input []byte) []Lexeme {
+		var out []Lexeme
+		i := 0
+		for i < len(input) {
+			b := input[i]
+			switch {
+			case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+				i++
+			case b >= '0' && b <= '9':
+				j := i
+				for j < len(input) && input[j] >= '0' && input[j] <= '9' {
+					j++
+				}
+				out = append(out, Lexeme{Class: "number", Spelling: string(input[i:j])})
+				i = j
+			case isLetter(b):
+				j := i
+				for j < len(input) && (isLetter(input[j]) || input[j] >= '0' && input[j] <= '9') {
+					j++
+				}
+				w := string(input[i:j])
+				class := "identifier"
+				if kw[w] {
+					class = w
+				}
+				out = append(out, Lexeme{Class: class, Spelling: w})
+				i = j
+			case b == '"':
+				j := i + 1
+				for j < len(input) && input[j] != '"' {
+					if input[j] == '\\' {
+						j++
+					}
+					j++
+				}
+				if j < len(input) {
+					j++
+				}
+				out = append(out, Lexeme{Class: "string", Spelling: string(input[i:j])})
+				i = j
+			default:
+				out = append(out, Lexeme{Class: string(b), Spelling: string(b)})
+				i++
+			}
+		}
+		return out
+	}
+}
+
+func isLetter(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b == '_' || b == '$'
+}

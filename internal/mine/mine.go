@@ -1,0 +1,177 @@
+// Package mine implements the tool-chain extension the paper proposes
+// as future work (§7.4): parser-directed fuzzing is efficient at
+// *shallow* exploration, so one should "rely on parser-directed
+// fuzzing for initial exploration, use a tool to mine the grammar
+// from the resulting sequences, and use the mined grammar for
+// generating longer and more complex sequences that contain recursive
+// structures".
+//
+// The miner learns a token-level regular approximation of the input
+// language from the fuzzer's valid inputs: tokens become terminal
+// classes, and the observed token bigrams (plus start and end sets)
+// form an automaton. The generator random-walks the automaton to
+// produce longer candidate inputs, which are validated against the
+// subject — exactly the "stumbling block" experiment the paper
+// sketches: without the valid and diverse seed inputs produced by
+// pFuzzer there is nothing to mine from.
+package mine
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Token is one mined terminal: a token class and one or more concrete
+// spellings observed for it.
+type Token struct {
+	Class     string
+	Spellings []string
+}
+
+// Grammar is a token-bigram approximation of an input language.
+type Grammar struct {
+	tokens map[string]*Token          // class -> spellings
+	start  map[string]bool            // classes observed first
+	end    map[string]bool            // classes observed last
+	follow map[string]map[string]bool // class -> classes observed after it
+	empty  bool                       // the empty input was valid
+}
+
+// Lexer splits an input into (class, spelling) pairs; subjects'
+// tokenizers are set-valued, so mining uses a sequence-valued lexer.
+type Lexer func(input []byte) []Lexeme
+
+// Lexeme is one token occurrence in an input.
+type Lexeme struct {
+	Class    string
+	Spelling string
+}
+
+// Mine learns a grammar from a corpus of valid inputs.
+func Mine(corpus [][]byte, lex Lexer) *Grammar {
+	g := &Grammar{
+		tokens: map[string]*Token{},
+		start:  map[string]bool{},
+		end:    map[string]bool{},
+		follow: map[string]map[string]bool{},
+	}
+	for _, input := range corpus {
+		seq := lex(input)
+		if len(seq) == 0 {
+			g.empty = true
+			continue
+		}
+		g.start[seq[0].Class] = true
+		g.end[seq[len(seq)-1].Class] = true
+		for i, lx := range seq {
+			tok := g.tokens[lx.Class]
+			if tok == nil {
+				tok = &Token{Class: lx.Class}
+				g.tokens[lx.Class] = tok
+			}
+			if !contains(tok.Spellings, lx.Spelling) {
+				tok.Spellings = append(tok.Spellings, lx.Spelling)
+			}
+			if i > 0 {
+				prev := seq[i-1].Class
+				if g.follow[prev] == nil {
+					g.follow[prev] = map[string]bool{}
+				}
+				g.follow[prev][lx.Class] = true
+			}
+		}
+	}
+	return g
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Classes returns the mined token classes, sorted.
+func (g *Grammar) Classes() []string {
+	out := make([]string, 0, len(g.tokens))
+	for c := range g.tokens {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Follows returns the classes observed after class, sorted.
+func (g *Grammar) Follows(class string) []string {
+	var out []string
+	for c := range g.follow[class] {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Starts returns the classes observed at input start, sorted.
+func (g *Grammar) Starts() []string {
+	var out []string
+	for c := range g.start {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generate random-walks the bigram automaton for up to maxTokens
+// tokens, preferring to stop at a class observed in end position. The
+// outputs are candidates: longer and more repetitive than anything in
+// the corpus, to be validated against the subject.
+func (g *Grammar) Generate(rng *rand.Rand, maxTokens int) []byte {
+	starts := g.Starts()
+	if len(starts) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	class := starts[rng.Intn(len(starts))]
+	for i := 0; i < maxTokens; i++ {
+		tok := g.tokens[class]
+		if tok == nil || len(tok.Spellings) == 0 {
+			break
+		}
+		sb.WriteString(tok.Spellings[rng.Intn(len(tok.Spellings))])
+		follows := g.Follows(class)
+		if len(follows) == 0 {
+			break
+		}
+		// Once past the minimum, stop early when an end class is
+		// reached, so outputs tend to be well-formed.
+		if g.end[class] && i >= maxTokens/2 {
+			break
+		}
+		class = follows[rng.Intn(len(follows))]
+	}
+	return []byte(sb.String())
+}
+
+// Stats summarizes a mined grammar.
+type Stats struct {
+	Classes   int
+	Spellings int
+	Bigrams   int
+	Starts    int
+	Ends      int
+}
+
+// Stats returns size statistics for the grammar.
+func (g *Grammar) Stats() Stats {
+	s := Stats{Classes: len(g.tokens), Starts: len(g.start), Ends: len(g.end)}
+	for _, t := range g.tokens {
+		s.Spellings += len(t.Spellings)
+	}
+	for _, f := range g.follow {
+		s.Bigrams += len(f)
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package mine
+
+import (
+	"math/rand"
+	"testing"
+
+	"pfuzzer/internal/core"
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/trace"
+)
+
+func corpus(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestMineLearnsBigrams(t *testing.T) {
+	lex := SimpleLexer(nil)
+	g := Mine(corpus("1+2", "(3)", "1-2"), lex)
+
+	classes := g.Classes()
+	want := map[string]bool{"number": true, "+": true, "-": true, "(": true, ")": true}
+	for _, c := range classes {
+		if !want[c] {
+			t.Errorf("unexpected class %q", c)
+		}
+		delete(want, c)
+	}
+	if len(want) > 0 {
+		t.Errorf("missing classes: %v", want)
+	}
+
+	follows := g.Follows("number")
+	if len(follows) == 0 {
+		t.Fatal("number has no followers")
+	}
+	if !containsStr(follows, "+") || !containsStr(follows, "-") || !containsStr(follows, ")") {
+		t.Errorf("number follows = %v", follows)
+	}
+	if !containsStr(g.Starts(), "number") || !containsStr(g.Starts(), "(") {
+		t.Errorf("starts = %v", g.Starts())
+	}
+}
+
+func containsStr(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSimpleLexerKeywords(t *testing.T) {
+	lex := SimpleLexer([]string{"while", "if"})
+	seq := lex([]byte(`while(a<1)"s";ifx`))
+	wantClasses := []string{"while", "(", "identifier", "<", "number", ")", "string", ";", "identifier"}
+	if len(seq) != len(wantClasses) {
+		t.Fatalf("lexemes = %v", seq)
+	}
+	for i, w := range wantClasses {
+		if seq[i].Class != w {
+			t.Errorf("lexeme %d = %q, want %q", i, seq[i].Class, w)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := Mine(corpus("1+2", "2+3"), SimpleLexer(nil))
+	s := g.Stats()
+	if s.Classes != 2 { // number, +
+		t.Errorf("Classes = %d, want 2", s.Classes)
+	}
+	if s.Spellings != 4 { // 1, 2, 3 and "+"
+		t.Errorf("Spellings = %d, want 4", s.Spellings)
+	}
+	if s.Bigrams != 2 { // number->+, +->number
+		t.Errorf("Bigrams = %d, want 2", s.Bigrams)
+	}
+}
+
+// TestPipelineOnExpr runs the full §7.4 tool chain: fuzz the expr
+// parser, mine a grammar from the valid inputs, generate longer
+// inputs, and measure the acceptance rate — the mined grammar must
+// produce mostly valid inputs that are longer than the corpus.
+func TestPipelineOnExpr(t *testing.T) {
+	res := core.New(expr.New(), core.Config{Seed: 1, MaxExecs: 10000}).Run()
+	if len(res.Valids) == 0 {
+		t.Fatal("fuzzing produced no corpus to mine")
+	}
+	g := Mine(res.ValidInputs(), SimpleLexer(nil))
+
+	rng := rand.New(rand.NewSource(9))
+	longest := 0
+	for _, v := range res.Valids {
+		if len(v.Input) > longest {
+			longest = len(v.Input)
+		}
+	}
+	accepted, total, longer := 0, 0, 0
+	for i := 0; i < 300; i++ {
+		gen := g.Generate(rng, 40)
+		if len(gen) == 0 {
+			continue
+		}
+		total++
+		if len(gen) > longest {
+			longer++
+		}
+		rec := subject.Execute(expr.New(), gen, trace.Options{})
+		if rec.Accepted() {
+			accepted++
+		}
+	}
+	if total == 0 {
+		t.Fatal("generator produced nothing")
+	}
+	// A token-bigram automaton is a regular approximation: it cannot
+	// balance parentheses, so a fraction of generations is invalid —
+	// the gap real grammar mining (AutoGram, §7.4) would close.
+	rate := float64(accepted) / float64(total)
+	if rate < 0.15 {
+		t.Errorf("mined-grammar acceptance rate %.2f too low (%d/%d)", rate, accepted, total)
+	}
+	if longer == 0 {
+		t.Error("generator never exceeded the corpus length")
+	}
+	t.Logf("acceptance %.0f%%, %d/%d longer than corpus max %d", rate*100, longer, total, longest)
+}

@@ -1,0 +1,124 @@
+// Package pqueue provides the priority queue at the heart of
+// pFuzzer's search (paper §3.1). Inputs are primarily sorted by a
+// heuristic score; ties fall back to insertion order so the search is
+// deterministic under a fixed seed. The queue supports the global
+// re-scoring pass the paper performs whenever a new valid input
+// arrives ("all remaining inputs in the queue have to be re-evaluated
+// in terms of coverage", §3.2) and a size bound that discards the
+// worst entries.
+package pqueue
+
+import "container/heap"
+
+// Queue is a max-priority queue of values of type T. The zero value is
+// ready to use.
+type Queue[T any] struct {
+	h   inner[T]
+	seq uint64
+}
+
+type entry[T any] struct {
+	score float64
+	seq   uint64
+	value T
+}
+
+type inner[T any] []entry[T]
+
+func (h inner[T]) Len() int { return len(h) }
+
+func (h inner[T]) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].seq < h[j].seq // FIFO among equals
+}
+
+func (h inner[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *inner[T]) Push(x any) { *h = append(*h, x.(entry[T])) }
+
+func (h *inner[T]) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Len returns the number of queued values.
+func (q *Queue[T]) Len() int { return len(q.h) }
+
+// Push inserts v with the given score.
+func (q *Queue[T]) Push(v T, score float64) {
+	q.seq++
+	heap.Push(&q.h, entry[T]{score: score, seq: q.seq, value: v})
+}
+
+// Pop removes and returns the highest-scored value. Among equal scores
+// the earliest-pushed value wins.
+func (q *Queue[T]) Pop() (T, float64, bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	e := heap.Pop(&q.h).(entry[T])
+	return e.value, e.score, true
+}
+
+// Peek returns the highest-scored value without removing it.
+func (q *Queue[T]) Peek() (T, float64, bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	// The heap property places the maximum at index 0.
+	return q.h[0].value, q.h[0].score, true
+}
+
+// PopRescored pops the value with the highest *current* score, where
+// rescore gives the up-to-date score of a queued value. It relies on
+// scores only decreasing over time (coverage and path penalties only
+// grow), the classic lazy-deletion max-heap: the stale top is popped,
+// re-scored, and re-inserted if something else now beats it.
+func (q *Queue[T]) PopRescored(rescore func(T) float64) (T, float64, bool) {
+	for i := 0; i < 64; i++ {
+		v, _, ok := q.Pop()
+		if !ok {
+			var zero T
+			return zero, 0, false
+		}
+		fresh := rescore(v)
+		_, nextScore, more := q.Peek()
+		if !more || fresh >= nextScore {
+			return v, fresh, true
+		}
+		q.Push(v, fresh)
+	}
+	// Pathological staleness: fall back to a full re-score.
+	q.Reorder(rescore)
+	return q.Pop()
+}
+
+// Reorder recomputes every score with rescore and restores the heap
+// property. Insertion order is preserved for tie-breaking.
+func (q *Queue[T]) Reorder(rescore func(T) float64) {
+	for i := range q.h {
+		q.h[i].score = rescore(q.h[i].value)
+	}
+	heap.Init(&q.h)
+}
+
+// Prune discards the lowest-scored entries until at most max remain.
+func (q *Queue[T]) Prune(max int) {
+	if max < 0 || len(q.h) <= max {
+		return
+	}
+	// Extract the best max entries; O(max log n).
+	kept := make(inner[T], 0, max)
+	for i := 0; i < max; i++ {
+		kept = append(kept, heap.Pop(&q.h).(entry[T]))
+	}
+	q.h = kept
+	heap.Init(&q.h)
+}

@@ -1,0 +1,81 @@
+// Package registry wires every subject to its token inventory and
+// tokenizer, so the evaluation harness, commands and benchmarks can
+// iterate over the paper's Table 1 uniformly.
+package registry
+
+import (
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/subjects/cjson"
+	"pfuzzer/internal/subjects/csvp"
+	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/subjects/ini"
+	"pfuzzer/internal/subjects/mjs"
+	"pfuzzer/internal/subjects/paren"
+	"pfuzzer/internal/subjects/tinyc"
+	"pfuzzer/internal/tokens"
+)
+
+// Entry describes one subject.
+type Entry struct {
+	// Name is the subject's short name, matching Program.Name.
+	Name string
+	// New constructs the subject.
+	New func() subject.Program
+	// Inventory is the subject's full token inventory.
+	Inventory tokens.Inventory
+	// Tokenize extracts inventory token names from an input.
+	Tokenize func([]byte) map[string]bool
+	// PaperLoC is the subject's size in Table 1 (0 for extra subjects).
+	PaperLoC int
+	// Accessed is the version date in Table 1.
+	Accessed string
+}
+
+// Paper returns the five evaluation subjects in Table 1 order.
+func Paper() []Entry {
+	return []Entry{
+		{Name: "ini", New: func() subject.Program { return ini.New() },
+			Inventory: ini.Inventory, Tokenize: ini.Tokenize, PaperLoC: 293, Accessed: "2018-10-25"},
+		{Name: "csv", New: func() subject.Program { return csvp.New() },
+			Inventory: csvp.Inventory, Tokenize: csvp.Tokenize, PaperLoC: 297, Accessed: "2018-10-25"},
+		{Name: "cjson", New: func() subject.Program { return cjson.New() },
+			Inventory: cjson.Inventory, Tokenize: cjson.Tokenize, PaperLoC: 2483, Accessed: "2018-10-25"},
+		{Name: "tinyc", New: func() subject.Program { return tinyc.New() },
+			Inventory: tinyc.Inventory, Tokenize: tinyc.Tokenize, PaperLoC: 191, Accessed: "2018-10-25"},
+		{Name: "mjs", New: func() subject.Program { return mjs.New() },
+			Inventory: mjs.Inventory, Tokenize: mjs.Tokenize, PaperLoC: 10920, Accessed: "2018-06-21"},
+	}
+}
+
+// Extra returns the additional subjects used by examples and tests:
+// the §2 expression parser and the §3 bracket language.
+func Extra() []Entry {
+	return []Entry{
+		{Name: "expr", New: func() subject.Program { return expr.New() },
+			Inventory: expr.Inventory, Tokenize: expr.Tokenize},
+		{Name: "paren", New: func() subject.Program { return paren.New() },
+			Inventory: paren.Inventory, Tokenize: paren.Tokenize},
+	}
+}
+
+// All returns every registered subject.
+func All() []Entry { return append(Paper(), Extra()...) }
+
+// Get returns the entry with the given name.
+func Get(name string) (Entry, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Names returns the names of all registered subjects.
+func Names() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.Name)
+	}
+	return out
+}

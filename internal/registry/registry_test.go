@@ -1,0 +1,65 @@
+package registry
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+func TestPaperMatchesTable1(t *testing.T) {
+	entries := Paper()
+	want := []struct {
+		name string
+		loc  int
+	}{
+		{"ini", 293}, {"csv", 297}, {"cjson", 2483}, {"tinyc", 191}, {"mjs", 10920},
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("Paper() has %d entries, want %d", len(entries), len(want))
+	}
+	for i, w := range want {
+		if entries[i].Name != w.name || entries[i].PaperLoC != w.loc {
+			t.Errorf("entry %d = %s/%d, want %s/%d",
+				i, entries[i].Name, entries[i].PaperLoC, w.name, w.loc)
+		}
+	}
+}
+
+func TestEntriesAreComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.Name] {
+			t.Errorf("duplicate subject %q", e.Name)
+		}
+		seen[e.Name] = true
+		prog := e.New()
+		if prog.Name() != e.Name {
+			t.Errorf("entry %q constructs program named %q", e.Name, prog.Name())
+		}
+		if prog.Blocks() <= 0 {
+			t.Errorf("%s: no instrumented blocks", e.Name)
+		}
+		if e.Inventory.Count() == 0 {
+			t.Errorf("%s: empty token inventory", e.Name)
+		}
+		if e.Tokenize == nil {
+			t.Errorf("%s: no tokenizer", e.Name)
+		}
+		// Every entry must be runnable through the common interface.
+		rec := subject.Execute(prog, []byte("x"), trace.Full())
+		_ = rec
+	}
+}
+
+func TestGet(t *testing.T) {
+	if _, ok := Get("cjson"); !ok {
+		t.Error("Get(cjson) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) succeeded")
+	}
+	if len(Names()) != len(All()) {
+		t.Error("Names() length mismatch")
+	}
+}

@@ -1,0 +1,42 @@
+package subject_test
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/trace"
+)
+
+func TestExecuteSealsRecord(t *testing.T) {
+	rec := subject.Execute(expr.New(), []byte("1+2"), trace.Full())
+	if !rec.Accepted() {
+		t.Fatal("1+2 rejected")
+	}
+	if string(rec.Input) != "1+2" {
+		t.Errorf("Input = %q", rec.Input)
+	}
+	if len(rec.BlockFirst) == 0 {
+		t.Error("no blocks recorded")
+	}
+	if len(rec.Comparisons) == 0 {
+		t.Error("no comparisons recorded")
+	}
+}
+
+func TestExecuteRespectsOptions(t *testing.T) {
+	rec := subject.Execute(expr.New(), []byte("1+2"), trace.Options{})
+	if len(rec.Comparisons) != 0 || len(rec.Blocks) != 0 {
+		t.Error("events recorded with everything disabled")
+	}
+	rec = subject.Execute(expr.New(), []byte("1+2"), trace.Options{Edges: true})
+	nonzero := 0
+	for _, b := range rec.Edges {
+		if b != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("edge map empty with Edges enabled")
+	}
+}

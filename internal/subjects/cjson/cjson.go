@@ -1,0 +1,575 @@
+// Package cjson reproduces the paper's cJSON subject (Table 1:
+// "cJSON 2018-10-25, 2,483 LoC"): an ANSI-C style JSON parser
+// accepting any JSON value at top level — objects, arrays, strings,
+// numbers, and the keywords true, false, and null (recognized through
+// wrapped strcmp, which is what lets pFuzzer synthesize them).
+//
+// Like the original, the \uXXXX escape path converts UTF-16 literals
+// through hex arithmetic with no direct data flow from the input
+// characters; those comparisons are intentionally performed on
+// untainted values, reproducing the implicit-flow taint loss the
+// paper reports costs pFuzzer the UTF-16 feature set (§5.2).
+package cjson
+
+import (
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/taint"
+	"pfuzzer/internal/tokens"
+	"pfuzzer/internal/trace"
+)
+
+const (
+	blkStart = iota
+	blkValue
+	blkTrue
+	blkFalse
+	blkNull
+	blkStringOpen
+	blkStringChar
+	blkStringEscape
+	blkEscQuote
+	blkEscBackslash
+	blkEscSlash
+	blkEscB
+	blkEscF
+	blkEscN
+	blkEscR
+	blkEscT
+	blkEscU
+	blkEscU16Low
+	blkEscU16Pair
+	blkEscU16Done
+	blkStringClose
+	blkNumberMinus
+	blkNumberZero
+	blkNumberDigits
+	blkNumberFrac
+	blkNumberFracDigit
+	blkNumberExp
+	blkNumberExpSign
+	blkNumberExpDigit
+	blkArrayOpen
+	blkArrayEmpty
+	blkArrayItem
+	blkArrayComma
+	blkArrayClose
+	blkObjectOpen
+	blkObjectEmpty
+	blkObjectKey
+	blkObjectColon
+	blkObjectValue
+	blkObjectComma
+	blkObjectClose
+	blkAccept
+	blkRejectValue
+	blkRejectString
+	blkRejectEscape
+	blkRejectHex
+	blkRejectNumber
+	blkRejectArray
+	blkRejectObject
+	blkRejectTrail
+	numBlocks
+)
+
+// Program is the cjson subject.
+type Program struct{}
+
+// New returns the cjson subject.
+func New() *Program { return &Program{} }
+
+// Name implements subject.Program.
+func (*Program) Name() string { return "cjson" }
+
+// Blocks implements subject.Program.
+func (*Program) Blocks() int { return numBlocks }
+
+// Run parses the input as one JSON value with optional surrounding
+// whitespace.
+func (*Program) Run(t *trace.Tracer) int {
+	p := &parser{t: t}
+	t.Block(blkStart)
+	p.skipWS()
+	if !p.value() {
+		return subject.ExitReject
+	}
+	p.skipWS()
+	if p.pos < t.Len() {
+		t.Block(blkRejectTrail)
+		return subject.ExitReject
+	}
+	t.At(p.pos) // EOF probe
+	t.Block(blkAccept)
+	return subject.ExitOK
+}
+
+type parser struct {
+	t   *trace.Tracer
+	pos int
+}
+
+// skipWS consumes JSON whitespace. cJSON does this with unsigned
+// comparisons against ' '; model it as an (untracked) table check so
+// whitespace does not flood the comparison log.
+func (p *parser) skipWS() {
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			return
+		}
+		if c.B != ' ' && c.B != '\t' && c.B != '\n' && c.B != '\r' {
+			return
+		}
+		p.pos++
+	}
+}
+
+// value parses any JSON value (cJSON's parse_value).
+func (p *parser) value() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+	p.t.Block(blkValue)
+
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		p.t.Block(blkRejectValue)
+		return false
+	}
+	switch {
+	case p.t.CharEq(c, 'n') || p.t.CharEq(c, 't') || p.t.CharEq(c, 'f'):
+		return p.keyword()
+	case p.t.CharEq(c, '"'):
+		return p.str()
+	case p.t.CharEq(c, '-') || p.t.CharRange(c, '0', '9'):
+		return p.number()
+	case p.t.CharEq(c, '['):
+		return p.array()
+	case p.t.CharEq(c, '{'):
+		return p.object()
+	}
+	p.t.Block(blkRejectValue)
+	return false
+}
+
+// keyword parses true, false or null via wrapped strcmp, the way
+// cJSON uses strncmp(value, "null", 4).
+func (p *parser) keyword() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	// Like strncmp, the comparison also runs on a short prefix at the
+	// end of the input: that partial comparison is what teaches the
+	// fuzzer the full keyword.
+	read := func(n int) taint.String {
+		s := make(taint.String, 0, n)
+		for i := 0; i < n; i++ {
+			c, ok := p.t.At(p.pos + i)
+			if !ok {
+				break
+			}
+			s = s.Append(c)
+		}
+		return s
+	}
+	w4 := read(4)
+	if p.t.StrEq(w4, "null") {
+		p.t.Block(blkNull)
+		p.pos += 4
+		return true
+	}
+	if p.t.StrEq(w4, "true") {
+		p.t.Block(blkTrue)
+		p.pos += 4
+		return true
+	}
+	if w5 := read(5); p.t.StrEq(w5, "false") {
+		p.t.Block(blkFalse)
+		p.pos += 5
+		return true
+	}
+	p.t.Block(blkRejectValue)
+	return false
+}
+
+// str parses a JSON string literal (cJSON's parse_string).
+func (p *parser) str() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	c, ok := p.t.At(p.pos)
+	if !ok || !p.t.CharEq(c, '"') {
+		p.t.Block(blkRejectString)
+		return false
+	}
+	p.t.Block(blkStringOpen)
+	p.pos++
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			p.t.Block(blkRejectString)
+			return false // unterminated string
+		}
+		if p.t.CharEq(c, '"') {
+			p.t.Block(blkStringClose)
+			p.pos++
+			return true
+		}
+		if p.t.CharEq(c, '\\') {
+			p.t.Block(blkStringEscape)
+			p.pos++
+			if !p.escape() {
+				return false
+			}
+			continue
+		}
+		if c.B < 0x20 {
+			p.t.Block(blkRejectString)
+			return false // raw control character
+		}
+		p.t.Block(blkStringChar)
+		p.pos++
+	}
+}
+
+// escape parses one escape sequence after the backslash.
+func (p *parser) escape() bool {
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		p.t.Block(blkRejectEscape)
+		return false
+	}
+	switch {
+	case p.t.CharEq(c, '"'):
+		p.t.Block(blkEscQuote)
+	case p.t.CharEq(c, '\\'):
+		p.t.Block(blkEscBackslash)
+	case p.t.CharEq(c, '/'):
+		p.t.Block(blkEscSlash)
+	case p.t.CharEq(c, 'b'):
+		p.t.Block(blkEscB)
+	case p.t.CharEq(c, 'f'):
+		p.t.Block(blkEscF)
+	case p.t.CharEq(c, 'n'):
+		p.t.Block(blkEscN)
+	case p.t.CharEq(c, 'r'):
+		p.t.Block(blkEscR)
+	case p.t.CharEq(c, 't'):
+		p.t.Block(blkEscT)
+	case p.t.CharEq(c, 'u'):
+		p.t.Block(blkEscU)
+		p.pos++
+		return p.utf16()
+	default:
+		p.t.Block(blkRejectEscape)
+		return false
+	}
+	p.pos++
+	return true
+}
+
+// utf16 parses \uXXXX (and a following low-surrogate pair if needed).
+// The hex digits are validated through parseHex4, which operates on
+// the raw bytes with no taint flow — reproducing cJSON's implicit
+// UTF-16 conversion that pFuzzer cannot see through (§5.2).
+func (p *parser) utf16() bool {
+	first, ok := p.parseHex4()
+	if !ok {
+		p.t.Block(blkRejectHex)
+		return false
+	}
+	if first >= 0xDC00 && first <= 0xDFFF {
+		p.t.Block(blkRejectHex)
+		return false // lone low surrogate
+	}
+	if first >= 0xD800 && first <= 0xDBFF {
+		p.t.Block(blkEscU16Pair)
+		// Expect \uXXXX low surrogate.
+		c1, ok1 := p.t.At(p.pos)
+		if !ok1 || c1.B != '\\' {
+			p.t.Block(blkRejectHex)
+			return false
+		}
+		p.pos++
+		c2, ok2 := p.t.At(p.pos)
+		if !ok2 || c2.B != 'u' {
+			p.t.Block(blkRejectHex)
+			return false
+		}
+		p.pos++
+		second, ok := p.parseHex4()
+		if !ok || second < 0xDC00 || second > 0xDFFF {
+			p.t.Block(blkRejectHex)
+			return false
+		}
+		p.t.Block(blkEscU16Low)
+	}
+	p.t.Block(blkEscU16Done)
+	return true
+}
+
+// parseHex4 consumes four hex digits using untainted comparisons
+// (implicit flow: the characters are turned into a number through
+// arithmetic, not copied).
+func (p *parser) parseHex4() (uint32, bool) {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			return 0, false
+		}
+		b := c.B // deliberate taint drop
+		switch {
+		case b >= '0' && b <= '9':
+			v = v<<4 | uint32(b-'0')
+		case b >= 'a' && b <= 'f':
+			v = v<<4 | uint32(b-'a'+10)
+		case b >= 'A' && b <= 'F':
+			v = v<<4 | uint32(b-'A'+10)
+		default:
+			return 0, false
+		}
+		p.pos++
+	}
+	return v, true
+}
+
+// number parses a JSON number (cJSON's parse_number).
+func (p *parser) number() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		p.t.Block(blkRejectNumber)
+		return false
+	}
+	if p.t.CharEq(c, '-') {
+		p.t.Block(blkNumberMinus)
+		p.pos++
+		c, ok = p.t.At(p.pos)
+		if !ok {
+			p.t.Block(blkRejectNumber)
+			return false
+		}
+	}
+	if !p.t.CharRange(c, '0', '9') {
+		p.t.Block(blkRejectNumber)
+		return false
+	}
+	if c.B == '0' {
+		p.t.Block(blkNumberZero)
+		p.pos++
+	} else {
+		p.t.Block(blkNumberDigits)
+		p.pos++
+		p.digits(blkNumberDigits)
+	}
+	if c, ok := p.t.At(p.pos); ok && p.t.CharEq(c, '.') {
+		p.t.Block(blkNumberFrac)
+		p.pos++
+		if !p.oneDigit() {
+			p.t.Block(blkRejectNumber)
+			return false
+		}
+		p.digits(blkNumberFracDigit)
+	}
+	if c, ok := p.t.At(p.pos); ok && (p.t.CharEq(c, 'e') || p.t.CharEq(c, 'E')) {
+		p.t.Block(blkNumberExp)
+		p.pos++
+		if c, ok := p.t.At(p.pos); ok && (p.t.CharEq(c, '+') || p.t.CharEq(c, '-')) {
+			p.t.Block(blkNumberExpSign)
+			p.pos++
+		}
+		if !p.oneDigit() {
+			p.t.Block(blkRejectNumber)
+			return false
+		}
+		p.digits(blkNumberExpDigit)
+	}
+	return true
+}
+
+func (p *parser) oneDigit() bool {
+	c, ok := p.t.At(p.pos)
+	if !ok || !p.t.CharRange(c, '0', '9') {
+		return false
+	}
+	p.pos++
+	return true
+}
+
+func (p *parser) digits(blk uint32) {
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok || !p.t.CharRange(c, '0', '9') {
+			return
+		}
+		p.t.Block(blk)
+		p.pos++
+	}
+}
+
+// array parses a JSON array (cJSON's parse_array).
+func (p *parser) array() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	c, ok := p.t.At(p.pos)
+	if !ok || !p.t.CharEq(c, '[') {
+		p.t.Block(blkRejectArray)
+		return false
+	}
+	p.t.Block(blkArrayOpen)
+	p.pos++
+	p.skipWS()
+	if c, ok := p.t.At(p.pos); ok && p.t.CharEq(c, ']') {
+		p.t.Block(blkArrayEmpty)
+		p.pos++
+		return true
+	}
+	for {
+		p.t.Block(blkArrayItem)
+		p.skipWS()
+		if !p.value() {
+			return false
+		}
+		p.skipWS()
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			p.t.Block(blkRejectArray)
+			return false
+		}
+		if p.t.CharEq(c, ',') {
+			p.t.Block(blkArrayComma)
+			p.pos++
+			continue
+		}
+		if p.t.CharEq(c, ']') {
+			p.t.Block(blkArrayClose)
+			p.pos++
+			return true
+		}
+		p.t.Block(blkRejectArray)
+		return false
+	}
+}
+
+// object parses a JSON object (cJSON's parse_object).
+func (p *parser) object() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	c, ok := p.t.At(p.pos)
+	if !ok || !p.t.CharEq(c, '{') {
+		p.t.Block(blkRejectObject)
+		return false
+	}
+	p.t.Block(blkObjectOpen)
+	p.pos++
+	p.skipWS()
+	if c, ok := p.t.At(p.pos); ok && p.t.CharEq(c, '}') {
+		p.t.Block(blkObjectEmpty)
+		p.pos++
+		return true
+	}
+	for {
+		p.skipWS()
+		p.t.Block(blkObjectKey)
+		if !p.str() {
+			return false
+		}
+		p.skipWS()
+		c, ok := p.t.At(p.pos)
+		if !ok || !p.t.CharEq(c, ':') {
+			p.t.Block(blkRejectObject)
+			return false
+		}
+		p.t.Block(blkObjectColon)
+		p.pos++
+		p.skipWS()
+		p.t.Block(blkObjectValue)
+		if !p.value() {
+			return false
+		}
+		p.skipWS()
+		c, ok = p.t.At(p.pos)
+		if !ok {
+			p.t.Block(blkRejectObject)
+			return false
+		}
+		if p.t.CharEq(c, ',') {
+			p.t.Block(blkObjectComma)
+			p.pos++
+			continue
+		}
+		if p.t.CharEq(c, '}') {
+			p.t.Block(blkObjectClose)
+			p.pos++
+			return true
+		}
+		p.t.Block(blkRejectObject)
+		return false
+	}
+}
+
+// Inventory is the json token inventory of Table 2: eight length-1
+// tokens, string (length 2), null and true (length 4), false
+// (length 5).
+var Inventory = tokens.Inventory{
+	tokens.Lit("{"), tokens.Lit("}"),
+	tokens.Lit("["), tokens.Lit("]"),
+	tokens.Lit("-"), tokens.Lit(":"), tokens.Lit(","),
+	tokens.Class("number", 1),
+	tokens.Class("string", 2),
+	tokens.Lit("null"), tokens.Lit("true"),
+	tokens.Lit("false"),
+}
+
+// Tokenize lexes input and returns the inventory tokens present.
+func Tokenize(input []byte) map[string]bool {
+	out := map[string]bool{}
+	i := 0
+	for i < len(input) {
+		b := input[i]
+		switch {
+		case b == '{' || b == '}' || b == '[' || b == ']' || b == ':' || b == ',':
+			out[string(b)] = true
+			i++
+		case b == '-':
+			out["-"] = true
+			i++
+		case b >= '0' && b <= '9':
+			out["number"] = true
+			i++
+		case b == '"':
+			out["string"] = true
+			i++
+			for i < len(input) && input[i] != '"' {
+				if input[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			i++
+		case hasPrefix(input[i:], "null"):
+			out["null"] = true
+			i += 4
+		case hasPrefix(input[i:], "true"):
+			out["true"] = true
+			i += 4
+		case hasPrefix(input[i:], "false"):
+			out["false"] = true
+			i += 5
+		default:
+			i++
+		}
+	}
+	return out
+}
+
+func hasPrefix(b []byte, s string) bool {
+	if len(b) < len(s) {
+		return false
+	}
+	return string(b[:len(s)]) == s
+}

@@ -1,0 +1,167 @@
+// Package csvp reproduces the paper's csv_parser subject (Table 1:
+// "csvparser 2018-10-25, 297 LoC"): comma-separated rows with
+// optionally double-quoted fields ("" escapes a quote inside a quoted
+// field). A quoted field must be followed by a comma, a newline, or
+// the end of input; an unterminated quote is a parse error.
+package csvp
+
+import (
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/tokens"
+	"pfuzzer/internal/trace"
+)
+
+const (
+	blkStart = iota
+	blkRow
+	blkField
+	blkQuotedOpen
+	blkQuotedChar
+	blkQuotedEscape
+	blkQuotedClose
+	blkRawChar
+	blkComma
+	blkNewline
+	blkAccept
+	blkRejectQuote
+	blkRejectAfterQuote
+	numBlocks
+)
+
+// Program is the csv subject.
+type Program struct{}
+
+// New returns the csv subject.
+func New() *Program { return &Program{} }
+
+// Name implements subject.Program.
+func (*Program) Name() string { return "csv" }
+
+// Blocks implements subject.Program.
+func (*Program) Blocks() int { return numBlocks }
+
+// Run parses the whole input as CSV.
+func (*Program) Run(t *trace.Tracer) int {
+	p := &parser{t: t}
+	t.Block(blkStart)
+	for {
+		t.Block(blkRow)
+		if !p.row() {
+			return subject.ExitReject
+		}
+		if p.pos >= t.Len() {
+			break
+		}
+	}
+	// Probe for further input so extension is learnable.
+	t.At(p.pos)
+	t.Block(blkAccept)
+	return subject.ExitOK
+}
+
+type parser struct {
+	t   *trace.Tracer
+	pos int
+}
+
+// row parses fields separated by commas up to a newline or EOF.
+func (p *parser) row() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+	for {
+		p.t.Block(blkField)
+		if !p.field() {
+			return false
+		}
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			return true
+		}
+		if p.t.CharEq(c, ',') {
+			p.t.Block(blkComma)
+			p.pos++
+			continue
+		}
+		if p.t.CharEq(c, '\n') {
+			p.t.Block(blkNewline)
+			p.pos++
+			return true
+		}
+		// field() consumed everything that can extend a raw field,
+		// so this is unreachable for raw fields and a parse error
+		// after a closing quote.
+		p.t.Block(blkRejectAfterQuote)
+		return false
+	}
+}
+
+// field parses one (possibly empty, possibly quoted) field.
+func (p *parser) field() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		return true // empty trailing field
+	}
+	if p.t.CharEq(c, '"') {
+		p.t.Block(blkQuotedOpen)
+		p.pos++
+		for {
+			c, ok := p.t.At(p.pos)
+			if !ok {
+				p.t.Block(blkRejectQuote)
+				return false // unterminated quote
+			}
+			if p.t.CharEq(c, '"') {
+				p.pos++
+				// A doubled quote is an escaped quote.
+				if n, ok := p.t.At(p.pos); ok && p.t.CharEq(n, '"') {
+					p.t.Block(blkQuotedEscape)
+					p.pos++
+					continue
+				}
+				p.t.Block(blkQuotedClose)
+				return true
+			}
+			p.t.Block(blkQuotedChar)
+			p.pos++
+		}
+	}
+	// Raw field: anything except separator, newline, quote.
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			return true
+		}
+		if p.t.CharEq(c, ',') || p.t.CharEq(c, '\n') {
+			return true
+		}
+		if p.t.CharEq(c, '"') {
+			p.t.Block(blkRejectQuote)
+			return false // stray quote inside a raw field
+		}
+		p.t.Block(blkRawChar)
+		p.pos++
+	}
+}
+
+// Inventory lists the two csv tokens counted in Figure 3.
+var Inventory = tokens.Inventory{
+	tokens.Lit(","),
+	tokens.Class("field", 1),
+}
+
+// Tokenize returns the inventory tokens present in input.
+func Tokenize(input []byte) map[string]bool {
+	out := map[string]bool{}
+	for _, b := range input {
+		switch {
+		case b == ',':
+			out[","] = true
+		case b != '\n' && b != '\r':
+			out["field"] = true
+		}
+	}
+	return out
+}

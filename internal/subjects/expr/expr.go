@@ -1,0 +1,188 @@
+// Package expr is the arithmetic-expression parser used as the
+// paper's running example (§2, Figure 1). It accepts inputs such as
+// "1", "11", "+1", "-1", "1+1", "1-1", "(1)" and "(2-94)": optionally
+// signed expressions over multi-digit numbers, '+', '-', and
+// parenthesized subexpressions.
+package expr
+
+import (
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/tokens"
+	"pfuzzer/internal/trace"
+)
+
+// Block IDs. Every branch arm of the parser reports one of these, so
+// Blocks() is the coverage denominator.
+const (
+	blkStart = iota
+	blkSignPlus
+	blkSignMinus
+	blkOperand
+	blkNumber
+	blkNumberMore
+	blkParenOpen
+	blkParenExpr
+	blkParenClose
+	blkOpPlus
+	blkOpMinus
+	blkExprLoop
+	blkAccept
+	blkRejectEOF
+	blkRejectChar
+	blkRejectTrail
+	numBlocks
+)
+
+// Program is the expr subject.
+type Program struct{}
+
+// New returns the expr subject.
+func New() *Program { return &Program{} }
+
+// Name implements subject.Program.
+func (*Program) Name() string { return "expr" }
+
+// Blocks implements subject.Program.
+func (*Program) Blocks() int { return numBlocks }
+
+// Run parses the tracer's input as an arithmetic expression.
+func (*Program) Run(t *trace.Tracer) int {
+	p := &parser{t: t}
+	p.t.Block(blkStart)
+	if !p.expression() {
+		return subject.ExitReject
+	}
+	if p.pos != t.Len() {
+		// Trailing input after a complete expression.
+		if _, ok := t.At(p.pos); ok {
+			p.t.Block(blkRejectTrail)
+			return subject.ExitReject
+		}
+	}
+	p.t.Block(blkAccept)
+	return subject.ExitOK
+}
+
+type parser struct {
+	t   *trace.Tracer
+	pos int
+}
+
+// expression := sign? operand (('+'|'-') operand)*
+func (p *parser) expression() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		p.t.Block(blkRejectEOF)
+		return false
+	}
+	if p.t.CharEq(c, '+') {
+		p.t.Block(blkSignPlus)
+		p.pos++
+	} else if p.t.CharEq(c, '-') {
+		p.t.Block(blkSignMinus)
+		p.pos++
+	}
+	if !p.operand() {
+		return false
+	}
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			break // a complete expression may end here
+		}
+		if p.t.CharEq(c, '+') {
+			p.t.Block(blkOpPlus)
+			p.pos++
+		} else if p.t.CharEq(c, '-') {
+			p.t.Block(blkOpMinus)
+			p.pos++
+		} else {
+			break
+		}
+		p.t.Block(blkExprLoop)
+		if !p.operand() {
+			return false
+		}
+	}
+	return true
+}
+
+// operand := number | '(' expression ')'
+func (p *parser) operand() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+	p.t.Block(blkOperand)
+
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		p.t.Block(blkRejectEOF)
+		return false
+	}
+	if p.t.CharRange(c, '0', '9') {
+		p.t.Block(blkNumber)
+		p.pos++
+		for {
+			c, ok := p.t.At(p.pos)
+			if !ok || !p.t.CharRange(c, '0', '9') {
+				break
+			}
+			p.t.Block(blkNumberMore)
+			p.pos++
+		}
+		return true
+	}
+	if p.t.CharEq(c, '(') {
+		p.t.Block(blkParenOpen)
+		p.pos++
+		p.t.Block(blkParenExpr)
+		if !p.expression() {
+			return false
+		}
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			p.t.Block(blkRejectEOF)
+			return false
+		}
+		if !p.t.CharEq(c, ')') {
+			p.t.Block(blkRejectChar)
+			return false
+		}
+		p.t.Block(blkParenClose)
+		p.pos++
+		return true
+	}
+	p.t.Block(blkRejectChar)
+	return false
+}
+
+// Inventory is the expr token inventory: brackets, operators, number.
+var Inventory = tokens.Inventory{
+	tokens.Lit("("),
+	tokens.Lit(")"),
+	tokens.Lit("+"),
+	tokens.Lit("-"),
+	tokens.Class("number", 1),
+}
+
+// Tokenize returns the set of inventory token names present in input.
+func Tokenize(input []byte) map[string]bool {
+	out := map[string]bool{}
+	for _, b := range input {
+		switch {
+		case b == '(':
+			out["("] = true
+		case b == ')':
+			out[")"] = true
+		case b == '+':
+			out["+"] = true
+		case b == '-':
+			out["-"] = true
+		case b >= '0' && b <= '9':
+			out["number"] = true
+		}
+	}
+	return out
+}

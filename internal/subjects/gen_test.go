@@ -1,0 +1,330 @@
+package subjects_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/subjects/cjson"
+	"pfuzzer/internal/subjects/csvp"
+	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/subjects/mjs"
+	"pfuzzer/internal/subjects/paren"
+	"pfuzzer/internal/subjects/tinyc"
+	"pfuzzer/internal/trace"
+)
+
+// Property tests: each subject must accept every output of a small
+// random generator for its language, and the tokenizer must recognize
+// the tokens the generator planted. These pin the parsers against the
+// grammars the paper's evaluation depends on.
+
+func genJSON(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return fmt.Sprintf("%d", rng.Intn(1000))
+		case 1:
+			return fmt.Sprintf("-%d.%d", rng.Intn(100), 1+rng.Intn(99))
+		case 2:
+			return `"s` + strings.Repeat("x", rng.Intn(5)) + `"`
+		case 3:
+			return []string{"true", "false", "null"}[rng.Intn(3)]
+		default:
+			return fmt.Sprintf("%dE%d", rng.Intn(10), rng.Intn(10))
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		n := rng.Intn(4)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = genJSON(rng, depth-1)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case 1:
+		n := rng.Intn(3)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = fmt.Sprintf(`"k%d":%s`, i, genJSON(rng, depth-1))
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	default:
+		return genJSON(rng, 0)
+	}
+}
+
+func TestCjsonAcceptsGeneratedJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := cjson.New()
+	for i := 0; i < 500; i++ {
+		in := genJSON(rng, 3)
+		rec := subject.Execute(p, []byte(in), trace.Full())
+		if !rec.Accepted() {
+			t.Fatalf("generated JSON rejected: %q", in)
+		}
+	}
+}
+
+func genBrackets(rng *rand.Rand, depth int) string {
+	pairs := [][2]string{{"(", ")"}, {"[", "]"}, {"{", "}"}, {"<", ">"}}
+	p := pairs[rng.Intn(4)]
+	if depth <= 0 {
+		return p[0] + p[1]
+	}
+	inner := ""
+	for n := rng.Intn(3); n >= 0; n-- {
+		inner += genBrackets(rng, depth-1)
+	}
+	return p[0] + inner + p[1]
+}
+
+func TestParenAcceptsGeneratedBrackets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := paren.New()
+	for i := 0; i < 500; i++ {
+		in := genBrackets(rng, 1+rng.Intn(4))
+		rec := subject.Execute(p, []byte(in), trace.Full())
+		if !rec.Accepted() {
+			t.Fatalf("generated brackets rejected: %q", in)
+		}
+	}
+}
+
+func genCSV(rng *rand.Rand) string {
+	var rows []string
+	for r := 0; r <= rng.Intn(4); r++ {
+		var fields []string
+		for f := 0; f <= rng.Intn(4); f++ {
+			switch rng.Intn(3) {
+			case 0:
+				fields = append(fields, "plain")
+			case 1:
+				fields = append(fields, `"quo,ted"`)
+			default:
+				fields = append(fields, `"do""ble"`)
+			}
+		}
+		rows = append(rows, strings.Join(fields, ","))
+	}
+	return strings.Join(rows, "\n")
+}
+
+func TestCsvAcceptsGeneratedCSV(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := csvp.New()
+	for i := 0; i < 500; i++ {
+		in := genCSV(rng)
+		rec := subject.Execute(p, []byte(in), trace.Full())
+		if !rec.Accepted() {
+			t.Fatalf("generated CSV rejected: %q", in)
+		}
+	}
+}
+
+func genTinyCExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		if rng.Intn(2) == 0 {
+			return string(rune('a' + rng.Intn(26)))
+		}
+		return fmt.Sprintf("%d", rng.Intn(100))
+	}
+	a := genTinyCExpr(rng, depth-1)
+	b := genTinyCExpr(rng, depth-1)
+	switch rng.Intn(4) {
+	case 0:
+		return a + "+" + b
+	case 1:
+		return a + "-" + b
+	case 2:
+		return "(" + a + ")"
+	default:
+		return a + "<" + b
+	}
+}
+
+func genTinyCStmt(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return ";"
+		case 1:
+			return fmt.Sprintf("%c=%s;", 'a'+rune(rng.Intn(26)), genTinyCExpr(rng, 1))
+		default:
+			return genTinyCExpr(rng, 1) + ";"
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("if(%s)%s", genTinyCExpr(rng, 1), genTinyCStmt(rng, depth-1))
+	case 1:
+		return fmt.Sprintf("if(%s)%selse %s", genTinyCExpr(rng, 1),
+			genTinyCStmt(rng, depth-1), genTinyCStmt(rng, depth-1))
+	case 2:
+		// Condition 0 guarantees termination without the step budget.
+		return fmt.Sprintf("while(0)%s", genTinyCStmt(rng, depth-1))
+	case 3:
+		return fmt.Sprintf("do %s while(0);", genTinyCStmt(rng, depth-1))
+	default:
+		var sb strings.Builder
+		sb.WriteString("{")
+		for n := rng.Intn(3); n >= 0; n-- {
+			sb.WriteString(genTinyCStmt(rng, depth-1))
+		}
+		sb.WriteString("}")
+		return sb.String()
+	}
+}
+
+func TestTinycAcceptsGeneratedPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := tinyc.New()
+	for i := 0; i < 500; i++ {
+		in := genTinyCStmt(rng, 1+rng.Intn(3))
+		rec := subject.Execute(p, []byte(in), trace.Full())
+		if !rec.Accepted() {
+			t.Fatalf("generated Tiny-C rejected: %q", in)
+		}
+	}
+}
+
+func genMJSExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return fmt.Sprintf("%d", rng.Intn(100))
+		case 1:
+			return "x" + string(rune('a'+rng.Intn(26)))
+		case 2:
+			return `"s"`
+		case 3:
+			return "true"
+		case 4:
+			return "null"
+		default:
+			return "1.5"
+		}
+	}
+	a := genMJSExpr(rng, depth-1)
+	b := genMJSExpr(rng, depth-1)
+	ops := []string{"+", "-", "*", "/", "%", "==", "!=", "===", "<", ">",
+		"<=", ">=", "&", "|", "^", "<<", ">>", "&&", "||"}
+	switch rng.Intn(5) {
+	case 0:
+		return "(" + a + ")"
+	case 1:
+		return "!" + a
+	case 2:
+		return a + "?" + b + ":" + a
+	default:
+		return a + ops[rng.Intn(len(ops))] + b
+	}
+}
+
+func genMJSStmt(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return ";"
+		case 1:
+			return fmt.Sprintf("v%d = %s;", rng.Intn(10), genMJSExpr(rng, 1))
+		case 2:
+			return fmt.Sprintf("var d%d = %s;", rng.Intn(10), genMJSExpr(rng, 1))
+		default:
+			return genMJSExpr(rng, 1) + ";"
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("if (%s) %s", genMJSExpr(rng, 1), genMJSStmt(rng, depth-1))
+	case 1:
+		return fmt.Sprintf("if (%s) %s else %s", genMJSExpr(rng, 1),
+			genMJSStmt(rng, depth-1), genMJSStmt(rng, depth-1))
+	case 2:
+		return fmt.Sprintf("while (false) %s", genMJSStmt(rng, depth-1))
+	case 3:
+		return fmt.Sprintf("for (i%d = 0; i%d < 2; i%d++) %s",
+			depth, depth, depth, genMJSStmt(rng, depth-1))
+	case 4:
+		return fmt.Sprintf("try { %s } catch (e) { %s }",
+			genMJSStmt(rng, depth-1), genMJSStmt(rng, depth-1))
+	case 5:
+		return fmt.Sprintf("{ function f%d() { %s } f%d(); }",
+			depth, genMJSStmt(rng, depth-1), depth)
+	default:
+		return "{ " + genMJSStmt(rng, depth-1) + " }"
+	}
+}
+
+func TestMjsAcceptsGeneratedPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := mjs.New()
+	for i := 0; i < 500; i++ {
+		in := genMJSStmt(rng, 1+rng.Intn(3))
+		rec := subject.Execute(p, []byte(in), trace.Full())
+		if !rec.Accepted() {
+			t.Fatalf("generated mjs rejected: %q", in)
+		}
+	}
+}
+
+func genExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		return fmt.Sprintf("%d", rng.Intn(100))
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return "(" + genExpr(rng, depth-1) + ")"
+	case 1:
+		return genExpr(rng, depth-1) + "+" + genExpr(rng, depth-1)
+	case 2:
+		return genExpr(rng, depth-1) + "-" + genExpr(rng, depth-1)
+	default:
+		return genExpr(rng, 0)
+	}
+}
+
+func TestExprAcceptsGeneratedExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := expr.New()
+	for i := 0; i < 500; i++ {
+		in := genExpr(rng, 1+rng.Intn(4))
+		rec := subject.Execute(p, []byte(in), trace.Full())
+		if !rec.Accepted() {
+			t.Fatalf("generated expression rejected: %q", in)
+		}
+	}
+}
+
+// TestTokenizersSeeGeneratedTokens: tokenizing generator output never
+// reports tokens outside the inventory and always reports at least
+// one token for non-empty inputs.
+func TestTokenizersSeeGeneratedTokens(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	checks := []struct {
+		name     string
+		gen      func() string
+		tokenize func([]byte) map[string]bool
+		names    map[string]bool
+	}{
+		{"cjson", func() string { return genJSON(rng, 3) }, cjson.Tokenize, cjson.Inventory.Names()},
+		{"tinyc", func() string { return genTinyCStmt(rng, 2) }, tinyc.Tokenize, tinyc.Inventory.Names()},
+		{"mjs", func() string { return genMJSStmt(rng, 2) }, mjs.Tokenize, mjs.Inventory.Names()},
+	}
+	for _, c := range checks {
+		for i := 0; i < 200; i++ {
+			in := c.gen()
+			got := c.tokenize([]byte(in))
+			if len(in) > 0 && len(got) == 0 {
+				t.Fatalf("%s: no tokens in %q", c.name, in)
+			}
+			for tok := range got {
+				if !c.names[tok] {
+					t.Fatalf("%s: tokenizer reported %q, not in inventory (input %q)", c.name, tok, in)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package ini reproduces the paper's first subject, the inih .INI
+// parser (Table 1: "inih 2018-10-25, 293 LoC"). It accepts sequences
+// of lines: blank lines, ';' comments, '[section]' headers, and
+// 'name = value' pairs. Parsing aborts with a non-zero exit on the
+// first malformed line, the setup the paper requires of all subjects
+// (§5.1).
+package ini
+
+import (
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/taint"
+	"pfuzzer/internal/tokens"
+	"pfuzzer/internal/trace"
+)
+
+const (
+	blkStart = iota
+	blkLine
+	blkBlank
+	blkComment
+	blkCommentChar
+	blkSectionOpen
+	blkSectionName
+	blkSectionClose
+	blkSectionEnd
+	blkKeyStart
+	blkKeyChar
+	blkEquals
+	blkValueChar
+	blkPairEnd
+	blkAccept
+	blkRejectSection
+	blkRejectKey
+	blkRejectNoEq
+	blkEOL
+	numBlocks
+)
+
+// Program is the ini subject.
+type Program struct{}
+
+// New returns the ini subject.
+func New() *Program { return &Program{} }
+
+// Name implements subject.Program.
+func (*Program) Name() string { return "ini" }
+
+// Blocks implements subject.Program.
+func (*Program) Blocks() int { return numBlocks }
+
+// Run parses the whole input as an INI file.
+func (*Program) Run(t *trace.Tracer) int {
+	p := &parser{t: t}
+	t.Block(blkStart)
+	for p.pos < t.Len() {
+		t.Block(blkLine)
+		if !p.line() {
+			return subject.ExitReject
+		}
+	}
+	// Probe for more input so the fuzzer knows it may extend the file.
+	t.At(p.pos)
+	t.Block(blkAccept)
+	return subject.ExitOK
+}
+
+type parser struct {
+	t   *trace.Tracer
+	pos int
+}
+
+// line parses one line of any kind, consuming the trailing newline if
+// present.
+func (p *parser) line() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	p.skipSpaces()
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		return true // trailing blank line at EOF
+	}
+	switch {
+	case p.t.CharEq(c, '\n'):
+		p.t.Block(blkBlank)
+		p.pos++
+		return true
+	case p.t.CharEq(c, ';'):
+		p.t.Block(blkComment)
+		p.pos++
+		p.skipToEOL(blkCommentChar)
+		return true
+	case p.t.CharEq(c, '['):
+		p.t.Block(blkSectionOpen)
+		p.pos++
+		return p.section()
+	default:
+		p.t.Block(blkKeyStart)
+		return p.pair(c)
+	}
+}
+
+// section parses the remainder of a '[section]' header.
+func (p *parser) section() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok || p.t.CharEq(c, '\n') {
+			p.t.Block(blkRejectSection)
+			return false // unterminated section header
+		}
+		if p.t.CharEq(c, ']') {
+			p.t.Block(blkSectionClose)
+			p.pos++
+			break
+		}
+		p.t.Block(blkSectionName)
+		p.pos++
+	}
+	p.skipSpaces()
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		p.t.Block(blkSectionEnd)
+		return true
+	}
+	if !p.t.CharEq(c, '\n') {
+		p.t.Block(blkRejectSection)
+		return false // garbage after ']'
+	}
+	p.t.Block(blkSectionEnd)
+	p.pos++
+	return true
+}
+
+// pair parses 'name = value' up to end of line. first is the already
+// inspected first character of the name.
+func (p *parser) pair(first taint.Char) bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	if p.t.CharEq(first, '=') {
+		p.t.Block(blkRejectKey)
+		return false // empty key
+	}
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok || p.t.CharEq(c, '\n') {
+			p.t.Block(blkRejectNoEq)
+			return false // line without '='
+		}
+		if p.t.CharEq(c, '=') {
+			p.t.Block(blkEquals)
+			p.pos++
+			break
+		}
+		p.t.Block(blkKeyChar)
+		p.pos++
+	}
+	p.skipToEOL(blkValueChar)
+	return true
+}
+
+// skipSpaces consumes spaces and tabs without recording comparisons
+// (inih uses isspace(), a table lookup — an implicit flow).
+func (p *parser) skipSpaces() {
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok || (c.B != ' ' && c.B != '\t') {
+			return
+		}
+		p.pos++
+	}
+}
+
+// skipToEOL consumes the rest of the line including the newline.
+func (p *parser) skipToEOL(blk uint32) {
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			return
+		}
+		if p.t.CharEq(c, '\n') {
+			p.t.Block(blkEOL)
+			p.pos++
+			return
+		}
+		p.t.Block(blk)
+		p.pos++
+	}
+}
+
+// Inventory lists the five ini tokens counted in Figure 3.
+var Inventory = tokens.Inventory{
+	tokens.Lit("["),
+	tokens.Lit("]"),
+	tokens.Lit("="),
+	tokens.Lit(";"),
+	tokens.Class("text", 1),
+}
+
+// Tokenize returns the inventory tokens present in input.
+func Tokenize(input []byte) map[string]bool {
+	out := map[string]bool{}
+	for _, b := range input {
+		switch {
+		case b == '[':
+			out["["] = true
+		case b == ']':
+			out["]"] = true
+		case b == '=':
+			out["="] = true
+		case b == ';':
+			out[";"] = true
+		case b != ' ' && b != '\t' && b != '\n' && b != '\r':
+			out["text"] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package mjs
+
+import "pfuzzer/internal/taint"
+
+// Statements. The empty interface style keeps node construction cheap;
+// the interpreter dispatches with a type switch.
+type stmt interface{ isStmt() }
+
+type (
+	blockStmt struct{ list []stmt }
+
+	varStmt struct {
+		kind  tokKind // tokVar, tokLet or tokConst
+		decls []varDecl
+	}
+
+	emptyStmt struct{}
+
+	ifStmt struct {
+		cond expr
+		then stmt
+		els  stmt // nil when absent
+	}
+
+	whileStmt struct {
+		cond expr
+		body stmt
+	}
+
+	doStmt struct {
+		body stmt
+		cond expr
+	}
+
+	forStmt struct {
+		init stmt // varStmt, exprStmt or nil
+		cond expr // nil means true
+		step expr // nil means none
+		body stmt
+	}
+
+	forInStmt struct {
+		decl bool // head had var/let/const
+		name taint.String
+		obj  expr
+		body stmt
+	}
+
+	switchStmt struct {
+		tag   expr
+		cases []caseClause
+	}
+
+	tryStmt struct {
+		block     stmt
+		catchName taint.String // empty when no catch
+		catch     stmt         // nil when no catch
+		finally   stmt         // nil when no finally
+	}
+
+	withStmt struct {
+		obj  expr
+		body stmt
+	}
+
+	breakStmt    struct{}
+	continueStmt struct{}
+
+	returnStmt struct{ val expr } // val nil for bare return
+
+	throwStmt struct{ val expr }
+
+	debuggerStmt struct{}
+
+	funcDeclStmt struct {
+		name taint.String
+		fn   *funcLit
+	}
+
+	exprStmt struct{ e expr }
+)
+
+type varDecl struct {
+	name taint.String
+	init expr // nil when absent
+}
+
+type caseClause struct {
+	test expr // nil for default
+	body []stmt
+}
+
+func (blockStmt) isStmt()    {}
+func (varStmt) isStmt()      {}
+func (emptyStmt) isStmt()    {}
+func (ifStmt) isStmt()       {}
+func (whileStmt) isStmt()    {}
+func (doStmt) isStmt()       {}
+func (forStmt) isStmt()      {}
+func (forInStmt) isStmt()    {}
+func (switchStmt) isStmt()   {}
+func (tryStmt) isStmt()      {}
+func (withStmt) isStmt()     {}
+func (breakStmt) isStmt()    {}
+func (continueStmt) isStmt() {}
+func (returnStmt) isStmt()   {}
+func (throwStmt) isStmt()    {}
+func (debuggerStmt) isStmt() {}
+func (funcDeclStmt) isStmt() {}
+func (exprStmt) isStmt()     {}
+
+// Expressions.
+type expr interface{ isExpr() }
+
+type (
+	numLit  struct{ v float64 }
+	strLit  struct{ v string }
+	boolLit struct{ v bool }
+	nullLit struct{}
+	thisLit struct{}
+
+	identExpr struct{ name taint.String }
+
+	arrayLit struct{ elems []expr }
+
+	objectLit struct {
+		keys []string
+		vals []expr
+	}
+
+	funcLit struct {
+		params []string
+		body   []stmt
+	}
+
+	unaryExpr struct {
+		op tokKind // tokNot, tokTilde, tokPlus, tokMinus, tokTypeof, tokVoid, tokDelete
+		x  expr
+	}
+
+	incDecExpr struct {
+		op     tokKind // tokInc or tokDec
+		target expr
+		prefix bool
+	}
+
+	binaryExpr struct {
+		op   tokKind
+		l, r expr
+	}
+
+	logicalExpr struct {
+		op   tokKind // tokLand or tokLor
+		l, r expr
+	}
+
+	condExpr struct{ c, t, f expr }
+
+	assignExpr struct {
+		op     tokKind // tokAssign or a compound-assignment token
+		target expr    // identExpr or memberExpr
+		val    expr
+	}
+
+	callExpr struct {
+		fn   expr
+		args []expr
+	}
+
+	newExpr struct {
+		fn   expr
+		args []expr
+	}
+
+	memberExpr struct {
+		obj      expr
+		name     taint.String // for obj.name
+		computed bool         // true for obj[idx]
+		idx      expr
+	}
+)
+
+func (numLit) isExpr()      {}
+func (strLit) isExpr()      {}
+func (boolLit) isExpr()     {}
+func (nullLit) isExpr()     {}
+func (thisLit) isExpr()     {}
+func (identExpr) isExpr()   {}
+func (arrayLit) isExpr()    {}
+func (objectLit) isExpr()   {}
+func (funcLit) isExpr()     {}
+func (unaryExpr) isExpr()   {}
+func (incDecExpr) isExpr()  {}
+func (binaryExpr) isExpr()  {}
+func (logicalExpr) isExpr() {}
+func (condExpr) isExpr()    {}
+func (assignExpr) isExpr()  {}
+func (callExpr) isExpr()    {}
+func (newExpr) isExpr()     {}
+func (memberExpr) isExpr()  {}

@@ -1,0 +1,451 @@
+package mjs
+
+import (
+	"pfuzzer/internal/taint"
+	"pfuzzer/internal/trace"
+)
+
+// lexer is the instrumented mjs scanner. It runs interleaved with the
+// parser (the parser pulls one token at a time), as in the original
+// mjs and as the paper describes for tokenizing subjects (§7.2).
+type lexer struct {
+	t   *trace.Tracer
+	pos int
+
+	tok     tokKind
+	tokNum  float64
+	tokStr  string       // decoded string literal value
+	tokWord taint.String // tainted identifier spelling
+}
+
+func (lx *lexer) errTok() {
+	lx.t.Block(blkLexErr)
+	lx.tok = tokErr
+}
+
+// next scans one token.
+func (lx *lexer) next() {
+	lx.skipSpaceAndComments()
+	if lx.tok == tokErr {
+		return
+	}
+	c, ok := lx.t.At(lx.pos)
+	if !ok {
+		lx.tok = tokEOF
+		return
+	}
+	switch {
+	case lx.t.CharRange(c, '0', '9'):
+		lx.number(c)
+	case lx.t.CharRange(c, 'a', 'z') || lx.t.CharRange(c, 'A', 'Z') ||
+		lx.t.CharEq(c, '_') || lx.t.CharEq(c, '$'):
+		lx.word()
+	case lx.t.CharEq(c, '"'):
+		lx.str('"')
+	case lx.t.CharEq(c, '\''):
+		lx.str('\'')
+	default:
+		lx.punct(c)
+	}
+}
+
+// skipSpaceAndComments consumes whitespace plus // and /* */ comments.
+// Whitespace is an isspace() table lookup (untracked); comment
+// delimiters are real comparisons.
+func (lx *lexer) skipSpaceAndComments() {
+	for {
+		c, ok := lx.t.At(lx.pos)
+		if !ok {
+			return
+		}
+		if c.B == ' ' || c.B == '\t' || c.B == '\n' || c.B == '\r' {
+			lx.pos++
+			continue
+		}
+		if c.B == '/' {
+			n, ok2 := lx.t.At(lx.pos + 1)
+			if ok2 && lx.t.CharEq(n, '/') {
+				lx.t.Block(blkLexLineComment)
+				lx.pos += 2
+				for {
+					c, ok := lx.t.At(lx.pos)
+					if !ok {
+						return
+					}
+					lx.pos++
+					if lx.t.CharEq(c, '\n') {
+						break
+					}
+				}
+				continue
+			}
+			if ok2 && lx.t.CharEq(n, '*') {
+				lx.t.Block(blkLexBlockComment)
+				lx.pos += 2
+				closed := false
+				for {
+					c, ok := lx.t.At(lx.pos)
+					if !ok {
+						break
+					}
+					lx.pos++
+					if lx.t.CharEq(c, '*') {
+						c2, ok := lx.t.At(lx.pos)
+						if ok && lx.t.CharEq(c2, '/') {
+							lx.pos++
+							closed = true
+							break
+						}
+					}
+				}
+				if !closed {
+					lx.errTok()
+					return
+				}
+				continue
+			}
+		}
+		return
+	}
+}
+
+// number scans integer, hex (0x...), fraction and exponent forms.
+func (lx *lexer) number(c taint.Char) {
+	lx.t.Block(blkLexNumber)
+	start := lx.pos
+	if lx.t.CharEq(c, '0') {
+		if n, ok := lx.t.At(lx.pos + 1); ok && (lx.t.CharEq(n, 'x') || lx.t.CharEq(n, 'X')) {
+			lx.t.Block(blkLexHex)
+			lx.pos += 2
+			digits := 0
+			var v float64
+			for {
+				h, ok := lx.t.At(lx.pos)
+				if !ok {
+					break
+				}
+				var d int
+				switch {
+				case lx.t.CharRange(h, '0', '9'):
+					d = int(h.B - '0')
+				case lx.t.CharRange(h, 'a', 'f'):
+					d = int(h.B-'a') + 10
+				case lx.t.CharRange(h, 'A', 'F'):
+					d = int(h.B-'A') + 10
+				default:
+					d = -1
+				}
+				if d < 0 {
+					break
+				}
+				v = v*16 + float64(d)
+				digits++
+				lx.pos++
+			}
+			if digits == 0 {
+				lx.errTok()
+				return
+			}
+			lx.tok, lx.tokNum = tokNumber, v
+			return
+		}
+	}
+	v := 0.0
+	for {
+		d, ok := lx.t.At(lx.pos)
+		if !ok || !lx.t.CharRange(d, '0', '9') {
+			break
+		}
+		v = v*10 + float64(d.B-'0')
+		lx.pos++
+	}
+	if dot, ok := lx.t.At(lx.pos); ok && lx.t.CharEq(dot, '.') {
+		lx.t.Block(blkLexFrac)
+		lx.pos++
+		scale := 0.1
+		digits := 0
+		for {
+			d, ok := lx.t.At(lx.pos)
+			if !ok || !lx.t.CharRange(d, '0', '9') {
+				break
+			}
+			v += float64(d.B-'0') * scale
+			scale /= 10
+			digits++
+			lx.pos++
+		}
+		if digits == 0 {
+			lx.errTok()
+			return
+		}
+	}
+	if e, ok := lx.t.At(lx.pos); ok && (lx.t.CharEq(e, 'e') || lx.t.CharEq(e, 'E')) {
+		lx.t.Block(blkLexExp)
+		lx.pos++
+		neg := false
+		if s, ok := lx.t.At(lx.pos); ok && (lx.t.CharEq(s, '+') || lx.t.CharEq(s, '-')) {
+			neg = s.B == '-'
+			lx.pos++
+		}
+		exp := 0
+		digits := 0
+		for {
+			d, ok := lx.t.At(lx.pos)
+			if !ok || !lx.t.CharRange(d, '0', '9') {
+				break
+			}
+			exp = exp*10 + int(d.B-'0')
+			if exp > 308 {
+				exp = 308
+			}
+			digits++
+			lx.pos++
+		}
+		if digits == 0 {
+			lx.errTok()
+			return
+		}
+		for i := 0; i < exp; i++ {
+			if neg {
+				v /= 10
+			} else {
+				v *= 10
+			}
+		}
+	}
+	_ = start
+	lx.tok, lx.tokNum = tokNumber, v
+}
+
+// word scans an identifier and classifies it against the keyword
+// table through wrapped strcmp, keeping the tainted spelling for
+// runtime name lookups.
+func (lx *lexer) word() {
+	lx.t.Block(blkLexWord)
+	var w taint.String
+	for {
+		c, ok := lx.t.At(lx.pos)
+		if !ok {
+			break
+		}
+		if lx.t.CharRange(c, 'a', 'z') || lx.t.CharRange(c, 'A', 'Z') ||
+			lx.t.CharRange(c, '0', '9') || lx.t.CharEq(c, '_') || lx.t.CharEq(c, '$') {
+			w = w.Append(c)
+			lx.pos++
+			continue
+		}
+		break
+	}
+	for _, kw := range keywords {
+		if lx.t.StrEq(w, kw.word) {
+			lx.t.Block(blkLexKeyword)
+			lx.tok = kw.kind
+			return
+		}
+	}
+	lx.t.Block(blkLexIdent)
+	lx.tok = tokIdent
+	lx.tokWord = w
+}
+
+// str scans a quoted string literal with escapes.
+func (lx *lexer) str(quote byte) {
+	lx.t.Block(blkLexString)
+	lx.pos++ // opening quote
+	var out []byte
+	for {
+		c, ok := lx.t.At(lx.pos)
+		if !ok {
+			lx.errTok()
+			return // unterminated
+		}
+		if lx.t.CharEq(c, quote) {
+			lx.pos++
+			lx.tok, lx.tokStr = tokString, string(out)
+			return
+		}
+		if lx.t.CharEq(c, '\\') {
+			lx.t.Block(blkLexEscape)
+			lx.pos++
+			e, ok := lx.t.At(lx.pos)
+			if !ok {
+				lx.errTok()
+				return
+			}
+			switch {
+			case lx.t.CharEq(e, 'n'):
+				out = append(out, '\n')
+			case lx.t.CharEq(e, 't'):
+				out = append(out, '\t')
+			case lx.t.CharEq(e, 'r'):
+				out = append(out, '\r')
+			case lx.t.CharEq(e, '\\'):
+				out = append(out, '\\')
+			case lx.t.CharEq(e, '\''):
+				out = append(out, '\'')
+			case lx.t.CharEq(e, '"'):
+				out = append(out, '"')
+			case lx.t.CharEq(e, '0'):
+				out = append(out, 0)
+			default:
+				lx.errTok()
+				return
+			}
+			lx.pos++
+			continue
+		}
+		if c.B == '\n' {
+			lx.errTok()
+			return // newline inside string literal
+		}
+		out = append(out, c.B)
+		lx.pos++
+	}
+}
+
+// punct scans operators and punctuation, longest match first.
+func (lx *lexer) punct(c taint.Char) {
+	lx.t.Block(blkLexPunct)
+	peek := func(off int) (taint.Char, bool) { return lx.t.At(lx.pos + off) }
+	two := func(second byte, long, short tokKind) {
+		if n, ok := peek(1); ok && lx.t.CharEq(n, second) {
+			lx.pos += 2
+			lx.tok = long
+			return
+		}
+		lx.pos++
+		lx.tok = short
+	}
+	switch {
+	case lx.t.CharEq(c, '{'):
+		lx.one(tokLbrace)
+	case lx.t.CharEq(c, '}'):
+		lx.one(tokRbrace)
+	case lx.t.CharEq(c, '('):
+		lx.one(tokLparen)
+	case lx.t.CharEq(c, ')'):
+		lx.one(tokRparen)
+	case lx.t.CharEq(c, '['):
+		lx.one(tokLbracket)
+	case lx.t.CharEq(c, ']'):
+		lx.one(tokRbracket)
+	case lx.t.CharEq(c, ';'):
+		lx.one(tokSemi)
+	case lx.t.CharEq(c, ','):
+		lx.one(tokComma)
+	case lx.t.CharEq(c, '.'):
+		lx.one(tokDot)
+	case lx.t.CharEq(c, '?'):
+		lx.one(tokQuestion)
+	case lx.t.CharEq(c, ':'):
+		lx.one(tokColon)
+	case lx.t.CharEq(c, '~'):
+		lx.one(tokTilde)
+
+	case lx.t.CharEq(c, '+'):
+		if n, ok := peek(1); ok && lx.t.CharEq(n, '+') {
+			lx.pos += 2
+			lx.tok = tokInc
+			return
+		}
+		two('=', tokAddA, tokPlus)
+	case lx.t.CharEq(c, '-'):
+		if n, ok := peek(1); ok && lx.t.CharEq(n, '-') {
+			lx.pos += 2
+			lx.tok = tokDec
+			return
+		}
+		two('=', tokSubA, tokMinus)
+	case lx.t.CharEq(c, '*'):
+		two('=', tokMulA, tokStar)
+	case lx.t.CharEq(c, '/'):
+		two('=', tokDivA, tokSlash)
+	case lx.t.CharEq(c, '%'):
+		two('=', tokModA, tokPercent)
+	case lx.t.CharEq(c, '^'):
+		two('=', tokXorA, tokCaret)
+
+	case lx.t.CharEq(c, '&'):
+		if n, ok := peek(1); ok && lx.t.CharEq(n, '&') {
+			lx.pos += 2
+			lx.tok = tokLand
+			return
+		}
+		two('=', tokAndA, tokAmp)
+	case lx.t.CharEq(c, '|'):
+		if n, ok := peek(1); ok && lx.t.CharEq(n, '|') {
+			lx.pos += 2
+			lx.tok = tokLor
+			return
+		}
+		two('=', tokOrA, tokPipe)
+
+	case lx.t.CharEq(c, '='):
+		if n, ok := peek(1); ok && lx.t.CharEq(n, '=') {
+			if n2, ok := peek(2); ok && lx.t.CharEq(n2, '=') {
+				lx.pos += 3
+				lx.tok = tokSeq
+				return
+			}
+			lx.pos += 2
+			lx.tok = tokEq
+			return
+		}
+		lx.one(tokAssign)
+	case lx.t.CharEq(c, '!'):
+		if n, ok := peek(1); ok && lx.t.CharEq(n, '=') {
+			if n2, ok := peek(2); ok && lx.t.CharEq(n2, '=') {
+				lx.pos += 3
+				lx.tok = tokSne
+				return
+			}
+			lx.pos += 2
+			lx.tok = tokNe
+			return
+		}
+		lx.one(tokNot)
+
+	case lx.t.CharEq(c, '<'):
+		if n, ok := peek(1); ok && lx.t.CharEq(n, '<') {
+			if n2, ok := peek(2); ok && lx.t.CharEq(n2, '=') {
+				lx.pos += 3
+				lx.tok = tokShlA
+				return
+			}
+			lx.pos += 2
+			lx.tok = tokShl
+			return
+		}
+		two('=', tokLe, tokLess)
+	case lx.t.CharEq(c, '>'):
+		if n, ok := peek(1); ok && lx.t.CharEq(n, '>') {
+			if n2, ok := peek(2); ok && lx.t.CharEq(n2, '>') {
+				if n3, ok := peek(3); ok && lx.t.CharEq(n3, '=') {
+					lx.pos += 4
+					lx.tok = tokUshrA
+					return
+				}
+				lx.pos += 3
+				lx.tok = tokUshr
+				return
+			}
+			if n2, ok := peek(2); ok && lx.t.CharEq(n2, '=') {
+				lx.pos += 3
+				lx.tok = tokShrA
+				return
+			}
+			lx.pos += 2
+			lx.tok = tokShr
+			return
+		}
+		two('=', tokGe, tokGreater)
+
+	default:
+		lx.errTok()
+	}
+}
+
+func (lx *lexer) one(k tokKind) {
+	lx.pos++
+	lx.tok = k
+}

@@ -1,0 +1,378 @@
+// Package mjs reproduces the paper's largest subject (Table 1: "mjs
+// 2018-06-21, 10,920 LoC"), an embedded JavaScript engine in the
+// style of Cesanta's mJS: a hand-written, interleaved lexer and
+// recursive-descent parser over a rich token set (Table 4: 99 tokens
+// across lengths 1–10), plus a tree-walking interpreter with the
+// built-in objects whose member names appear in the paper's token
+// table (Object, String, Number, Math, JSON, indexOf, stringify, …).
+//
+// As in the paper's setup (§5.1), semantic checking is disabled:
+// undeclared identifiers evaluate to undefined rather than raising
+// errors, so syntactically valid inputs are accepted regardless of
+// meaning. Accepted programs are executed under a step budget;
+// execution contributes coverage and runtime string comparisons (the
+// built-in name lookups) but never affects acceptance.
+package mjs
+
+import (
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/tokens"
+	"pfuzzer/internal/trace"
+)
+
+// Instrumented basic blocks. One ID per branch arm across lexer,
+// parser and interpreter; numBlocks is the Figure 2 denominator.
+const (
+	// Lexer.
+	blkLexErr = iota
+	blkLexLineComment
+	blkLexBlockComment
+	blkLexNumber
+	blkLexHex
+	blkLexFrac
+	blkLexExp
+	blkLexWord
+	blkLexKeyword
+	blkLexIdent
+	blkLexString
+	blkLexEscape
+	blkLexPunct
+
+	// Parser: statements.
+	blkPProgram
+	blkPBlock
+	blkPVar
+	blkPLet
+	blkPConst
+	blkPDeclInit
+	blkPEmpty
+	blkPIf
+	blkPElse
+	blkPWhile
+	blkPDoWhile
+	blkPFor
+	blkPForClassic
+	blkPForIn
+	blkPSwitch
+	blkPCase
+	blkPDefault
+	blkPTry
+	blkPCatch
+	blkPFinally
+	blkPWith
+	blkPBreak
+	blkPContinue
+	blkPReturn
+	blkPReturnVal
+	blkPThrow
+	blkPDebugger
+	blkPFuncDecl
+	blkPExprStmt
+
+	// Parser: expressions.
+	blkPAssign
+	blkPCompound
+	blkPTernary
+	blkPLor
+	blkPLand
+	blkPBitor
+	blkPBitxor
+	blkPBitand
+	blkPEqOp
+	blkPRelOp
+	blkPInstanceof
+	blkPInOp
+	blkPShift
+	blkPAdd
+	blkPMul
+	blkPUnary
+	blkPPreIncDec
+	blkPPostIncDec
+	blkPTypeof
+	blkPVoid
+	blkPDelete
+	blkPNew
+	blkPCall
+	blkPCallArg
+	blkPMember
+	blkPIndex
+	blkPIdent
+	blkPNumber
+	blkPString
+	blkPTrue
+	blkPFalse
+	blkPNull
+	blkPThis
+	blkPParen
+	blkPArray
+	blkPArrayElem
+	blkPObject
+	blkPObjectProp
+	blkPFuncLit
+	blkPParam
+	blkPReject
+
+	// Interpreter.
+	blkEIfTrue
+	blkEIfFalse
+	blkEElse
+	blkEWhileIter
+	blkEDoIter
+	blkEForIter
+	blkEForInIter
+	blkESwitchMatch
+	blkESwitchDefault
+	blkEBreak
+	blkEContinue
+	blkEReturn
+	blkEThrow
+	blkECatch
+	blkEFinally
+	blkEWith
+	blkECall
+	blkECallBuiltin
+	blkECallNonFunc
+	blkENew
+	blkEAdd
+	blkEConcat
+	blkEArith
+	blkECompare
+	blkEEq
+	blkEStrictEq
+	blkEBitwise
+	blkEShift
+	blkELogical
+	blkETernary
+	blkEAssign
+	blkECompound
+	blkEIncDec
+	blkETypeof
+	blkEVoid
+	blkEDelete
+	blkEInstanceof
+	blkEInOp
+	blkENeg
+	blkENot
+	blkEIdentEnv
+	blkEIdentBuiltin
+	blkEIdentUndef
+	blkEMemberMath
+	blkEMemberJSON
+	blkEMemberString
+	blkEMemberArray
+	blkEMemberObject
+	blkEMemberUndef
+	blkEIndexExpr
+	blkEArrayLit
+	blkEObjectLit
+	blkEFuncVal
+	blkEGlobalSet
+	blkEBudget
+	blkEPrint
+	blkEMathFloor
+	blkEMathMin
+	blkEMathMax
+	blkEMathAbs
+	blkEJSONStringify
+	blkEJSONParse
+	blkEStrLength
+	blkEStrIndexOf
+	blkEStrCharAt
+	blkEObjectFn
+	blkEStringFn
+	blkENumberFn
+	blkEObjectKeys
+
+	numBlocks
+)
+
+// defaultExecSteps bounds interpreter work per accepted input.
+const defaultExecSteps = 8192
+
+// Program is the mjs subject.
+type Program struct{}
+
+// New returns the mjs subject.
+func New() *Program { return &Program{} }
+
+// Name implements subject.Program.
+func (*Program) Name() string { return "mjs" }
+
+// Blocks implements subject.Program.
+func (*Program) Blocks() int { return numBlocks }
+
+// Run parses the input as an mjs program and, on success, executes it.
+func (*Program) Run(t *trace.Tracer) int {
+	p := newParser(t)
+	prog, ok := p.program()
+	if !ok {
+		return subject.ExitReject
+	}
+	ip := newInterp(t, t.ExecSteps(defaultExecSteps))
+	ip.run(prog)
+	return subject.ExitOK
+}
+
+// Inventory is the mjs token inventory of Table 4: 27+24+13+10+9+7+
+// 3+3+2+1 = 99 tokens. Where the paper prints only examples, the
+// remaining members are drawn from the mjs grammar (see DESIGN.md).
+var Inventory = tokens.Inventory{
+	// Length 1 (27): 24 punctuation, the alternate string quote, and
+	// the identifier and number classes.
+	tokens.Lit("{"), tokens.Lit("}"), tokens.Lit("("), tokens.Lit(")"),
+	tokens.Lit("["), tokens.Lit("]"), tokens.Lit(";"), tokens.Lit(","),
+	tokens.Lit("."), tokens.Lit("+"), tokens.Lit("-"), tokens.Lit("*"),
+	tokens.Lit("/"), tokens.Lit("%"), tokens.Lit("<"), tokens.Lit(">"),
+	tokens.Lit("="), tokens.Lit("&"), tokens.Lit("|"), tokens.Lit("^"),
+	tokens.Lit("!"), tokens.Lit("~"), tokens.Lit("?"), tokens.Lit(":"),
+	tokens.Lit("'"),
+	tokens.Class("identifier", 1), tokens.Class("number", 1),
+
+	// Length 2 (24): 18 operators, 3 keywords, the string class and
+	// the two comment openers.
+	tokens.Lit("=="), tokens.Lit("!="), tokens.Lit("<="), tokens.Lit(">="),
+	tokens.Lit("+="), tokens.Lit("-="), tokens.Lit("*="), tokens.Lit("/="),
+	tokens.Lit("%="), tokens.Lit("&="), tokens.Lit("|="), tokens.Lit("^="),
+	tokens.Lit("<<"), tokens.Lit(">>"), tokens.Lit("&&"), tokens.Lit("||"),
+	tokens.Lit("++"), tokens.Lit("--"),
+	tokens.Lit("if"), tokens.Lit("in"), tokens.Lit("do"),
+	tokens.Class("string", 2),
+	tokens.Lit("//"), tokens.Lit("/*"),
+
+	// Length 3 (13).
+	tokens.Lit("==="), tokens.Lit("!=="), tokens.Lit("<<="), tokens.Lit(">>="),
+	tokens.Lit(">>>"),
+	tokens.Lit("for"), tokens.Lit("let"), tokens.Lit("new"), tokens.Lit("try"),
+	tokens.Lit("var"), tokens.Lit("NaN"), tokens.Lit("min"), tokens.Lit("max"),
+
+	// Length 4 (10).
+	tokens.Lit(">>>="),
+	tokens.Lit("true"), tokens.Lit("null"), tokens.Lit("void"),
+	tokens.Lit("with"), tokens.Lit("else"), tokens.Lit("this"),
+	tokens.Lit("case"), tokens.Lit("Math"), tokens.Lit("JSON"),
+
+	// Length 5 (9).
+	tokens.Lit("false"), tokens.Lit("throw"), tokens.Lit("while"),
+	tokens.Lit("break"), tokens.Lit("catch"), tokens.Lit("const"),
+	tokens.Lit("floor"), tokens.Lit("parse"), tokens.Lit("print"),
+
+	// Length 6 (7).
+	tokens.Lit("return"), tokens.Lit("delete"), tokens.Lit("typeof"),
+	tokens.Lit("switch"), tokens.Lit("Object"), tokens.Lit("String"),
+	tokens.Lit("Number"),
+
+	// Length 7 (3).
+	tokens.Lit("default"), tokens.Lit("finally"), tokens.Lit("indexOf"),
+
+	// Length 8 (3).
+	tokens.Lit("continue"), tokens.Lit("function"), tokens.Lit("debugger"),
+
+	// Length 9 (2).
+	tokens.Lit("undefined"), tokens.Lit("stringify"),
+
+	// Length 10 (1).
+	tokens.Lit("instanceof"),
+}
+
+// wordTokens are the inventory entries recognized as whole words
+// (keywords plus built-in and member names).
+var wordTokens = map[string]bool{}
+
+func init() {
+	for _, t := range Inventory {
+		if len(t.Name) >= 2 && isWordStart(t.Name[0]) {
+			wordTokens[t.Name] = true
+		}
+	}
+}
+
+func isWordStart(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b == '_' || b == '$'
+}
+
+func isWordChar(b byte) bool {
+	return isWordStart(b) || b >= '0' && b <= '9'
+}
+
+// Tokenize lexes input (uninstrumented) and returns the inventory
+// tokens present.
+func Tokenize(input []byte) map[string]bool {
+	out := map[string]bool{}
+	i := 0
+	mark := func(s string) { out[s] = true }
+	// ops lists punctuation tokens longest-first so maximal munch wins.
+	ops := []string{
+		">>>=", "===", "!==", "<<=", ">>=", ">>>", "==", "!=", "<=", ">=",
+		"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "&&",
+		"||", "++", "--", "//", "/*",
+		"{", "}", "(", ")", "[", "]", ";", ",", ".", "+", "-", "*", "/",
+		"%", "<", ">", "=", "&", "|", "^", "!", "~", "?", ":",
+	}
+	for i < len(input) {
+		b := input[i]
+		switch {
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			i++
+		case b >= '0' && b <= '9':
+			mark("number")
+			for i < len(input) && (input[i] >= '0' && input[i] <= '9' ||
+				input[i] == '.' || input[i] == 'x' || input[i] == 'X' ||
+				input[i] >= 'a' && input[i] <= 'f' || input[i] >= 'A' && input[i] <= 'F') {
+				i++
+			}
+		case isWordStart(b):
+			j := i
+			for j < len(input) && isWordChar(input[j]) {
+				j++
+			}
+			w := string(input[i:j])
+			if wordTokens[w] {
+				mark(w)
+			} else {
+				mark("identifier")
+			}
+			i = j
+		case b == '"' || b == '\'':
+			mark("string")
+			if b == '\'' {
+				mark("'")
+			}
+			q := b
+			i++
+			for i < len(input) && input[i] != q {
+				if input[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			i++
+		default:
+			matched := false
+			for _, op := range ops {
+				if len(input)-i >= len(op) && string(input[i:i+len(op)]) == op {
+					mark(op)
+					i += len(op)
+					matched = true
+					// Skip over comment bodies so their contents do
+					// not count as tokens.
+					if op == "//" {
+						for i < len(input) && input[i] != '\n' {
+							i++
+						}
+					}
+					if op == "/*" {
+						for i+1 < len(input) && !(input[i] == '*' && input[i+1] == '/') {
+							i++
+						}
+						i += 2
+					}
+					break
+				}
+			}
+			if !matched {
+				i++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package mjs
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+func run(t *testing.T, input string) *trace.Record {
+	t.Helper()
+	return subject.Execute(New(), []byte(input), trace.Full())
+}
+
+func accepts(t *testing.T, input string) {
+	t.Helper()
+	if rec := run(t, input); !rec.Accepted() {
+		t.Errorf("input %q rejected, want accepted", input)
+	}
+}
+
+func rejects(t *testing.T, input string) {
+	t.Helper()
+	if rec := run(t, input); rec.Accepted() {
+		t.Errorf("input %q accepted, want rejected", input)
+	}
+}
+
+func TestAcceptStatements(t *testing.T) {
+	for _, in := range []string{
+		"",
+		";",
+		"{}",
+		"x = 1;",
+		"var x = 1;",
+		"let x = 1, y = 2;",
+		"const z = 3;",
+		"if (1) x = 2;",
+		"if (x) { y = 1; } else { y = 2; }",
+		"while (0) x = 1;",
+		"do x = 1; while (0);",
+		"for (;;) break;",
+		"for (var i = 0; i < 3; i++) x = i;",
+		"for (i = 0; i < 3; i = i + 1) { x = i; }",
+		"for (var k in {a: 1, b: 2}) x = k;",
+		"for (k in [1,2,3]) x = k;",
+		"switch (1) { case 1: x = 1; break; default: x = 2; }",
+		"switch (x) { default: ; }",
+		"try { throw 1; } catch (e) { x = e; }",
+		"try { x = 1; } finally { y = 2; }",
+		"try { throw 1; } catch (e) {} finally {}",
+		"with (x) y = 1;",
+		"function f(a, b) { return a + b; } x = f(1, 2);",
+		"debugger;",
+		"return;", // top-level return parses as a statement here
+	} {
+		accepts(t, in)
+	}
+}
+
+func TestAcceptExpressions(t *testing.T) {
+	for _, in := range []string{
+		"1;", "1.5;", "0x1f;", "1e3;", "2E-2;",
+		`"str";`, `'str';`, `"a\nb";`, `'\'';`,
+		"x;", "true;", "false;", "null;", "this;",
+		"typeof x;", "void 0;", "delete x.a;",
+		"x = y = 1;", "x += 1;", "x -= 1;", "x *= 2;", "x /= 2;", "x %= 2;",
+		"x &= 1;", "x |= 1;", "x ^= 1;", "x <<= 1;", "x >>= 1;", "x >>>= 1;",
+		"1 + 2 * 3;", "(1 + 2) * 3;", "1 - -2;", "!x;", "~x;", "+x;",
+		"1 < 2;", "1 > 2;", "1 <= 2;", "1 >= 2;",
+		"1 == 2;", "1 != 2;", "1 === 2;", "1 !== 2;",
+		"1 & 2;", "1 | 2;", "1 ^ 2;", "1 << 2;", "1 >> 2;", "1 >>> 2;",
+		"a && b;", "a || b;", "a ? b : c;",
+		"++x;", "--x;", "x++;", "x--;",
+		"[1, 2, 3];", "[];", "({});", // object literal needs parens as statement
+		"x = {a: 1, 'b': 2, 3: 4};",
+		"a.b;", "a.b.c;", "a[0];", "a['k'];",
+		"f();", "f(1, 2);", "a.m(1);",
+		"new F();", "new F(1, 2);", "x = new Object();",
+		"x instanceof F;", "'a' in b;",
+		"function g() {} g();",
+		"x = function (n) { return n; };",
+		"// comment\nx = 1;",
+		"/* block */ x = 1;",
+		"Math.floor(1.5);",
+		"JSON.stringify([1, 2]);",
+		"JSON.parse('[1,2]');",
+		"'abc'.indexOf('b');",
+		"'abc'.length;",
+		"'abc'.charAt(1);",
+		"print('hello');",
+		"Object.keys({a: 1});",
+		"String(1);", "Number('2');",
+		"x = undefined;", "x = NaN;",
+	} {
+		accepts(t, in)
+	}
+}
+
+func TestRejects(t *testing.T) {
+	for _, in := range []string{
+		"x", "x = 1", "1 +;", "if (", "if (1)", "if 1 x;", "while (1)",
+		"do x = 1; while (1)", "{", "}", "for (;;", "var;", "var 1;",
+		"let = 1;", "switch (1) {", "switch (1) { case: }", "try {}",
+		"try {} catch {}", "function () {};", "function f {}",
+		"x = {a};", `"unterminated`, "'", "0x;", "1.;", "1e;",
+		"@;", "#;", "x ==== y;", "a.;", "a[1;", "f(1;", "new;",
+		"/* unclosed", "1 === === 2;", "break", "continue",
+		"switch (1) { default: ; default: ; }",
+		"5 = 3;", "++1;", "1++;",
+	} {
+		rejects(t, in)
+	}
+}
+
+func TestInterpreterTerminatesOnLoops(t *testing.T) {
+	// These parse (so they are accepted) and must terminate via the
+	// step budget rather than hanging — the paper's while(9) case.
+	for _, in := range []string{
+		"while (9) ;",
+		"while (1) { x = x + 1; }",
+		"do ; while (1);",
+		"for (;;) ;",
+		"function f() { return f(); } f();", // recursion capped
+	} {
+		accepts(t, in)
+	}
+}
+
+func TestRuntimeComparisonsExposeBuiltins(t *testing.T) {
+	// Evaluating an unknown identifier must strcmp it against the
+	// builtin names, exposing "undefined", "Math", "JSON" etc. as
+	// substitution candidates.
+	rec := run(t, "q;")
+	want := map[string]bool{"undefined": false, "NaN": false, "Math": false, "JSON": false}
+	for _, c := range rec.Comparisons {
+		if c.Kind == trace.CmpStrEq {
+			if _, ok := want[string(c.Expected)]; ok {
+				want[string(c.Expected)] = true
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("identifier lookup did not compare against builtin %q", name)
+		}
+	}
+}
+
+func TestMemberComparisonsExposeMethodNames(t *testing.T) {
+	rec := run(t, "''.a;")
+	found := false
+	for _, c := range rec.Comparisons {
+		if c.Kind == trace.CmpStrEq && string(c.Expected) == "indexOf" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error(`string member lookup did not compare against "indexOf"`)
+	}
+
+	rec = run(t, "Math.x;")
+	found = false
+	for _, c := range rec.Comparisons {
+		if c.Kind == trace.CmpStrEq && string(c.Expected) == "floor" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error(`Math member lookup did not compare against "floor"`)
+	}
+}
+
+func TestKeywordChainExposesAllKeywords(t *testing.T) {
+	rec := run(t, "zz;")
+	seen := map[string]bool{}
+	for _, c := range rec.Comparisons {
+		if c.Kind == trace.CmpStrEq {
+			seen[string(c.Expected)] = true
+		}
+	}
+	for _, kw := range keywords {
+		if !seen[kw.word] {
+			t.Errorf("lexing an identifier did not strcmp against keyword %q", kw.word)
+		}
+	}
+}
+
+func TestTokenizeFindsInventoryTokens(t *testing.T) {
+	got := Tokenize([]byte(`while (x instanceof F) { JSON.stringify(y); } // c`))
+	for _, want := range []string{"while", "(", ")", "instanceof", "{", "}", ".", ";", "identifier", "stringify", "JSON", "//"} {
+		if !got[want] {
+			t.Errorf("Tokenize missed %q in %v", want, got)
+		}
+	}
+	if got["c"] {
+		t.Error("comment body leaked into tokens")
+	}
+}
+
+func TestInventoryCountsMatchTable4(t *testing.T) {
+	want := map[int]int{1: 27, 2: 24, 3: 13, 4: 10, 5: 9, 6: 7, 7: 3, 8: 3, 9: 2, 10: 1}
+	for n, count := range want {
+		if got := Inventory.CountLen(n); got != count {
+			t.Errorf("length %d: inventory has %d tokens, Table 4 says %d", n, got, count)
+		}
+	}
+	if got := Inventory.Count(); got != 99 {
+		t.Errorf("total inventory = %d, want 99", got)
+	}
+}
+
+// TestExecutionEffects checks a few end-to-end semantics by having
+// programs that would diverge throw under the wrong semantics.
+func TestExecutionEffects(t *testing.T) {
+	// If semantics were wrong these would still be accepted (execution
+	// cannot reject), so check coverage-visible behaviour instead:
+	// the throw block must be hit only when the condition is true.
+	recThrow := run(t, "if (1 < 2) { x = 1; } else { throw 'bad'; }")
+	if !recThrow.Accepted() {
+		t.Fatal("program rejected")
+	}
+	hitThrow := false
+	for id := range recThrow.BlockFirst {
+		if id == blkEThrow {
+			hitThrow = true
+		}
+	}
+	if hitThrow {
+		t.Error("else branch executed although condition was true")
+	}
+
+	recCatch := run(t, "try { undefinedFn(); } catch (e) { x = e; }")
+	if !recCatch.Accepted() {
+		t.Fatal("try/catch program rejected")
+	}
+	if _, ok := recCatch.BlockFirst[blkECatch]; !ok {
+		t.Error("calling a non-function did not reach the catch block")
+	}
+}

@@ -1,0 +1,1099 @@
+package mjs
+
+import (
+	"pfuzzer/internal/taint"
+	"pfuzzer/internal/trace"
+)
+
+// maxParseDepth guards the recursive-descent parser against stack
+// exhaustion from deeply nested inputs.
+const maxParseDepth = 200
+
+// parser is the mjs recursive-descent parser. It pulls tokens from
+// the interleaved lexer and reports reject decisions through blocks.
+type parser struct {
+	lx    *lexer
+	t     *trace.Tracer
+	depth int
+	noIn  bool // suppress the 'in' operator inside a for-head init
+}
+
+func newParser(t *trace.Tracer) *parser {
+	p := &parser{lx: &lexer{t: t}, t: t}
+	p.lx.next()
+	return p
+}
+
+func (p *parser) tok() tokKind { return p.lx.tok }
+
+func (p *parser) next() { p.lx.next() }
+
+// expect consumes tok k or fails.
+func (p *parser) expect(k tokKind) bool {
+	if p.lx.tok != k {
+		p.t.Block(blkPReject)
+		return false
+	}
+	p.next()
+	return true
+}
+
+func (p *parser) enter() bool {
+	p.t.Enter()
+	p.depth++
+	return p.depth <= maxParseDepth
+}
+
+func (p *parser) leave() {
+	p.depth--
+	p.t.Leave()
+}
+
+// program := stmt* EOF
+func (p *parser) program() ([]stmt, bool) {
+	p.t.Block(blkPProgram)
+	var list []stmt
+	for p.tok() != tokEOF {
+		if p.tok() == tokErr {
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		s, ok := p.statement()
+		if !ok {
+			return nil, false
+		}
+		list = append(list, s)
+	}
+	return list, true
+}
+
+// statement parses one statement.
+func (p *parser) statement() (stmt, bool) {
+	if !p.enter() {
+		p.leave()
+		p.t.Block(blkPReject)
+		return nil, false
+	}
+	defer p.leave()
+
+	switch p.tok() {
+	case tokLbrace:
+		p.t.Block(blkPBlock)
+		p.next()
+		var list []stmt
+		for p.tok() != tokRbrace {
+			if p.tok() == tokEOF || p.tok() == tokErr {
+				p.t.Block(blkPReject)
+				return nil, false
+			}
+			s, ok := p.statement()
+			if !ok {
+				return nil, false
+			}
+			list = append(list, s)
+		}
+		p.next()
+		return blockStmt{list: list}, true
+
+	case tokVar, tokLet, tokConst:
+		switch p.tok() {
+		case tokVar:
+			p.t.Block(blkPVar)
+		case tokLet:
+			p.t.Block(blkPLet)
+		default:
+			p.t.Block(blkPConst)
+		}
+		kind := p.tok()
+		p.next()
+		vs, ok := p.varDecls(kind)
+		if !ok {
+			return nil, false
+		}
+		if !p.expect(tokSemi) {
+			return nil, false
+		}
+		return vs, true
+
+	case tokSemi:
+		p.t.Block(blkPEmpty)
+		p.next()
+		return emptyStmt{}, true
+
+	case tokIf:
+		p.t.Block(blkPIf)
+		p.next()
+		if !p.expect(tokLparen) {
+			return nil, false
+		}
+		cond, ok := p.expression()
+		if !ok {
+			return nil, false
+		}
+		if !p.expect(tokRparen) {
+			return nil, false
+		}
+		then, ok := p.statement()
+		if !ok {
+			return nil, false
+		}
+		var els stmt
+		if p.tok() == tokElse {
+			p.t.Block(blkPElse)
+			p.next()
+			els, ok = p.statement()
+			if !ok {
+				return nil, false
+			}
+		}
+		return ifStmt{cond: cond, then: then, els: els}, true
+
+	case tokWhile:
+		p.t.Block(blkPWhile)
+		p.next()
+		if !p.expect(tokLparen) {
+			return nil, false
+		}
+		cond, ok := p.expression()
+		if !ok {
+			return nil, false
+		}
+		if !p.expect(tokRparen) {
+			return nil, false
+		}
+		body, ok := p.statement()
+		if !ok {
+			return nil, false
+		}
+		return whileStmt{cond: cond, body: body}, true
+
+	case tokDo:
+		p.t.Block(blkPDoWhile)
+		p.next()
+		body, ok := p.statement()
+		if !ok {
+			return nil, false
+		}
+		if !p.expect(tokWhile) || !p.expect(tokLparen) {
+			return nil, false
+		}
+		cond, ok := p.expression()
+		if !ok {
+			return nil, false
+		}
+		if !p.expect(tokRparen) || !p.expect(tokSemi) {
+			return nil, false
+		}
+		return doStmt{body: body, cond: cond}, true
+
+	case tokFor:
+		return p.forStatement()
+
+	case tokSwitch:
+		return p.switchStatement()
+
+	case tokTry:
+		return p.tryStatement()
+
+	case tokWith:
+		p.t.Block(blkPWith)
+		p.next()
+		if !p.expect(tokLparen) {
+			return nil, false
+		}
+		obj, ok := p.expression()
+		if !ok {
+			return nil, false
+		}
+		if !p.expect(tokRparen) {
+			return nil, false
+		}
+		body, ok := p.statement()
+		if !ok {
+			return nil, false
+		}
+		return withStmt{obj: obj, body: body}, true
+
+	case tokBreak:
+		p.t.Block(blkPBreak)
+		p.next()
+		if !p.expect(tokSemi) {
+			return nil, false
+		}
+		return breakStmt{}, true
+
+	case tokContinue:
+		p.t.Block(blkPContinue)
+		p.next()
+		if !p.expect(tokSemi) {
+			return nil, false
+		}
+		return continueStmt{}, true
+
+	case tokReturn:
+		p.t.Block(blkPReturn)
+		p.next()
+		if p.tok() == tokSemi {
+			p.next()
+			return returnStmt{}, true
+		}
+		p.t.Block(blkPReturnVal)
+		v, ok := p.expression()
+		if !ok {
+			return nil, false
+		}
+		if !p.expect(tokSemi) {
+			return nil, false
+		}
+		return returnStmt{val: v}, true
+
+	case tokThrow:
+		p.t.Block(blkPThrow)
+		p.next()
+		v, ok := p.expression()
+		if !ok {
+			return nil, false
+		}
+		if !p.expect(tokSemi) {
+			return nil, false
+		}
+		return throwStmt{val: v}, true
+
+	case tokDebugger:
+		p.t.Block(blkPDebugger)
+		p.next()
+		if !p.expect(tokSemi) {
+			return nil, false
+		}
+		return debuggerStmt{}, true
+
+	case tokFunction:
+		p.t.Block(blkPFuncDecl)
+		p.next()
+		if p.tok() != tokIdent {
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		name := p.lx.tokWord
+		p.next()
+		fn, ok := p.funcRest()
+		if !ok {
+			return nil, false
+		}
+		return funcDeclStmt{name: name, fn: fn}, true
+
+	case tokEOF, tokErr:
+		p.t.Block(blkPReject)
+		return nil, false
+
+	default:
+		p.t.Block(blkPExprStmt)
+		e, ok := p.expression()
+		if !ok {
+			return nil, false
+		}
+		if !p.expect(tokSemi) {
+			return nil, false
+		}
+		return exprStmt{e: e}, true
+	}
+}
+
+// varDecls parses "x = e, y, z = e" after var/let/const.
+func (p *parser) varDecls(kind tokKind) (stmt, bool) {
+	var decls []varDecl
+	for {
+		if p.tok() != tokIdent {
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		d := varDecl{name: p.lx.tokWord}
+		p.next()
+		if p.tok() == tokAssign {
+			p.t.Block(blkPDeclInit)
+			p.next()
+			init, ok := p.assignment()
+			if !ok {
+				return nil, false
+			}
+			d.init = init
+		}
+		decls = append(decls, d)
+		if p.tok() != tokComma {
+			break
+		}
+		p.next()
+	}
+	return varStmt{kind: kind, decls: decls}, true
+}
+
+// forStatement parses both classic and for-in heads.
+func (p *parser) forStatement() (stmt, bool) {
+	p.t.Block(blkPFor)
+	p.next()
+	if !p.expect(tokLparen) {
+		return nil, false
+	}
+
+	// for (var x in e) / for (x in e)
+	declKind := tokKind(tokEOF)
+	var name taint.String
+	if p.tok() == tokVar || p.tok() == tokLet || p.tok() == tokConst {
+		declKind = p.tok()
+		p.next()
+		if p.tok() != tokIdent {
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		name = p.lx.tokWord
+		p.next()
+		if p.tok() == tokIn {
+			p.t.Block(blkPForIn)
+			p.next()
+			return p.forInRest(true, name)
+		}
+		// Classic for with declaration init: continue the decl list.
+		var init stmt
+		d := varDecl{name: name}
+		if p.tok() == tokAssign {
+			p.t.Block(blkPDeclInit)
+			p.next()
+			e, ok := p.assignment()
+			if !ok {
+				return nil, false
+			}
+			d.init = e
+		}
+		decls := []varDecl{d}
+		for p.tok() == tokComma {
+			p.next()
+			if p.tok() != tokIdent {
+				p.t.Block(blkPReject)
+				return nil, false
+			}
+			d2 := varDecl{name: p.lx.tokWord}
+			p.next()
+			if p.tok() == tokAssign {
+				p.next()
+				e, ok := p.assignment()
+				if !ok {
+					return nil, false
+				}
+				d2.init = e
+			}
+			decls = append(decls, d2)
+		}
+		init = varStmt{kind: declKind, decls: decls}
+		return p.forClassicRest(init)
+	}
+
+	if p.tok() == tokSemi {
+		return p.forClassicRest(nil)
+	}
+
+	// Expression head: either "x in e" or an init expression. The
+	// head is parsed with the 'in' operator suppressed (the NoIn
+	// production) so "k in obj" is available to the for-in form.
+	p.noIn = true
+	e, ok := p.expression()
+	p.noIn = false
+	if !ok {
+		return nil, false
+	}
+	if p.tok() == tokIn {
+		id, isIdent := e.(identExpr)
+		if !isIdent {
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		p.t.Block(blkPForIn)
+		p.next()
+		return p.forInRest(false, id.name)
+	}
+	return p.forClassicRest(exprStmt{e: e})
+}
+
+// forInRest parses "e) stmt" after "for (x in".
+func (p *parser) forInRest(decl bool, name taint.String) (stmt, bool) {
+	obj, ok := p.expression()
+	if !ok {
+		return nil, false
+	}
+	if !p.expect(tokRparen) {
+		return nil, false
+	}
+	body, ok := p.statement()
+	if !ok {
+		return nil, false
+	}
+	return forInStmt{decl: decl, name: name, obj: obj, body: body}, true
+}
+
+// forClassicRest parses "; cond; step) stmt" after the init clause.
+func (p *parser) forClassicRest(init stmt) (stmt, bool) {
+	p.t.Block(blkPForClassic)
+	if !p.expect(tokSemi) {
+		return nil, false
+	}
+	var cond, step expr
+	var ok bool
+	if p.tok() != tokSemi {
+		cond, ok = p.expression()
+		if !ok {
+			return nil, false
+		}
+	}
+	if !p.expect(tokSemi) {
+		return nil, false
+	}
+	if p.tok() != tokRparen {
+		step, ok = p.expression()
+		if !ok {
+			return nil, false
+		}
+	}
+	if !p.expect(tokRparen) {
+		return nil, false
+	}
+	body, ok := p.statement()
+	if !ok {
+		return nil, false
+	}
+	return forStmt{init: init, cond: cond, step: step, body: body}, true
+}
+
+// switchStatement parses switch (e) { case e: stmts ... default: stmts }.
+func (p *parser) switchStatement() (stmt, bool) {
+	p.t.Block(blkPSwitch)
+	p.next()
+	if !p.expect(tokLparen) {
+		return nil, false
+	}
+	tag, ok := p.expression()
+	if !ok {
+		return nil, false
+	}
+	if !p.expect(tokRparen) || !p.expect(tokLbrace) {
+		return nil, false
+	}
+	var cases []caseClause
+	sawDefault := false
+	for p.tok() != tokRbrace {
+		var cl caseClause
+		switch p.tok() {
+		case tokCase:
+			p.t.Block(blkPCase)
+			p.next()
+			t, ok := p.expression()
+			if !ok {
+				return nil, false
+			}
+			cl.test = t
+		case tokDefault:
+			if sawDefault {
+				p.t.Block(blkPReject)
+				return nil, false
+			}
+			p.t.Block(blkPDefault)
+			sawDefault = true
+			p.next()
+		default:
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		if !p.expect(tokColon) {
+			return nil, false
+		}
+		for p.tok() != tokCase && p.tok() != tokDefault && p.tok() != tokRbrace {
+			if p.tok() == tokEOF || p.tok() == tokErr {
+				p.t.Block(blkPReject)
+				return nil, false
+			}
+			s, ok := p.statement()
+			if !ok {
+				return nil, false
+			}
+			cl.body = append(cl.body, s)
+		}
+		cases = append(cases, cl)
+	}
+	p.next()
+	return switchStmt{tag: tag, cases: cases}, true
+}
+
+// tryStatement parses try block catch/finally.
+func (p *parser) tryStatement() (stmt, bool) {
+	p.t.Block(blkPTry)
+	p.next()
+	if p.tok() != tokLbrace {
+		p.t.Block(blkPReject)
+		return nil, false
+	}
+	block, ok := p.statement()
+	if !ok {
+		return nil, false
+	}
+	out := tryStmt{block: block}
+	if p.tok() == tokCatch {
+		p.t.Block(blkPCatch)
+		p.next()
+		if !p.expect(tokLparen) {
+			return nil, false
+		}
+		if p.tok() != tokIdent {
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		out.catchName = p.lx.tokWord
+		p.next()
+		if !p.expect(tokRparen) {
+			return nil, false
+		}
+		if p.tok() != tokLbrace {
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		out.catch, ok = p.statement()
+		if !ok {
+			return nil, false
+		}
+	}
+	if p.tok() == tokFinally {
+		p.t.Block(blkPFinally)
+		p.next()
+		if p.tok() != tokLbrace {
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		out.finally, ok = p.statement()
+		if !ok {
+			return nil, false
+		}
+	}
+	if out.catch == nil && out.finally == nil {
+		p.t.Block(blkPReject)
+		return nil, false // try requires catch or finally
+	}
+	return out, true
+}
+
+// funcRest parses "(params) { body }" after the function keyword and
+// optional name.
+func (p *parser) funcRest() (*funcLit, bool) {
+	p.t.Block(blkPFuncLit)
+	if !p.expect(tokLparen) {
+		return nil, false
+	}
+	fn := &funcLit{}
+	if p.tok() != tokRparen {
+		for {
+			if p.tok() != tokIdent {
+				p.t.Block(blkPReject)
+				return nil, false
+			}
+			p.t.Block(blkPParam)
+			fn.params = append(fn.params, p.lx.tokWord.Text())
+			p.next()
+			if p.tok() != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if !p.expect(tokRparen) {
+		return nil, false
+	}
+	if p.tok() != tokLbrace {
+		p.t.Block(blkPReject)
+		return nil, false
+	}
+	p.next()
+	for p.tok() != tokRbrace {
+		if p.tok() == tokEOF || p.tok() == tokErr {
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		s, ok := p.statement()
+		if !ok {
+			return nil, false
+		}
+		fn.body = append(fn.body, s)
+	}
+	p.next()
+	return fn, true
+}
+
+// expression is the top of the expression grammar (no comma operator).
+func (p *parser) expression() (expr, bool) {
+	if !p.enter() {
+		p.leave()
+		p.t.Block(blkPReject)
+		return nil, false
+	}
+	defer p.leave()
+	return p.assignment()
+}
+
+// assignment := ternary (assignOp assignment)?
+func (p *parser) assignment() (expr, bool) {
+	lhs, ok := p.ternary()
+	if !ok {
+		return nil, false
+	}
+	op := p.tok()
+	if op == tokAssign || op == tokAddA || op == tokSubA || op == tokMulA ||
+		op == tokDivA || op == tokModA || op == tokAndA || op == tokOrA ||
+		op == tokXorA || op == tokShlA || op == tokShrA || op == tokUshrA {
+		if !isAssignable(lhs) {
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		if op == tokAssign {
+			p.t.Block(blkPAssign)
+		} else {
+			p.t.Block(blkPCompound)
+		}
+		p.next()
+		rhs, ok := p.assignment()
+		if !ok {
+			return nil, false
+		}
+		return assignExpr{op: op, target: lhs, val: rhs}, true
+	}
+	return lhs, true
+}
+
+func isAssignable(e expr) bool {
+	switch e.(type) {
+	case identExpr, memberExpr:
+		return true
+	}
+	return false
+}
+
+// ternary := lor ('?' assignment ':' assignment)?
+func (p *parser) ternary() (expr, bool) {
+	c, ok := p.lor()
+	if !ok {
+		return nil, false
+	}
+	if p.tok() != tokQuestion {
+		return c, true
+	}
+	p.t.Block(blkPTernary)
+	p.next()
+	t, ok := p.assignment()
+	if !ok {
+		return nil, false
+	}
+	if !p.expect(tokColon) {
+		return nil, false
+	}
+	f, ok := p.assignment()
+	if !ok {
+		return nil, false
+	}
+	return condExpr{c: c, t: t, f: f}, true
+}
+
+// binaryLevel parses a left-associative level of binary operators.
+func (p *parser) binaryLevel(blk uint32, sub func() (expr, bool), ops ...tokKind) (expr, bool) {
+	l, ok := sub()
+	if !ok {
+		return nil, false
+	}
+	for {
+		op := p.tok()
+		found := false
+		for _, o := range ops {
+			if op == o {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return l, true
+		}
+		p.t.Block(blk)
+		p.next()
+		r, ok := sub()
+		if !ok {
+			return nil, false
+		}
+		if op == tokLand || op == tokLor {
+			l = logicalExpr{op: op, l: l, r: r}
+		} else {
+			l = binaryExpr{op: op, l: l, r: r}
+		}
+	}
+}
+
+func (p *parser) lor() (expr, bool) {
+	return p.binaryLevel(blkPLor, p.land, tokLor)
+}
+
+func (p *parser) land() (expr, bool) {
+	return p.binaryLevel(blkPLand, p.bitor, tokLand)
+}
+
+func (p *parser) bitor() (expr, bool) {
+	return p.binaryLevel(blkPBitor, p.bitxor, tokPipe)
+}
+
+func (p *parser) bitxor() (expr, bool) {
+	return p.binaryLevel(blkPBitxor, p.bitand, tokCaret)
+}
+
+func (p *parser) bitand() (expr, bool) {
+	return p.binaryLevel(blkPBitand, p.equality, tokAmp)
+}
+
+func (p *parser) equality() (expr, bool) {
+	return p.binaryLevel(blkPEqOp, p.relational, tokEq, tokNe, tokSeq, tokSne)
+}
+
+func (p *parser) relational() (expr, bool) {
+	l, ok := p.shift()
+	if !ok {
+		return nil, false
+	}
+	for {
+		switch p.tok() {
+		case tokLess, tokGreater, tokLe, tokGe:
+			p.t.Block(blkPRelOp)
+			op := p.tok()
+			p.next()
+			r, ok := p.shift()
+			if !ok {
+				return nil, false
+			}
+			l = binaryExpr{op: op, l: l, r: r}
+		case tokInstanceof:
+			p.t.Block(blkPInstanceof)
+			p.next()
+			r, ok := p.shift()
+			if !ok {
+				return nil, false
+			}
+			l = binaryExpr{op: tokInstanceof, l: l, r: r}
+		case tokIn:
+			if p.noIn {
+				return l, true
+			}
+			p.t.Block(blkPInOp)
+			p.next()
+			r, ok := p.shift()
+			if !ok {
+				return nil, false
+			}
+			l = binaryExpr{op: tokIn, l: l, r: r}
+		default:
+			return l, true
+		}
+	}
+}
+
+func (p *parser) shift() (expr, bool) {
+	return p.binaryLevel(blkPShift, p.additive, tokShl, tokShr, tokUshr)
+}
+
+func (p *parser) additive() (expr, bool) {
+	return p.binaryLevel(blkPAdd, p.multiplicative, tokPlus, tokMinus)
+}
+
+func (p *parser) multiplicative() (expr, bool) {
+	return p.binaryLevel(blkPMul, p.unary, tokStar, tokSlash, tokPercent)
+}
+
+// unary := ('!'|'~'|'+'|'-'|typeof|void|delete) unary | '++'/'--' unary | postfix
+func (p *parser) unary() (expr, bool) {
+	if !p.enter() {
+		p.leave()
+		p.t.Block(blkPReject)
+		return nil, false
+	}
+	defer p.leave()
+
+	switch p.tok() {
+	case tokNot, tokTilde, tokPlus, tokMinus:
+		p.t.Block(blkPUnary)
+		op := p.tok()
+		p.next()
+		x, ok := p.unary()
+		if !ok {
+			return nil, false
+		}
+		return unaryExpr{op: op, x: x}, true
+	case tokTypeof:
+		p.t.Block(blkPTypeof)
+		p.next()
+		x, ok := p.unary()
+		if !ok {
+			return nil, false
+		}
+		return unaryExpr{op: tokTypeof, x: x}, true
+	case tokVoid:
+		p.t.Block(blkPVoid)
+		p.next()
+		x, ok := p.unary()
+		if !ok {
+			return nil, false
+		}
+		return unaryExpr{op: tokVoid, x: x}, true
+	case tokDelete:
+		p.t.Block(blkPDelete)
+		p.next()
+		x, ok := p.unary()
+		if !ok {
+			return nil, false
+		}
+		return unaryExpr{op: tokDelete, x: x}, true
+	case tokInc, tokDec:
+		p.t.Block(blkPPreIncDec)
+		op := p.tok()
+		p.next()
+		x, ok := p.unary()
+		if !ok {
+			return nil, false
+		}
+		if !isAssignable(x) {
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		return incDecExpr{op: op, target: x, prefix: true}, true
+	}
+	return p.postfix()
+}
+
+// postfix := callMember ('++'|'--')?
+func (p *parser) postfix() (expr, bool) {
+	e, ok := p.callMember(true)
+	if !ok {
+		return nil, false
+	}
+	if p.tok() == tokInc || p.tok() == tokDec {
+		if !isAssignable(e) {
+			p.t.Block(blkPReject)
+			return nil, false
+		}
+		p.t.Block(blkPPostIncDec)
+		op := p.tok()
+		p.next()
+		return incDecExpr{op: op, target: e, prefix: false}, true
+	}
+	return e, true
+}
+
+// callMember := primary ('.' ident | '[' expr ']' | '(' args ')')*
+func (p *parser) callMember(allowCall bool) (expr, bool) {
+	e, ok := p.primary()
+	if !ok {
+		return nil, false
+	}
+	for {
+		switch p.tok() {
+		case tokDot:
+			p.t.Block(blkPMember)
+			p.next()
+			if p.tok() != tokIdent {
+				p.t.Block(blkPReject)
+				return nil, false
+			}
+			e = memberExpr{obj: e, name: p.lx.tokWord}
+			p.next()
+		case tokLbracket:
+			p.t.Block(blkPIndex)
+			p.next()
+			idx, ok := p.expression()
+			if !ok {
+				return nil, false
+			}
+			if !p.expect(tokRbracket) {
+				return nil, false
+			}
+			e = memberExpr{obj: e, computed: true, idx: idx}
+		case tokLparen:
+			if !allowCall {
+				return e, true
+			}
+			p.t.Block(blkPCall)
+			args, ok := p.arguments()
+			if !ok {
+				return nil, false
+			}
+			e = callExpr{fn: e, args: args}
+		default:
+			return e, true
+		}
+	}
+}
+
+// arguments parses "(a, b, c)".
+func (p *parser) arguments() ([]expr, bool) {
+	p.next() // consume '('
+	var args []expr
+	if p.tok() != tokRparen {
+		for {
+			p.t.Block(blkPCallArg)
+			a, ok := p.assignment()
+			if !ok {
+				return nil, false
+			}
+			args = append(args, a)
+			if p.tok() != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if !p.expect(tokRparen) {
+		return nil, false
+	}
+	return args, true
+}
+
+// primary parses literals, identifiers, grouping, arrays, objects,
+// functions and new-expressions.
+func (p *parser) primary() (expr, bool) {
+	switch p.tok() {
+	case tokNumber:
+		p.t.Block(blkPNumber)
+		e := numLit{v: p.lx.tokNum}
+		p.next()
+		return e, true
+	case tokString:
+		p.t.Block(blkPString)
+		e := strLit{v: p.lx.tokStr}
+		p.next()
+		return e, true
+	case tokIdent:
+		p.t.Block(blkPIdent)
+		e := identExpr{name: p.lx.tokWord}
+		p.next()
+		return e, true
+	case tokTrue:
+		p.t.Block(blkPTrue)
+		p.next()
+		return boolLit{v: true}, true
+	case tokFalse:
+		p.t.Block(blkPFalse)
+		p.next()
+		return boolLit{v: false}, true
+	case tokNull:
+		p.t.Block(blkPNull)
+		p.next()
+		return nullLit{}, true
+	case tokThis:
+		p.t.Block(blkPThis)
+		p.next()
+		return thisLit{}, true
+	case tokLparen:
+		p.t.Block(blkPParen)
+		p.next()
+		e, ok := p.expression()
+		if !ok {
+			return nil, false
+		}
+		if !p.expect(tokRparen) {
+			return nil, false
+		}
+		return e, true
+	case tokLbracket:
+		p.t.Block(blkPArray)
+		p.next()
+		var elems []expr
+		if p.tok() != tokRbracket {
+			for {
+				p.t.Block(blkPArrayElem)
+				e, ok := p.assignment()
+				if !ok {
+					return nil, false
+				}
+				elems = append(elems, e)
+				if p.tok() != tokComma {
+					break
+				}
+				p.next()
+			}
+		}
+		if !p.expect(tokRbracket) {
+			return nil, false
+		}
+		return arrayLit{elems: elems}, true
+	case tokLbrace:
+		return p.objectLiteral()
+	case tokFunction:
+		p.t.Block(blkPFuncDecl)
+		p.next()
+		// Function expressions may be named; the name is ignored.
+		if p.tok() == tokIdent {
+			p.next()
+		}
+		fn, ok := p.funcRest()
+		if !ok {
+			return nil, false
+		}
+		return *fn, true
+	case tokNew:
+		p.t.Block(blkPNew)
+		p.next()
+		callee, ok := p.callMember(false)
+		if !ok {
+			return nil, false
+		}
+		var args []expr
+		if p.tok() == tokLparen {
+			args, ok = p.arguments()
+			if !ok {
+				return nil, false
+			}
+		}
+		return newExpr{fn: callee, args: args}, true
+	default:
+		p.t.Block(blkPReject)
+		return nil, false
+	}
+}
+
+// objectLiteral parses { key: value, ... } with identifier, string or
+// number keys.
+func (p *parser) objectLiteral() (expr, bool) {
+	p.t.Block(blkPObject)
+	p.next()
+	var lit objectLit
+	if p.tok() != tokRbrace {
+		for {
+			p.t.Block(blkPObjectProp)
+			var key string
+			switch p.tok() {
+			case tokIdent:
+				key = p.lx.tokWord.Text()
+			case tokString:
+				key = p.lx.tokStr
+			case tokNumber:
+				key = numToString(p.lx.tokNum)
+			default:
+				p.t.Block(blkPReject)
+				return nil, false
+			}
+			p.next()
+			if !p.expect(tokColon) {
+				return nil, false
+			}
+			v, ok := p.assignment()
+			if !ok {
+				return nil, false
+			}
+			lit.keys = append(lit.keys, key)
+			lit.vals = append(lit.vals, v)
+			if p.tok() != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if !p.expect(tokRbrace) {
+		return nil, false
+	}
+	return lit, true
+}

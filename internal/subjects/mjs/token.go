@@ -1,0 +1,140 @@
+package mjs
+
+// tokKind enumerates mjs token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokErr
+
+	// Literals and names.
+	tokNumber
+	tokString
+	tokIdent
+
+	// Punctuation, length 1.
+	tokLbrace
+	tokRbrace
+	tokLparen
+	tokRparen
+	tokLbracket
+	tokRbracket
+	tokSemi
+	tokComma
+	tokDot
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokLess
+	tokGreater
+	tokAssign
+	tokAmp
+	tokPipe
+	tokCaret
+	tokNot
+	tokTilde
+	tokQuestion
+	tokColon
+
+	// Punctuation, length 2.
+	tokEq   // ==
+	tokNe   // !=
+	tokLe   // <=
+	tokGe   // >=
+	tokAddA // +=
+	tokSubA // -=
+	tokMulA // *=
+	tokDivA // /=
+	tokModA // %=
+	tokAndA // &=
+	tokOrA  // |=
+	tokXorA // ^=
+	tokShl  // <<
+	tokShr  // >>
+	tokLand // &&
+	tokLor  // ||
+	tokInc  // ++
+	tokDec  // --
+
+	// Punctuation, length 3+.
+	tokSeq   // ===
+	tokSne   // !==
+	tokShlA  // <<=
+	tokShrA  // >>=
+	tokUshr  // >>>
+	tokUshrA // >>>=
+
+	// Keywords.
+	tokIf
+	tokIn
+	tokDo
+	tokFor
+	tokLet
+	tokNew
+	tokTry
+	tokVar
+	tokTrue
+	tokNull
+	tokVoid
+	tokWith
+	tokElse
+	tokThis
+	tokCase
+	tokFalse
+	tokThrow
+	tokWhile
+	tokBreak
+	tokCatch
+	tokConst
+	tokReturn
+	tokDelete
+	tokTypeof
+	tokSwitch
+	tokDefault
+	tokFinally
+	tokContinue
+	tokFunction
+	tokDebugger
+	tokInstanceof
+)
+
+// keywords lists the reserved words in the order the lexer's strcmp
+// chain tests them, mirroring mjs's is_reserved_word_token.
+var keywords = []struct {
+	word string
+	kind tokKind
+}{
+	{"if", tokIf},
+	{"in", tokIn},
+	{"do", tokDo},
+	{"for", tokFor},
+	{"let", tokLet},
+	{"new", tokNew},
+	{"try", tokTry},
+	{"var", tokVar},
+	{"true", tokTrue},
+	{"null", tokNull},
+	{"void", tokVoid},
+	{"with", tokWith},
+	{"else", tokElse},
+	{"this", tokThis},
+	{"case", tokCase},
+	{"false", tokFalse},
+	{"throw", tokThrow},
+	{"while", tokWhile},
+	{"break", tokBreak},
+	{"catch", tokCatch},
+	{"const", tokConst},
+	{"return", tokReturn},
+	{"delete", tokDelete},
+	{"typeof", tokTypeof},
+	{"switch", tokSwitch},
+	{"default", tokDefault},
+	{"finally", tokFinally},
+	{"continue", tokContinue},
+	{"function", tokFunction},
+	{"debugger", tokDebugger},
+	{"instanceof", tokInstanceof},
+}

@@ -1,0 +1,459 @@
+package mjs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func nan() float64 { return math.NaN() }
+
+// truthy implements JS ToBoolean.
+func truthy(v value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case undef:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0 && !math.IsNaN(x)
+	case string:
+		return x != ""
+	case *object:
+		return true
+	}
+	return false
+}
+
+// toNumber implements JS ToNumber (simplified).
+func toNumber(v value) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case nil:
+		return 0
+	case undef:
+		return nan()
+	case string:
+		s := strings.TrimSpace(x)
+		if s == "" {
+			return 0
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return f
+		}
+		return nan()
+	case *object:
+		return nan()
+	}
+	return nan()
+}
+
+// toInt32 implements JS ToInt32.
+func toInt32(v value) int32 {
+	f := toNumber(v)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return int32(int64(f))
+}
+
+// numToString renders a number the way JS does for common cases.
+func numToString(f float64) string {
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// toString implements JS ToString (simplified).
+func toString(v value) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return numToString(x)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case nil:
+		return "null"
+	case undef:
+		return "undefined"
+	case *object:
+		if x.isArray {
+			parts := make([]string, len(x.elems))
+			for i, e := range x.elems {
+				parts[i] = toString(e)
+			}
+			return strings.Join(parts, ",")
+		}
+		if x.fn != nil || x.builtin != "" || x.bmember != nil {
+			return "function"
+		}
+		return "[object Object]"
+	}
+	return ""
+}
+
+// typeOf implements the typeof operator.
+func typeOf(v value) string {
+	switch x := v.(type) {
+	case undef:
+		return "undefined"
+	case nil:
+		return "object" // typeof null
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *object:
+		if x.fn != nil || x.builtin != "" || x.bmember != nil {
+			return "function"
+		}
+		return "object"
+	}
+	return "undefined"
+}
+
+// strictEq implements ===.
+func strictEq(a, b value) bool {
+	switch x := a.(type) {
+	case undef:
+		_, ok := b.(undef)
+		return ok
+	case nil:
+		return b == nil
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case *object:
+		y, ok := b.(*object)
+		return ok && x == y
+	}
+	return false
+}
+
+// looseEq implements == (simplified JS abstract equality).
+func looseEq(a, b value) bool {
+	if strictEq(a, b) {
+		return true
+	}
+	_, aUndef := a.(undef)
+	_, bUndef := b.(undef)
+	if (a == nil && bUndef) || (aUndef && b == nil) {
+		return true
+	}
+	switch a.(type) {
+	case float64, string, bool:
+		switch b.(type) {
+		case float64, string, bool:
+			return toNumber(a) == toNumber(b)
+		}
+	}
+	return false
+}
+
+// compare implements < > <= >= with the string/number split.
+func compare(op tokKind, l, r value) bool {
+	ls, lok := l.(string)
+	rs, rok := r.(string)
+	if lok && rok {
+		switch op {
+		case tokLess:
+			return ls < rs
+		case tokGreater:
+			return ls > rs
+		case tokLe:
+			return ls <= rs
+		case tokGe:
+			return ls >= rs
+		}
+	}
+	ln, rn := toNumber(l), toNumber(r)
+	if math.IsNaN(ln) || math.IsNaN(rn) {
+		return false
+	}
+	switch op {
+	case tokLess:
+		return ln < rn
+	case tokGreater:
+		return ln > rn
+	case tokLe:
+		return ln <= rn
+	case tokGe:
+		return ln >= rn
+	}
+	return false
+}
+
+// enumKeys returns the for-in enumeration keys of v, deterministic
+// (sorted) so campaigns replay exactly.
+func enumKeys(v value) []string {
+	o, ok := v.(*object)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	if o.isArray {
+		for i := range o.elems {
+			keys = append(keys, strconv.Itoa(i))
+		}
+		return keys
+	}
+	for k := range o.props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// jsonStringify serializes v as JSON (depth-limited).
+func jsonStringify(v value, depth int) string {
+	if depth > 8 {
+		return "null"
+	}
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case undef:
+		return "null"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return "null"
+		}
+		return numToString(x)
+	case string:
+		return strconv.Quote(x)
+	case *object:
+		if x.fn != nil || x.builtin != "" || x.bmember != nil {
+			return "null"
+		}
+		if x.isArray {
+			parts := make([]string, len(x.elems))
+			for i, e := range x.elems {
+				parts[i] = jsonStringify(e, depth+1)
+			}
+			return "[" + strings.Join(parts, ",") + "]"
+		}
+		var keys []string
+		for k := range x.props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, strconv.Quote(k)+":"+jsonStringify(x.props[k], depth+1))
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+	return "null"
+}
+
+// jsonParse parses s as JSON into mjs values. The string content is a
+// runtime value, so the parse is untainted — matching the taint break
+// at tokenization the paper describes.
+func jsonParse(s string) (value, bool) {
+	p := &jparser{s: s}
+	p.ws()
+	v, ok := p.value()
+	if !ok {
+		return nil, false
+	}
+	p.ws()
+	if p.i != len(p.s) {
+		return nil, false
+	}
+	return v, true
+}
+
+type jparser struct {
+	s string
+	i int
+}
+
+func (p *jparser) ws() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t' || p.s[p.i] == '\n' || p.s[p.i] == '\r') {
+		p.i++
+	}
+}
+
+func (p *jparser) value() (value, bool) {
+	if p.i >= len(p.s) {
+		return nil, false
+	}
+	switch c := p.s[p.i]; {
+	case c == 'n':
+		if strings.HasPrefix(p.s[p.i:], "null") {
+			p.i += 4
+			return nil, true
+		}
+		return nil, false
+	case c == 't':
+		if strings.HasPrefix(p.s[p.i:], "true") {
+			p.i += 4
+			return true, true
+		}
+		return nil, false
+	case c == 'f':
+		if strings.HasPrefix(p.s[p.i:], "false") {
+			p.i += 5
+			return false, true
+		}
+		return nil, false
+	case c == '"':
+		return p.str()
+	case c == '[':
+		p.i++
+		arr := &object{isArray: true}
+		p.ws()
+		if p.i < len(p.s) && p.s[p.i] == ']' {
+			p.i++
+			return arr, true
+		}
+		for {
+			p.ws()
+			v, ok := p.value()
+			if !ok {
+				return nil, false
+			}
+			arr.elems = append(arr.elems, v)
+			p.ws()
+			if p.i >= len(p.s) {
+				return nil, false
+			}
+			if p.s[p.i] == ',' {
+				p.i++
+				continue
+			}
+			if p.s[p.i] == ']' {
+				p.i++
+				return arr, true
+			}
+			return nil, false
+		}
+	case c == '{':
+		p.i++
+		obj := &object{props: make(map[string]value)}
+		p.ws()
+		if p.i < len(p.s) && p.s[p.i] == '}' {
+			p.i++
+			return obj, true
+		}
+		for {
+			p.ws()
+			k, ok := p.str()
+			if !ok {
+				return nil, false
+			}
+			p.ws()
+			if p.i >= len(p.s) || p.s[p.i] != ':' {
+				return nil, false
+			}
+			p.i++
+			p.ws()
+			v, ok := p.value()
+			if !ok {
+				return nil, false
+			}
+			obj.props[k.(string)] = v
+			p.ws()
+			if p.i >= len(p.s) {
+				return nil, false
+			}
+			if p.s[p.i] == ',' {
+				p.i++
+				continue
+			}
+			if p.s[p.i] == '}' {
+				p.i++
+				return obj, true
+			}
+			return nil, false
+		}
+	case c == '-' || (c >= '0' && c <= '9'):
+		j := p.i
+		if p.s[j] == '-' {
+			j++
+		}
+		for j < len(p.s) && (p.s[j] >= '0' && p.s[j] <= '9' || p.s[j] == '.' ||
+			p.s[j] == 'e' || p.s[j] == 'E' || p.s[j] == '+' || p.s[j] == '-') {
+			j++
+		}
+		f, err := strconv.ParseFloat(p.s[p.i:j], 64)
+		if err != nil {
+			return nil, false
+		}
+		p.i = j
+		return f, true
+	}
+	return nil, false
+}
+
+func (p *jparser) str() (value, bool) {
+	if p.i >= len(p.s) || p.s[p.i] != '"' {
+		return nil, false
+	}
+	p.i++
+	var out []byte
+	for p.i < len(p.s) {
+		c := p.s[p.i]
+		if c == '"' {
+			p.i++
+			return string(out), true
+		}
+		if c == '\\' {
+			p.i++
+			if p.i >= len(p.s) {
+				return nil, false
+			}
+			switch p.s[p.i] {
+			case 'n':
+				out = append(out, '\n')
+			case 't':
+				out = append(out, '\t')
+			case 'r':
+				out = append(out, '\r')
+			case '"':
+				out = append(out, '"')
+			case '\\':
+				out = append(out, '\\')
+			case '/':
+				out = append(out, '/')
+			default:
+				return nil, false
+			}
+			p.i++
+			continue
+		}
+		out = append(out, c)
+		p.i++
+	}
+	return nil, false
+}

@@ -1,0 +1,172 @@
+// Package paren is the multi-bracket Dyck language the paper uses to
+// motivate its search heuristic (§3, §3.2): a parser for well-balanced
+// sequences over four bracket kinds. Random choice between opening and
+// closing brackets closes a prefix of length 2n with probability only
+// 1/(n+1), which is why pFuzzer needs the stack-size and input-length
+// terms in its heuristic; this subject exists to demonstrate exactly
+// that behaviour in tests and ablation benchmarks.
+package paren
+
+import (
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/tokens"
+	"pfuzzer/internal/trace"
+)
+
+const (
+	blkStart = iota
+	blkSeq
+	blkOpenRound
+	blkCloseRound
+	blkOpenSquare
+	blkCloseSquare
+	blkOpenCurly
+	blkCloseCurly
+	blkOpenAngle
+	blkCloseAngle
+	blkNested
+	blkAccept
+	blkRejectEOF
+	blkRejectChar
+	blkRejectEmpty
+	blkRejectTrail
+	numBlocks
+)
+
+// Program is the bracket-language subject.
+type Program struct{}
+
+// New returns the paren subject.
+func New() *Program { return &Program{} }
+
+// Name implements subject.Program.
+func (*Program) Name() string { return "paren" }
+
+// Blocks implements subject.Program.
+func (*Program) Blocks() int { return numBlocks }
+
+// Run accepts one or more balanced bracket groups.
+func (*Program) Run(t *trace.Tracer) int {
+	p := &parser{t: t}
+	t.Block(blkStart)
+	if t.Len() == 0 {
+		// Force an EOF access so the fuzzer learns to append.
+		t.At(0)
+		t.Block(blkRejectEmpty)
+		return subject.ExitReject
+	}
+	if !p.groups() {
+		return subject.ExitReject
+	}
+	if p.pos != t.Len() {
+		t.Block(blkRejectTrail)
+		return subject.ExitReject
+	}
+	t.Block(blkAccept)
+	return subject.ExitOK
+}
+
+type parser struct {
+	t   *trace.Tracer
+	pos int
+}
+
+var pairs = []struct {
+	open, close byte
+	openBlk     uint32
+	closeBlk    uint32
+}{
+	{'(', ')', blkOpenRound, blkCloseRound},
+	{'[', ']', blkOpenSquare, blkCloseSquare},
+	{'{', '}', blkOpenCurly, blkCloseCurly},
+	{'<', '>', blkOpenAngle, blkCloseAngle},
+}
+
+// groups := group+
+func (p *parser) groups() bool {
+	if !p.group() {
+		return false
+	}
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			return true
+		}
+		if !p.isOpen(c.B) {
+			return true
+		}
+		p.t.Block(blkSeq)
+		_ = c
+		if !p.group() {
+			return false
+		}
+	}
+}
+
+func (p *parser) isOpen(b byte) bool {
+	for _, pr := range pairs {
+		if pr.open == b {
+			return true
+		}
+	}
+	return false
+}
+
+// group := open groups? close
+func (p *parser) group() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		p.t.Block(blkRejectEOF)
+		return false
+	}
+	for _, pr := range pairs {
+		if p.t.CharEq(c, pr.open) {
+			p.t.Block(pr.openBlk)
+			p.pos++
+			// Optional nested groups.
+			if n, ok := p.t.At(p.pos); ok && p.isOpen(n.B) {
+				p.t.Block(blkNested)
+				if !p.groups() {
+					return false
+				}
+			}
+			cc, ok := p.t.At(p.pos)
+			if !ok {
+				p.t.Block(blkRejectEOF)
+				return false
+			}
+			if !p.t.CharEq(cc, pr.close) {
+				p.t.Block(blkRejectChar)
+				return false
+			}
+			p.t.Block(pr.closeBlk)
+			p.pos++
+			return true
+		}
+	}
+	p.t.Block(blkRejectChar)
+	return false
+}
+
+// Inventory lists the eight bracket tokens.
+var Inventory = tokens.Inventory{
+	tokens.Lit("("), tokens.Lit(")"),
+	tokens.Lit("["), tokens.Lit("]"),
+	tokens.Lit("{"), tokens.Lit("}"),
+	tokens.Lit("<"), tokens.Lit(">"),
+}
+
+// Tokenize returns the inventory tokens present in input.
+func Tokenize(input []byte) map[string]bool {
+	out := map[string]bool{}
+	for _, b := range input {
+		switch b {
+		case '(', ')', '[', ']', '{', '}', '<', '>':
+			out[string(b)] = true
+		}
+	}
+	return out
+}

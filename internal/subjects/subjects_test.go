@@ -1,0 +1,244 @@
+// Package subjects_test exercises accept/reject behaviour of every
+// subject through the common Program interface.
+package subjects_test
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/subjects/cjson"
+	"pfuzzer/internal/subjects/csvp"
+	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/subjects/ini"
+	"pfuzzer/internal/subjects/paren"
+	"pfuzzer/internal/subjects/tinyc"
+	"pfuzzer/internal/trace"
+)
+
+func accepts(t *testing.T, p subject.Program, input string) {
+	t.Helper()
+	rec := subject.Execute(p, []byte(input), trace.Full())
+	if !rec.Accepted() {
+		t.Errorf("%s: input %q rejected, want accepted", p.Name(), input)
+	}
+}
+
+func rejects(t *testing.T, p subject.Program, input string) {
+	t.Helper()
+	rec := subject.Execute(p, []byte(input), trace.Full())
+	if rec.Accepted() {
+		t.Errorf("%s: input %q accepted, want rejected", p.Name(), input)
+	}
+}
+
+func TestExprAccepts(t *testing.T) {
+	p := expr.New()
+	// The paper's §2 examples.
+	for _, in := range []string{"1", "11", "+1", "-1", "1+1", "1-1", "(1)", "(2-94)", "((3))", "1+2-3", "(1)+(2)"} {
+		accepts(t, p, in)
+	}
+}
+
+func TestExprRejects(t *testing.T) {
+	p := expr.New()
+	for _, in := range []string{"", "A", "(", "(1", "1)", "++", "1+", "()", "1 1", "2B"} {
+		rejects(t, p, in)
+	}
+}
+
+func TestParenAccepts(t *testing.T) {
+	p := paren.New()
+	for _, in := range []string{"()", "[]", "{}", "<>", "([]{})", "()()", "((((()))))", "<[{()}]>"} {
+		accepts(t, p, in)
+	}
+}
+
+func TestParenRejects(t *testing.T) {
+	p := paren.New()
+	for _, in := range []string{"", "(", ")", "(]", "([)]", "()x", "(()"} {
+		rejects(t, p, in)
+	}
+}
+
+func TestIniAccepts(t *testing.T) {
+	p := ini.New()
+	for _, in := range []string{
+		"",
+		"\n",
+		"; comment\n",
+		"[section]\n",
+		"[section]",
+		"key=value\n",
+		"key=value",
+		"[s]\nkey=value\n; done\n",
+		"  key = value  \n",
+		"[a][b]=c\n", // ']' then pair-like rest would fail; this line is a section followed by garbage
+	} {
+		if in == "[a][b]=c\n" {
+			rejects(t, p, in)
+			continue
+		}
+		accepts(t, p, in)
+	}
+}
+
+func TestIniRejects(t *testing.T) {
+	p := ini.New()
+	for _, in := range []string{"[unclosed\n", "noequals\n", "=value\n", "[s] x\n"} {
+		rejects(t, p, in)
+	}
+}
+
+func TestCsvAccepts(t *testing.T) {
+	p := csvp.New()
+	for _, in := range []string{
+		"",
+		"a",
+		"a,b,c",
+		"a,b\nc,d\n",
+		`"quoted"`,
+		`"a,b","c""d"`,
+		"a,,b",
+		"\n",
+	} {
+		accepts(t, p, in)
+	}
+}
+
+func TestCsvRejects(t *testing.T) {
+	p := csvp.New()
+	for _, in := range []string{`"unterminated`, `a"b`, `"x"y`} {
+		rejects(t, p, in)
+	}
+}
+
+func TestCjsonAccepts(t *testing.T) {
+	p := cjson.New()
+	for _, in := range []string{
+		"1", "0", "-1", "3.14", "1e10", "2E-3", "0.5",
+		`""`, `"abc"`, `"a\nb"`, `"A"`, `"😀"`,
+		"true", "false", "null",
+		"[]", "[1]", "[1,2,3]", `[true,false,null]`,
+		"{}", `{"a":1}`, `{"a":1,"b":[2,3]}`,
+		` { "x" : [ 1 , "y" ] } `,
+	} {
+		accepts(t, p, in)
+	}
+}
+
+func TestCjsonRejects(t *testing.T) {
+	p := cjson.New()
+	for _, in := range []string{
+		"", "tru", "truex", "nul", "+1", "01", "1.", "1e", `"`,
+		`"\q"`, `"\u00g1"`, `"\ud800"`, "[1,]", "[1", "{", `{"a"}`,
+		`{"a":}`, `{a:1}`, "1 2", "[] []",
+	} {
+		rejects(t, p, in)
+	}
+}
+
+func TestTinycAccepts(t *testing.T) {
+	p := tinyc.New()
+	for _, in := range []string{
+		";",
+		"{}",
+		"a=1;",
+		"a=b=2;",
+		"1+2;",
+		"a<b;",
+		"if(1)a=2;",
+		"if(a<b)a=1;else a=2;",
+		"while(a<3)a=a+1;",
+		"do a=a+1; while(a<3);",
+		"{a=1;b=2;{c=a+b;}}",
+		"while(9);", // terminates via the step budget
+		"if (1) { a = 2 ; } else { a = 3 ; }",
+	} {
+		accepts(t, p, in)
+	}
+}
+
+func TestTinycRejects(t *testing.T) {
+	p := tinyc.New()
+	for _, in := range []string{
+		"", "a", "a=1", "ab=1;", "if(1)", "if 1 a=2;", "while(1)",
+		"do a=1; while(1)", "{a=1;", "1+;", "a==1;", "A=1;", "if(1);else",
+	} {
+		rejects(t, p, in)
+	}
+}
+
+// TestTinycExecution checks interpreter effects indirectly: programs
+// with loops and conditionals must still be accepted and terminate.
+func TestTinycExecution(t *testing.T) {
+	p := tinyc.New()
+	accepts(t, p, "{a=0;while(a<100)a=a+1;}")
+	accepts(t, p, "{i=0;do{i=i+1;}while(i<5);}")
+}
+
+// TestEveryRejectionRecordsComparisons: for the fuzzer to make
+// progress, a rejected non-empty input must leave behind either a
+// comparison or an EOF access.
+func TestEveryRejectionRecordsComparisons(t *testing.T) {
+	cases := map[string][]string{
+		"expr":  {"A", "(", "1+"},
+		"paren": {"x", "(", "(]"},
+		"ini":   {"[x", "=v\n"},
+		"csv":   {`"a`},
+		"cjson": {"x", "tr", "[1;"},
+		"tinyc": {"A", "if(", "whi"},
+	}
+	progs := map[string]subject.Program{
+		"expr": expr.New(), "paren": paren.New(), "ini": ini.New(),
+		"csv": csvp.New(), "cjson": cjson.New(), "tinyc": tinyc.New(),
+	}
+	for name, inputs := range cases {
+		for _, in := range inputs {
+			rec := subject.Execute(progs[name], []byte(in), trace.Full())
+			if rec.Accepted() {
+				t.Errorf("%s: %q unexpectedly accepted", name, in)
+				continue
+			}
+			if len(rec.Comparisons) == 0 && len(rec.EOFs) == 0 {
+				t.Errorf("%s: rejection of %q recorded no comparisons and no EOF accesses", name, in)
+			}
+		}
+	}
+}
+
+// TestKeywordComparisonsExposeLiterals: the strcmp wrapping must
+// surface keyword literals as substitution candidates.
+func TestKeywordComparisonsExposeLiterals(t *testing.T) {
+	rec := subject.Execute(tinyc.New(), []byte("w"), trace.Full())
+	found := false
+	for _, c := range rec.Comparisons {
+		if c.Kind == trace.CmpStrEq && string(c.Expected) == "while" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error(`tinyc: input "w" produced no strcmp against "while"`)
+	}
+
+	rec = subject.Execute(cjson.New(), []byte("t"), trace.Full())
+	found = false
+	for _, c := range rec.Comparisons {
+		if c.Kind == trace.CmpStrEq && string(c.Expected) == "true" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error(`cjson: input "t" produced no strcmp against "true"`)
+	}
+}
+
+// TestUTF16EscapeIsInvisible: the \u hex digits must not appear in
+// tainted comparisons (the implicit-flow taint loss of §5.2).
+func TestUTF16EscapeIsInvisible(t *testing.T) {
+	rec := subject.Execute(cjson.New(), []byte(`"\u00`), trace.Full())
+	for _, c := range rec.Comparisons {
+		if c.Index >= 3 && c.Kind != trace.CmpStrEq { // offsets of the hex digits
+			t.Errorf("hex digit at offset %d leaked into comparison %v", c.Index, c)
+		}
+	}
+}

@@ -1,0 +1,723 @@
+// Package tinyc reproduces the paper's Tiny-C subject (Table 1:
+// "tinyC 2018-10-25, 191 LoC"), a compiler/interpreter for a tiny
+// subset of C:
+//
+//	<statement> ::= "if" <paren_expr> <statement> [ "else" <statement> ]
+//	             | "while" <paren_expr> <statement>
+//	             | "do" <statement> "while" <paren_expr> ";"
+//	             | "{" { <statement> } "}"
+//	             | <expr> ";" | ";"
+//	<expr>      ::= <test> | <id> "=" <expr>
+//	<test>      ::= <sum> [ "<" <sum> ]
+//	<sum>       ::= <term> { ("+"|"-") <term> }
+//	<term>      ::= <id> | <int> | <paren_expr>
+//
+// Variables are the single letters a–z. As in the original, the lexer
+// runs interleaved with the parser and recognizes keywords by string
+// comparison over the accumulated word (§7.2) — the wrapped strcmp is
+// what exposes "if", "do", "else" and "while" to the fuzzer. Accepted
+// programs are then executed by a step-bounded interpreter, as the
+// paper's evaluation does ("tinyC and mjs also execute the program",
+// §5.2).
+package tinyc
+
+import (
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/taint"
+	"pfuzzer/internal/tokens"
+	"pfuzzer/internal/trace"
+)
+
+const (
+	blkStart = iota
+	blkLexSym
+	blkLexInt
+	blkLexWord
+	blkKwDo
+	blkKwElse
+	blkKwIf
+	blkKwWhile
+	blkLexID
+	blkStmtIf
+	blkStmtIfElse
+	blkStmtWhile
+	blkStmtDo
+	blkStmtBlock
+	blkStmtBlockItem
+	blkStmtExpr
+	blkStmtEmpty
+	blkParenOpen
+	blkParenClose
+	blkExprAssign
+	blkExprTest
+	blkTestLess
+	blkSumAdd
+	blkSumSub
+	blkTermID
+	blkTermInt
+	blkTermParen
+	blkAccept
+	blkRejectTok
+	blkRejectStmt
+	blkRejectExpr
+	blkRejectTrail
+	blkExecAssign
+	blkExecIfTrue
+	blkExecIfFalse
+	blkExecElse
+	blkExecWhileIter
+	blkExecDoIter
+	blkExecLess
+	blkExecAdd
+	blkExecSub
+	blkExecVar
+	blkExecConst
+	blkExecBudget
+	numBlocks
+)
+
+// defaultExecSteps bounds interpreter steps so inputs like "while(9);"
+// terminate (the paper had to patch that input by hand; we cap
+// execution instead, §5.2 footnote 6).
+const defaultExecSteps = 4096
+
+// Program is the tinyC subject.
+type Program struct{}
+
+// New returns the tinyC subject.
+func New() *Program { return &Program{} }
+
+// Name implements subject.Program.
+func (*Program) Name() string { return "tinyc" }
+
+// Blocks implements subject.Program.
+func (*Program) Blocks() int { return numBlocks }
+
+// Run parses the input as one Tiny-C statement and, on success,
+// executes it.
+func (*Program) Run(t *trace.Tracer) int {
+	p := &parser{t: t}
+	t.Block(blkStart)
+	p.next()
+	st, ok := p.statement()
+	if !ok {
+		return subject.ExitReject
+	}
+	if p.tok != tokEOF {
+		t.Block(blkRejectTrail)
+		return subject.ExitReject
+	}
+	t.Block(blkAccept)
+	// Execution phase: coverage only, never affects acceptance.
+	ip := &interp{t: t, steps: t.ExecSteps(defaultExecSteps)}
+	ip.exec(st)
+	return subject.ExitOK
+}
+
+// Token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokErr
+	tokDo
+	tokElse
+	tokIf
+	tokWhile
+	tokLbrace
+	tokRbrace
+	tokLparen
+	tokRparen
+	tokPlus
+	tokMinus
+	tokLess
+	tokSemi
+	tokAssign
+	tokInt
+	tokID
+)
+
+// AST node kinds.
+type nodeKind int
+
+const (
+	ndVar nodeKind = iota
+	ndConst
+	ndAdd
+	ndSub
+	ndLess
+	ndAssign
+	ndIf
+	ndIfElse
+	ndWhile
+	ndDo
+	ndEmpty
+	ndSeq
+	ndExprStmt
+)
+
+type node struct {
+	kind nodeKind
+	val  int // variable index or constant value
+	kids []*node
+}
+
+type parser struct {
+	t   *trace.Tracer
+	pos int
+
+	tok    tokKind
+	tokVal int // variable index or integer value
+}
+
+// next is the interleaved lexer (Tiny-C's next_sym).
+func (p *parser) next() {
+	// Skip whitespace (isspace-style table lookup, untracked).
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			p.tok = tokEOF
+			return
+		}
+		if c.B != ' ' && c.B != '\t' && c.B != '\n' && c.B != '\r' {
+			break
+		}
+		p.pos++
+	}
+	c, _ := p.t.At(p.pos)
+	switch {
+	case p.t.CharEq(c, '{'):
+		p.sym(tokLbrace)
+	case p.t.CharEq(c, '}'):
+		p.sym(tokRbrace)
+	case p.t.CharEq(c, '('):
+		p.sym(tokLparen)
+	case p.t.CharEq(c, ')'):
+		p.sym(tokRparen)
+	case p.t.CharEq(c, '+'):
+		p.sym(tokPlus)
+	case p.t.CharEq(c, '-'):
+		p.sym(tokMinus)
+	case p.t.CharEq(c, '<'):
+		p.sym(tokLess)
+	case p.t.CharEq(c, ';'):
+		p.sym(tokSemi)
+	case p.t.CharEq(c, '='):
+		p.sym(tokAssign)
+	case p.t.CharRange(c, '0', '9'):
+		p.t.Block(blkLexInt)
+		v := 0
+		for {
+			c, ok := p.t.At(p.pos)
+			if !ok || !p.t.CharRange(c, '0', '9') {
+				break
+			}
+			v = v*10 + int(c.B-'0')
+			if v > 1<<30 {
+				v = 1 << 30
+			}
+			p.pos++
+		}
+		p.tok, p.tokVal = tokInt, v
+	case p.t.CharRange(c, 'a', 'z'):
+		p.t.Block(blkLexWord)
+		var word taint.String
+		for {
+			c, ok := p.t.At(p.pos)
+			if !ok || !p.t.CharRange(c, 'a', 'z') {
+				break
+			}
+			word = word.Append(c)
+			p.pos++
+		}
+		p.word(word)
+	default:
+		p.t.Block(blkRejectTok)
+		p.tok = tokErr
+	}
+}
+
+func (p *parser) sym(k tokKind) {
+	p.t.Block(blkLexSym)
+	p.pos++
+	p.tok = k
+}
+
+// word classifies an accumulated lowercase word: keyword via wrapped
+// strcmp (Tiny-C compares against its words[] table), else a
+// single-letter variable.
+func (p *parser) word(w taint.String) {
+	switch {
+	case p.t.StrEq(w, "do"):
+		p.t.Block(blkKwDo)
+		p.tok = tokDo
+	case p.t.StrEq(w, "else"):
+		p.t.Block(blkKwElse)
+		p.tok = tokElse
+	case p.t.StrEq(w, "if"):
+		p.t.Block(blkKwIf)
+		p.tok = tokIf
+	case p.t.StrEq(w, "while"):
+		p.t.Block(blkKwWhile)
+		p.tok = tokWhile
+	case len(w) == 1:
+		p.t.Block(blkLexID)
+		p.tok, p.tokVal = tokID, int(w[0].B-'a')
+	default:
+		p.t.Block(blkRejectTok)
+		p.tok = tokErr
+	}
+}
+
+// statement parses one <statement>.
+func (p *parser) statement() (*node, bool) {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	switch p.tok {
+	case tokIf:
+		p.t.Block(blkStmtIf)
+		p.next()
+		cond, ok := p.parenExpr()
+		if !ok {
+			return nil, false
+		}
+		then, ok := p.statement()
+		if !ok {
+			return nil, false
+		}
+		if p.tok == tokElse {
+			p.t.Block(blkStmtIfElse)
+			p.next()
+			els, ok := p.statement()
+			if !ok {
+				return nil, false
+			}
+			return &node{kind: ndIfElse, kids: []*node{cond, then, els}}, true
+		}
+		return &node{kind: ndIf, kids: []*node{cond, then}}, true
+
+	case tokWhile:
+		p.t.Block(blkStmtWhile)
+		p.next()
+		cond, ok := p.parenExpr()
+		if !ok {
+			return nil, false
+		}
+		body, ok := p.statement()
+		if !ok {
+			return nil, false
+		}
+		return &node{kind: ndWhile, kids: []*node{cond, body}}, true
+
+	case tokDo:
+		p.t.Block(blkStmtDo)
+		p.next()
+		body, ok := p.statement()
+		if !ok {
+			return nil, false
+		}
+		if p.tok != tokWhile {
+			p.t.Block(blkRejectStmt)
+			return nil, false
+		}
+		p.next()
+		cond, ok := p.parenExpr()
+		if !ok {
+			return nil, false
+		}
+		if p.tok != tokSemi {
+			p.t.Block(blkRejectStmt)
+			return nil, false
+		}
+		p.next()
+		return &node{kind: ndDo, kids: []*node{body, cond}}, true
+
+	case tokLbrace:
+		p.t.Block(blkStmtBlock)
+		p.next()
+		seq := &node{kind: ndSeq}
+		for p.tok != tokRbrace {
+			if p.tok == tokEOF || p.tok == tokErr {
+				p.t.Block(blkRejectStmt)
+				return nil, false
+			}
+			p.t.Block(blkStmtBlockItem)
+			st, ok := p.statement()
+			if !ok {
+				return nil, false
+			}
+			seq.kids = append(seq.kids, st)
+		}
+		p.next()
+		return seq, true
+
+	case tokSemi:
+		p.t.Block(blkStmtEmpty)
+		p.next()
+		return &node{kind: ndEmpty}, true
+
+	case tokEOF, tokErr:
+		p.t.Block(blkRejectStmt)
+		return nil, false
+
+	default:
+		p.t.Block(blkStmtExpr)
+		e, ok := p.expr()
+		if !ok {
+			return nil, false
+		}
+		if p.tok != tokSemi {
+			p.t.Block(blkRejectStmt)
+			return nil, false
+		}
+		p.next()
+		return &node{kind: ndExprStmt, kids: []*node{e}}, true
+	}
+}
+
+// parenExpr parses "(" <expr> ")".
+func (p *parser) parenExpr() (*node, bool) {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	if p.tok != tokLparen {
+		p.t.Block(blkRejectExpr)
+		return nil, false
+	}
+	p.t.Block(blkParenOpen)
+	p.next()
+	e, ok := p.expr()
+	if !ok {
+		return nil, false
+	}
+	if p.tok != tokRparen {
+		p.t.Block(blkRejectExpr)
+		return nil, false
+	}
+	p.t.Block(blkParenClose)
+	p.next()
+	return e, true
+}
+
+// expr parses <expr> ::= <test> | <id> "=" <expr>. Like the original,
+// it parses a test and rewrites to an assignment when an '=' follows a
+// bare variable.
+func (p *parser) expr() (*node, bool) {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	if p.tok != tokID {
+		return p.test()
+	}
+	id := p.tokVal
+	p.next()
+	if p.tok == tokAssign {
+		p.t.Block(blkExprAssign)
+		p.next()
+		rhs, ok := p.expr()
+		if !ok {
+			return nil, false
+		}
+		return &node{kind: ndAssign, val: id, kids: []*node{rhs}}, true
+	}
+	p.t.Block(blkExprTest)
+	// Continue the test with the already-parsed variable.
+	return p.testFrom(&node{kind: ndVar, val: id})
+}
+
+// test parses <test> ::= <sum> [ "<" <sum> ].
+func (p *parser) test() (*node, bool) {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	lhs, ok := p.sum()
+	if !ok {
+		return nil, false
+	}
+	return p.testTail(lhs)
+}
+
+func (p *parser) testFrom(first *node) (*node, bool) {
+	lhs, ok := p.sumFrom(first)
+	if !ok {
+		return nil, false
+	}
+	return p.testTail(lhs)
+}
+
+func (p *parser) testTail(lhs *node) (*node, bool) {
+	if p.tok == tokLess {
+		p.t.Block(blkTestLess)
+		p.next()
+		rhs, ok := p.sum()
+		if !ok {
+			return nil, false
+		}
+		return &node{kind: ndLess, kids: []*node{lhs, rhs}}, true
+	}
+	return lhs, true
+}
+
+// sum parses <sum> ::= <term> { ("+"|"-") <term> }.
+func (p *parser) sum() (*node, bool) {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	lhs, ok := p.term()
+	if !ok {
+		return nil, false
+	}
+	return p.sumTail(lhs)
+}
+
+func (p *parser) sumFrom(first *node) (*node, bool) {
+	return p.sumTail(first)
+}
+
+func (p *parser) sumTail(lhs *node) (*node, bool) {
+	for p.tok == tokPlus || p.tok == tokMinus {
+		kind := ndAdd
+		blk := uint32(blkSumAdd)
+		if p.tok == tokMinus {
+			kind = ndSub
+			blk = blkSumSub
+		}
+		p.t.Block(blk)
+		p.next()
+		rhs, ok := p.term()
+		if !ok {
+			return nil, false
+		}
+		lhs = &node{kind: kind, kids: []*node{lhs, rhs}}
+	}
+	return lhs, true
+}
+
+// term parses <term> ::= <id> | <int> | <paren_expr>.
+func (p *parser) term() (*node, bool) {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	switch p.tok {
+	case tokID:
+		p.t.Block(blkTermID)
+		n := &node{kind: ndVar, val: p.tokVal}
+		p.next()
+		return n, true
+	case tokInt:
+		p.t.Block(blkTermInt)
+		n := &node{kind: ndConst, val: p.tokVal}
+		p.next()
+		return n, true
+	case tokLparen:
+		p.t.Block(blkTermParen)
+		return p.parenExpr()
+	default:
+		p.t.Block(blkRejectExpr)
+		return nil, false
+	}
+}
+
+// interp executes the AST with a step budget.
+type interp struct {
+	t     *trace.Tracer
+	vars  [26]int
+	steps int
+}
+
+func (ip *interp) tick() bool {
+	ip.steps--
+	if ip.steps <= 0 {
+		ip.t.Block(blkExecBudget)
+		return false
+	}
+	return true
+}
+
+func (ip *interp) exec(n *node) bool {
+	if !ip.tick() {
+		return false
+	}
+	switch n.kind {
+	case ndEmpty:
+		return true
+	case ndSeq:
+		for _, k := range n.kids {
+			if !ip.exec(k) {
+				return false
+			}
+		}
+		return true
+	case ndExprStmt:
+		_, ok := ip.eval(n.kids[0])
+		return ok
+	case ndIf:
+		v, ok := ip.eval(n.kids[0])
+		if !ok {
+			return false
+		}
+		if v != 0 {
+			ip.t.Block(blkExecIfTrue)
+			return ip.exec(n.kids[1])
+		}
+		ip.t.Block(blkExecIfFalse)
+		return true
+	case ndIfElse:
+		v, ok := ip.eval(n.kids[0])
+		if !ok {
+			return false
+		}
+		if v != 0 {
+			ip.t.Block(blkExecIfTrue)
+			return ip.exec(n.kids[1])
+		}
+		ip.t.Block(blkExecElse)
+		return ip.exec(n.kids[2])
+	case ndWhile:
+		for {
+			v, ok := ip.eval(n.kids[0])
+			if !ok {
+				return false
+			}
+			if v == 0 {
+				return true
+			}
+			ip.t.Block(blkExecWhileIter)
+			if !ip.exec(n.kids[1]) {
+				return false
+			}
+			if !ip.tick() {
+				return false
+			}
+		}
+	case ndDo:
+		for {
+			ip.t.Block(blkExecDoIter)
+			if !ip.exec(n.kids[0]) {
+				return false
+			}
+			v, ok := ip.eval(n.kids[1])
+			if !ok {
+				return false
+			}
+			if v == 0 {
+				return true
+			}
+			if !ip.tick() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (ip *interp) eval(n *node) (int, bool) {
+	if !ip.tick() {
+		return 0, false
+	}
+	switch n.kind {
+	case ndVar:
+		ip.t.Block(blkExecVar)
+		return ip.vars[n.val], true
+	case ndConst:
+		ip.t.Block(blkExecConst)
+		return n.val, true
+	case ndAdd:
+		a, ok := ip.eval(n.kids[0])
+		if !ok {
+			return 0, false
+		}
+		b, ok := ip.eval(n.kids[1])
+		if !ok {
+			return 0, false
+		}
+		ip.t.Block(blkExecAdd)
+		return a + b, true
+	case ndSub:
+		a, ok := ip.eval(n.kids[0])
+		if !ok {
+			return 0, false
+		}
+		b, ok := ip.eval(n.kids[1])
+		if !ok {
+			return 0, false
+		}
+		ip.t.Block(blkExecSub)
+		return a - b, true
+	case ndLess:
+		a, ok := ip.eval(n.kids[0])
+		if !ok {
+			return 0, false
+		}
+		b, ok := ip.eval(n.kids[1])
+		if !ok {
+			return 0, false
+		}
+		ip.t.Block(blkExecLess)
+		if a < b {
+			return 1, true
+		}
+		return 0, true
+	case ndAssign:
+		v, ok := ip.eval(n.kids[0])
+		if !ok {
+			return 0, false
+		}
+		ip.t.Block(blkExecAssign)
+		ip.vars[n.val] = v
+		return v, true
+	}
+	return 0, true
+}
+
+// Inventory is the tinyC token inventory of Table 3: eleven length-1
+// tokens, if and do, else, while.
+var Inventory = tokens.Inventory{
+	tokens.Lit("<"), tokens.Lit("+"), tokens.Lit("-"),
+	tokens.Lit(";"), tokens.Lit("="),
+	tokens.Lit("{"), tokens.Lit("}"),
+	tokens.Lit("("), tokens.Lit(")"),
+	tokens.Class("identifier", 1),
+	tokens.Class("number", 1),
+	tokens.Lit("if"), tokens.Lit("do"),
+	tokens.Lit("else"),
+	tokens.Lit("while"),
+}
+
+// Tokenize lexes input (uninstrumented) and returns the inventory
+// tokens present.
+func Tokenize(input []byte) map[string]bool {
+	out := map[string]bool{}
+	kw := map[string]bool{"if": true, "do": true, "else": true, "while": true}
+	i := 0
+	for i < len(input) {
+		b := input[i]
+		switch {
+		case b == '<' || b == '+' || b == '-' || b == ';' || b == '=' ||
+			b == '{' || b == '}' || b == '(' || b == ')':
+			out[string(b)] = true
+			i++
+		case b >= '0' && b <= '9':
+			out["number"] = true
+			for i < len(input) && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+		case b >= 'a' && b <= 'z':
+			j := i
+			for j < len(input) && input[j] >= 'a' && input[j] <= 'z' {
+				j++
+			}
+			w := string(input[i:j])
+			if kw[w] {
+				out[w] = true
+			} else if len(w) == 1 {
+				out["identifier"] = true
+			}
+			i = j
+		default:
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package taint implements dynamic taint tracking for program inputs.
+//
+// pFuzzer (Mathis et al., PLDI 2019, §4) instruments the program under
+// test so that every input character carries a unique identifier, and
+// values derived from input characters accumulate the identifiers of
+// the characters they were derived from. This package is the Go
+// equivalent of that LLVM instrumentation: a Char is one byte of input
+// together with the input offset it originated from, and a String is a
+// derived sequence of such bytes (an accumulated token, a copied
+// buffer, the result of a strcpy).
+//
+// Values that are not derived from the input (literals, table lookups,
+// results of implicit flows) carry NoOrigin; comparisons against them
+// are invisible to the fuzzer, which is exactly the taint-loss
+// behaviour the paper describes for tokenization (§7.2) and implicit
+// flows (§5.2).
+package taint
+
+// NoOrigin marks a value that is not derived from any input character.
+const NoOrigin = -1
+
+// Char is a single byte of program input with its taint: the offset in
+// the input string it was read from, or NoOrigin.
+type Char struct {
+	B      byte
+	Origin int
+}
+
+// Untainted returns a Char carrying byte b and no taint. Use it for
+// values produced by implicit flows, where the byte's value depends on
+// the input but no direct data flow exists.
+func Untainted(b byte) Char { return Char{B: b, Origin: NoOrigin} }
+
+// Tainted reports whether the character is derived from the input.
+func (c Char) Tainted() bool { return c.Origin != NoOrigin }
+
+// String is a sequence of tainted characters: a token buffer, a copied
+// string, or any other value assembled from input characters. The zero
+// value is an empty string ready to use.
+type String []Char
+
+// FromBytes builds an untainted String from b (for example, a string
+// literal that later flows into tainted comparisons).
+func FromBytes(b []byte) String {
+	s := make(String, len(b))
+	for i, c := range b {
+		s[i] = Untainted(c)
+	}
+	return s
+}
+
+// FromInput builds a String whose i-th character is tainted with
+// origin base+i. It models reading len(b) consecutive characters
+// starting at input offset base.
+func FromInput(b []byte, base int) String {
+	s := make(String, len(b))
+	for i, c := range b {
+		s[i] = Char{B: c, Origin: base + i}
+	}
+	return s
+}
+
+// Append returns s with c appended, like the built-in append.
+func (s String) Append(c Char) String { return append(s, c) }
+
+// Concat returns the concatenation of s and t in a fresh String.
+func (s String) Concat(t String) String {
+	out := make(String, 0, len(s)+len(t))
+	out = append(out, s...)
+	return append(out, t...)
+}
+
+// Bytes returns the raw byte content of s.
+func (s String) Bytes() []byte {
+	b := make([]byte, len(s))
+	for i, c := range s {
+		b[i] = c.B
+	}
+	return b
+}
+
+// Text returns the content of s as a plain Go string.
+func (s String) Text() string { return string(s.Bytes()) }
+
+// Origins returns the origin offsets of all tainted characters in s,
+// in order. Untainted characters contribute nothing.
+func (s String) Origins() []int {
+	var o []int
+	for _, c := range s {
+		if c.Tainted() {
+			o = append(o, c.Origin)
+		}
+	}
+	return o
+}
+
+// FirstOrigin returns the smallest origin offset in s, or NoOrigin if
+// no character is tainted.
+func (s String) FirstOrigin() int {
+	min := NoOrigin
+	for _, c := range s {
+		if c.Tainted() && (min == NoOrigin || c.Origin < min) {
+			min = c.Origin
+		}
+	}
+	return min
+}
+
+// LastOrigin returns the largest origin offset in s, or NoOrigin if no
+// character is tainted.
+func (s String) LastOrigin() int {
+	max := NoOrigin
+	for _, c := range s {
+		if c.Tainted() && c.Origin > max {
+			max = c.Origin
+		}
+	}
+	return max
+}
+
+// Tainted reports whether any character of s carries taint.
+func (s String) Tainted() bool { return s.FirstOrigin() != NoOrigin }

@@ -1,0 +1,118 @@
+package taint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUntainted(t *testing.T) {
+	c := Untainted('x')
+	if c.Tainted() {
+		t.Error("Untainted char reports taint")
+	}
+	if c.B != 'x' {
+		t.Errorf("B = %q, want 'x'", c.B)
+	}
+}
+
+func TestFromInputOrigins(t *testing.T) {
+	s := FromInput([]byte("abc"), 5)
+	for i, c := range s {
+		if c.Origin != 5+i {
+			t.Errorf("origin[%d] = %d, want %d", i, c.Origin, 5+i)
+		}
+	}
+	if got := s.Text(); got != "abc" {
+		t.Errorf("Text = %q, want abc", got)
+	}
+}
+
+func TestFromBytesHasNoTaint(t *testing.T) {
+	s := FromBytes([]byte("lit"))
+	if s.Tainted() {
+		t.Error("FromBytes produced tainted string")
+	}
+	if s.FirstOrigin() != NoOrigin || s.LastOrigin() != NoOrigin {
+		t.Error("origins of untainted string should be NoOrigin")
+	}
+}
+
+func TestOriginBounds(t *testing.T) {
+	s := String{
+		{B: 'a', Origin: 7},
+		Untainted('b'),
+		{B: 'c', Origin: 3},
+	}
+	if got := s.FirstOrigin(); got != 3 {
+		t.Errorf("FirstOrigin = %d, want 3", got)
+	}
+	if got := s.LastOrigin(); got != 7 {
+		t.Errorf("LastOrigin = %d, want 7", got)
+	}
+	if got := len(s.Origins()); got != 2 {
+		t.Errorf("len(Origins) = %d, want 2", got)
+	}
+}
+
+func TestConcatPreservesContentAndTaint(t *testing.T) {
+	a := FromInput([]byte("ab"), 0)
+	b := FromInput([]byte("cd"), 2)
+	c := a.Concat(b)
+	if c.Text() != "abcd" {
+		t.Errorf("Concat text = %q", c.Text())
+	}
+	if c.FirstOrigin() != 0 || c.LastOrigin() != 3 {
+		t.Errorf("Concat origins = [%d,%d], want [0,3]", c.FirstOrigin(), c.LastOrigin())
+	}
+	// Concat must not alias its inputs.
+	c[0].B = 'X'
+	if a.Text() != "ab" {
+		t.Error("Concat aliases its first argument")
+	}
+}
+
+// Property: for any input bytes and base, FromInput round-trips the
+// bytes and the origins are exactly base..base+len-1.
+func TestFromInputRoundTrip(t *testing.T) {
+	f := func(data []byte, base uint8) bool {
+		s := FromInput(data, int(base))
+		if string(s.Bytes()) != string(data) {
+			return false
+		}
+		for i, c := range s {
+			if c.Origin != int(base)+i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concatenation is associative with respect to content and
+// origin sequences.
+func TestConcatAssociative(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		sa, sb, sc := FromInput(a, 0), FromInput(b, len(a)), FromInput(c, len(a)+len(b))
+		l := sa.Concat(sb).Concat(sc)
+		r := sa.Concat(sb.Concat(sc))
+		if l.Text() != r.Text() {
+			return false
+		}
+		lo, ro := l.Origins(), r.Origins()
+		if len(lo) != len(ro) {
+			return false
+		}
+		for i := range lo {
+			if lo[i] != ro[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

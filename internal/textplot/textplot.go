@@ -1,0 +1,108 @@
+// Package textplot renders the paper's figures as ASCII bar charts so
+// the evaluation harness can display them in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bar is one labelled value in a bar group.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Group is a named cluster of bars (e.g. one subject with one bar per
+// tool).
+type Group struct {
+	Name string
+	Bars []Bar
+}
+
+// BarChart renders grouped horizontal bars scaled to width, with the
+// value printed after each bar.
+func BarChart(title string, groups []Group, width int, unit string) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	labelW := 0
+	nameW := 0
+	for _, g := range groups {
+		if len(g.Name) > nameW {
+			nameW = len(g.Name)
+		}
+		for _, b := range g.Bars {
+			if b.Value > max {
+				max = b.Value
+			}
+			if len(b.Label) > labelW {
+				labelW = len(b.Label)
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for _, g := range groups {
+		for i, b := range g.Bars {
+			name := ""
+			if i == 0 {
+				name = g.Name
+			}
+			n := int(b.Value / max * float64(width))
+			if b.Value > 0 && n == 0 {
+				n = 1
+			}
+			fmt.Fprintf(&sb, "  %-*s %-*s %s %.1f%s\n",
+				nameW, name, labelW, b.Label, strings.Repeat("#", n), b.Value, unit)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Table renders rows with aligned columns; the first row is the
+// header, separated by a rule.
+func Table(title string, rows [][]string) string {
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	if len(rows) == 0 {
+		return sb.String()
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	render := func(row []string) {
+		sb.WriteString(" ")
+		for i, cell := range row {
+			fmt.Fprintf(&sb, " %-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	render(rows[0])
+	rule := make([]string, len(rows[0]))
+	for i := range rule {
+		if i < len(widths) {
+			rule[i] = strings.Repeat("-", widths[i])
+		}
+	}
+	render(rule)
+	for _, row := range rows[1:] {
+		render(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,66 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartScalesAndLabels(t *testing.T) {
+	out := BarChart("title", []Group{
+		{Name: "g1", Bars: []Bar{{Label: "a", Value: 100}, {Label: "b", Value: 50}}},
+		{Name: "g2", Bars: []Bar{{Label: "a", Value: 0}}},
+	}, 10, "%")
+	if !strings.HasPrefix(out, "title\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	var aLine, bLine string
+	for _, l := range lines {
+		if strings.Contains(l, "100.0%") {
+			aLine = l
+		}
+		if strings.Contains(l, "50.0%") {
+			bLine = l
+		}
+	}
+	if strings.Count(aLine, "#") != 10 {
+		t.Errorf("max bar should use full width: %q", aLine)
+	}
+	if strings.Count(bLine, "#") != 5 {
+		t.Errorf("half bar should use half width: %q", bLine)
+	}
+	if !strings.Contains(out, "g1") || !strings.Contains(out, "g2") {
+		t.Error("group names missing")
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	out := BarChart("t", []Group{{Name: "g", Bars: []Bar{{Label: "x", Value: 0}}}}, 10, "")
+	if strings.Contains(out, "#") {
+		t.Error("zero value drew a bar")
+	}
+}
+
+func TestTableAlignsColumns(t *testing.T) {
+	out := Table("hdr", [][]string{
+		{"Name", "Value"},
+		{"a", "1"},
+		{"longer", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("missing rule: %q", lines[2])
+	}
+	if len(lines[3]) == 0 || len(lines[4]) == 0 {
+		t.Error("rows missing")
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	if out := Table("only", nil); !strings.Contains(out, "only") {
+		t.Errorf("Table with no rows = %q", out)
+	}
+}

@@ -1,0 +1,139 @@
+// Package tokens models the input-coverage metric of the paper's
+// evaluation (§5.3): each subject has an inventory of tokens, grouped
+// by token length (Tables 2, 3, 4), and a tool's input coverage is the
+// set of inventory tokens appearing in the valid inputs it generated
+// (Figure 3). Strings, numbers and identifiers are classified as one
+// token each, and non-token characters such as whitespace are ignored,
+// following the paper.
+package tokens
+
+import "sort"
+
+// Token is one entry in a subject's token inventory. Name is the
+// canonical name used by the subject's tokenizer: the literal spelling
+// for fixed tokens ("while", "{") or the class name for open classes
+// ("number", "string", "identifier"). Len is the length the paper's
+// tables count it under.
+type Token struct {
+	Name string
+	Len  int
+}
+
+// Inventory is the complete token set of one subject.
+type Inventory []Token
+
+// Lit builds a fixed token whose length is the length of its spelling.
+func Lit(s string) Token { return Token{Name: s, Len: len(s)} }
+
+// Class builds an open-class token counted at length n.
+func Class(name string, n int) Token { return Token{Name: name, Len: n} }
+
+// Count returns the total number of tokens in the inventory.
+func (inv Inventory) Count() int { return len(inv) }
+
+// CountLen returns the number of tokens of length n.
+func (inv Inventory) CountLen(n int) int {
+	c := 0
+	for _, t := range inv {
+		if t.Len == n {
+			c++
+		}
+	}
+	return c
+}
+
+// Lengths returns the distinct token lengths present, ascending.
+func (inv Inventory) Lengths() []int {
+	seen := map[int]bool{}
+	for _, t := range inv {
+		seen[t.Len] = true
+	}
+	out := make([]int, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Names returns the set of token names.
+func (inv Inventory) Names() map[string]bool {
+	out := make(map[string]bool, len(inv))
+	for _, t := range inv {
+		out[t.Name] = true
+	}
+	return out
+}
+
+// Coverage is the result of matching a set of produced tokens against
+// an inventory.
+type Coverage struct {
+	Inventory Inventory
+	Found     map[string]bool
+}
+
+// Cover matches found token names against inv, ignoring names not in
+// the inventory.
+func Cover(inv Inventory, found map[string]bool) Coverage {
+	names := inv.Names()
+	kept := make(map[string]bool)
+	for n := range found {
+		if names[n] {
+			kept[n] = true
+		}
+	}
+	return Coverage{Inventory: inv, Found: kept}
+}
+
+// FoundLen returns how many tokens of length n were found.
+func (c Coverage) FoundLen(n int) int {
+	cnt := 0
+	for _, t := range c.Inventory {
+		if t.Len == n && c.Found[t.Name] {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// FoundCount returns the total number of inventory tokens found.
+func (c Coverage) FoundCount() int { return len(c.Found) }
+
+// Split returns found and total counts for tokens with length <= cut
+// and length > cut. The paper's headline aggregates use cut = 3.
+func (c Coverage) Split(cut int) (shortFound, shortTotal, longFound, longTotal int) {
+	for _, t := range c.Inventory {
+		if t.Len <= cut {
+			shortTotal++
+			if c.Found[t.Name] {
+				shortFound++
+			}
+		} else {
+			longTotal++
+			if c.Found[t.Name] {
+				longFound++
+			}
+		}
+	}
+	return
+}
+
+// Missing returns the names of inventory tokens not found, sorted.
+func (c Coverage) Missing() []string {
+	var out []string
+	for _, t := range c.Inventory {
+		if !c.Found[t.Name] {
+			out = append(out, t.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Percent is a safe percentage helper: 0/0 counts as 0.
+func Percent(found, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(found) / float64(total)
+}

@@ -1,0 +1,76 @@
+package tokens
+
+import "testing"
+
+func inv() Inventory {
+	return Inventory{
+		Lit("{"), Lit("}"), Class("number", 1),
+		Lit("if"), Class("string", 2),
+		Lit("else"),
+		Lit("while"),
+	}
+}
+
+func TestCounts(t *testing.T) {
+	i := inv()
+	if got := i.Count(); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	if got := i.CountLen(1); got != 3 {
+		t.Errorf("CountLen(1) = %d, want 3", got)
+	}
+	if got := i.CountLen(2); got != 2 {
+		t.Errorf("CountLen(2) = %d, want 2", got)
+	}
+	lengths := i.Lengths()
+	want := []int{1, 2, 4, 5}
+	if len(lengths) != len(want) {
+		t.Fatalf("Lengths = %v", lengths)
+	}
+	for j := range want {
+		if lengths[j] != want[j] {
+			t.Fatalf("Lengths = %v, want %v", lengths, want)
+		}
+	}
+}
+
+func TestCoverIgnoresUnknownNames(t *testing.T) {
+	c := Cover(inv(), map[string]bool{"if": true, "bogus": true})
+	if c.FoundCount() != 1 {
+		t.Errorf("FoundCount = %d, want 1", c.FoundCount())
+	}
+}
+
+func TestSplit(t *testing.T) {
+	c := Cover(inv(), map[string]bool{"if": true, "while": true, "{": true})
+	sf, st, lf, lt := c.Split(3)
+	if sf != 2 || st != 5 {
+		t.Errorf("short = %d/%d, want 2/5", sf, st)
+	}
+	if lf != 1 || lt != 2 {
+		t.Errorf("long = %d/%d, want 1/2", lf, lt)
+	}
+}
+
+func TestFoundLenAndMissing(t *testing.T) {
+	c := Cover(inv(), map[string]bool{"else": true})
+	if got := c.FoundLen(4); got != 1 {
+		t.Errorf("FoundLen(4) = %d, want 1", got)
+	}
+	if got := c.FoundLen(1); got != 0 {
+		t.Errorf("FoundLen(1) = %d, want 0", got)
+	}
+	missing := c.Missing()
+	if len(missing) != 6 {
+		t.Errorf("Missing = %v, want 6 entries", missing)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(1, 4); got != 25 {
+		t.Errorf("Percent(1,4) = %v", got)
+	}
+	if got := Percent(0, 0); got != 0 {
+		t.Errorf("Percent(0,0) = %v, want 0", got)
+	}
+}

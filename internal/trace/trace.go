@@ -1,0 +1,467 @@
+// Package trace is the instrumentation runtime that parsers under test
+// are written against. It is the Go equivalent of pFuzzer's LLVM
+// instrumentation (paper §4): it records
+//
+//  1. every comparison of tainted input data against expected values
+//     (character equality, character ranges, character sets, and
+//     wrapped strcmp-style string comparisons),
+//  2. every attempted access past the end of the input (interpreted as
+//     the program encountering EOF before processing is complete),
+//  3. the sequence of basic blocks executed (branch coverage), and
+//  4. the call-stack depth at each comparison.
+//
+// A Tracer is created per execution. Subjects read input through At
+// and report control flow through Block/Enter/Leave; all comparison
+// helpers both perform the comparison and record it.
+package trace
+
+import "pfuzzer/internal/taint"
+
+// CmpKind classifies a recorded comparison.
+type CmpKind uint8
+
+const (
+	// CmpCharEq is a single-character equality test, c == 'x'.
+	CmpCharEq CmpKind = iota
+	// CmpCharRange is a range test, lo <= c && c <= hi.
+	CmpCharRange
+	// CmpCharSet is a set-membership test, strchr(set, c) != NULL.
+	CmpCharSet
+	// CmpStrEq is a wrapped string comparison, strcmp(s, "while") == 0.
+	CmpStrEq
+)
+
+// String returns a short human-readable name for the kind.
+func (k CmpKind) String() string {
+	switch k {
+	case CmpCharEq:
+		return "char=="
+	case CmpCharRange:
+		return "range"
+	case CmpCharSet:
+		return "set"
+	case CmpStrEq:
+		return "strcmp"
+	}
+	return "unknown"
+}
+
+// Comparison is one recorded comparison of tainted data against an
+// expected value. Index is the input offset of the first compared
+// character and Last the offset of the last one (they differ only for
+// string comparisons). Expected holds the literal for CmpCharEq and
+// CmpStrEq, the two bounds for CmpCharRange, and the member bytes for
+// CmpCharSet.
+type Comparison struct {
+	Kind     CmpKind
+	Index    int
+	Last     int
+	Actual   []byte
+	Expected []byte
+	Matched  bool
+	Stack    int
+	Seq      int
+}
+
+// Candidates returns the concrete replacement strings that would
+// satisfy the comparison, for use as substitutions at Index. Character
+// ranges and sets expand to one candidate per member byte.
+func (c *Comparison) Candidates() [][]byte {
+	switch c.Kind {
+	case CmpCharEq, CmpStrEq:
+		return [][]byte{c.Expected}
+	case CmpCharRange:
+		if len(c.Expected) != 2 || c.Expected[0] > c.Expected[1] {
+			return nil
+		}
+		lo, hi := c.Expected[0], c.Expected[1]
+		out := make([][]byte, 0, int(hi)-int(lo)+1)
+		for b := int(lo); b <= int(hi); b++ {
+			out = append(out, []byte{byte(b)})
+		}
+		return out
+	case CmpCharSet:
+		out := make([][]byte, 0, len(c.Expected))
+		for _, b := range c.Expected {
+			out = append(out, []byte{b})
+		}
+		return out
+	}
+	return nil
+}
+
+// EOFAccess records an attempted read at input offset Index, where
+// Index is at or past the end of the input: the parser expected more
+// characters.
+type EOFAccess struct {
+	Index int
+	Stack int
+	Seq   int
+}
+
+// BlockHit is one execution of an instrumented basic block.
+type BlockHit struct {
+	ID  uint32
+	Seq int
+}
+
+// EdgeMapSize is the size of the AFL-style edge-coverage bitmap.
+const EdgeMapSize = 1 << 16
+
+// Options configures what a Tracer records. Recording comparisons and
+// block sequences costs memory per event; the AFL baseline, which only
+// consumes the edge bitmap, turns them off.
+type Options struct {
+	// Comparisons enables recording of comparison and EOF events.
+	Comparisons bool
+	// Blocks enables recording of the ordered block-hit sequence.
+	Blocks bool
+	// Edges enables the AFL-style bucketed edge bitmap.
+	Edges bool
+	// MaxComparisons bounds the number of recorded comparisons
+	// (0 means no bound); excess comparisons still execute, they are
+	// just not recorded.
+	MaxComparisons int
+	// ExecSteps bounds the number of interpreter steps subjects may
+	// take after parsing (0 means the subject's default).
+	ExecSteps int
+}
+
+// Tracer collects the instrumentation events of one execution of a
+// subject on one input.
+type Tracer struct {
+	input []byte
+	opts  Options
+
+	comps  []Comparison
+	eofs   []EOFAccess
+	blocks []BlockHit
+
+	blockSet  map[uint32]int // block ID -> seq of first hit
+	pathHash  uint64
+	edges     []byte
+	prevBlock uint32
+
+	depth    int
+	maxDepth int
+	seq      int
+}
+
+// New returns a Tracer for one execution on input, recording according
+// to opts.
+func New(input []byte, opts Options) *Tracer {
+	t := &Tracer{
+		input:    input,
+		opts:     opts,
+		pathHash: fnvOffset,
+	}
+	if opts.Blocks || opts.Comparisons {
+		t.blockSet = make(map[uint32]int)
+	}
+	if opts.Edges {
+		t.edges = make([]byte, EdgeMapSize)
+	}
+	return t
+}
+
+// Full returns recording options suitable for pFuzzer: everything on.
+func Full() Options { return Options{Comparisons: true, Blocks: true, Edges: false} }
+
+// Input returns the raw input under execution.
+func (t *Tracer) Input() []byte { return t.input }
+
+// Len returns the input length.
+func (t *Tracer) Len() int { return len(t.input) }
+
+// At reads the input character at offset i. If i is past the end of
+// the input it records an EOF access and returns ok == false; this is
+// how the fuzzer learns that the parser expected more input.
+func (t *Tracer) At(i int) (taint.Char, bool) {
+	if i >= len(t.input) || i < 0 {
+		if t.opts.Comparisons {
+			t.seq++
+			t.eofs = append(t.eofs, EOFAccess{Index: i, Stack: t.depth, Seq: t.seq})
+		}
+		return taint.Char{B: 0, Origin: taint.NoOrigin}, false
+	}
+	return taint.Char{B: t.input[i], Origin: i}, true
+}
+
+// record appends a comparison if recording is enabled and within bounds.
+func (t *Tracer) record(c Comparison) {
+	if !t.opts.Comparisons {
+		return
+	}
+	if t.opts.MaxComparisons > 0 && len(t.comps) >= t.opts.MaxComparisons {
+		return
+	}
+	t.seq++
+	c.Seq = t.seq
+	c.Stack = t.depth
+	t.comps = append(t.comps, c)
+}
+
+// CharEq compares c against want, recording the comparison when c is
+// tainted. It returns the comparison outcome.
+func (t *Tracer) CharEq(c taint.Char, want byte) bool {
+	ok := c.B == want
+	if c.Tainted() {
+		t.record(Comparison{
+			Kind:     CmpCharEq,
+			Index:    c.Origin,
+			Last:     c.Origin,
+			Actual:   []byte{c.B},
+			Expected: []byte{want},
+			Matched:  ok,
+		})
+	}
+	return ok
+}
+
+// CharRange compares lo <= c <= hi, recording the comparison when c is
+// tainted.
+func (t *Tracer) CharRange(c taint.Char, lo, hi byte) bool {
+	ok := c.B >= lo && c.B <= hi
+	if c.Tainted() {
+		t.record(Comparison{
+			Kind:     CmpCharRange,
+			Index:    c.Origin,
+			Last:     c.Origin,
+			Actual:   []byte{c.B},
+			Expected: []byte{lo, hi},
+			Matched:  ok,
+		})
+	}
+	return ok
+}
+
+// CharSet tests c for membership in set, recording the comparison when
+// c is tainted.
+func (t *Tracer) CharSet(c taint.Char, set string) bool {
+	ok := false
+	for i := 0; i < len(set); i++ {
+		if set[i] == c.B {
+			ok = true
+			break
+		}
+	}
+	if c.Tainted() {
+		t.record(Comparison{
+			Kind:     CmpCharSet,
+			Index:    c.Origin,
+			Last:     c.Origin,
+			Actual:   []byte{c.B},
+			Expected: []byte(set),
+			Matched:  ok,
+		})
+	}
+	return ok
+}
+
+// StrEq is the wrapped strcmp: it compares the accumulated (tainted)
+// string s against the literal want and records a single comparison
+// spanning all of s's origins. Substituting the whole literal at the
+// span start is what lets the fuzzer synthesize keywords (paper §6.2,
+// AFL-CTP discussion).
+func (t *Tracer) StrEq(s taint.String, want string) bool {
+	ok := s.Text() == want
+	if first := s.FirstOrigin(); first != taint.NoOrigin {
+		last := s.LastOrigin()
+		t.record(Comparison{
+			Kind:     CmpStrEq,
+			Index:    first,
+			Last:     last,
+			Actual:   s.Bytes(),
+			Expected: []byte(want),
+			Matched:  ok,
+		})
+	}
+	return ok
+}
+
+// fnv-1a constants for the 64-bit path hash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Block records the execution of basic block id. Duplicate hits of the
+// same block do not extend the path hash, implementing the paper's
+// "non-duplicate branches" path identity (§3.2).
+func (t *Tracer) Block(id uint32) {
+	t.seq++
+	if t.blockSet != nil {
+		if _, seen := t.blockSet[id]; !seen {
+			t.blockSet[id] = t.seq
+			h := t.pathHash
+			h ^= uint64(id)
+			h *= fnvPrime
+			t.pathHash = h
+		}
+	}
+	if t.opts.Blocks {
+		t.blocks = append(t.blocks, BlockHit{ID: id, Seq: t.seq})
+	}
+	if t.edges != nil {
+		cur := mix32(id)
+		e := (t.prevBlock >> 1) ^ cur
+		i := e & (EdgeMapSize - 1)
+		if t.edges[i] < 255 {
+			t.edges[i]++
+		}
+		t.prevBlock = cur
+	}
+}
+
+// mix32 spreads small block IDs over the edge map, mimicking AFL's
+// random per-block location values.
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// Enter records entry into a parser function (the stack grows).
+func (t *Tracer) Enter() {
+	t.depth++
+	if t.depth > t.maxDepth {
+		t.maxDepth = t.depth
+	}
+}
+
+// Leave records return from a parser function.
+func (t *Tracer) Leave() { t.depth-- }
+
+// Depth returns the current instrumented call-stack depth.
+func (t *Tracer) Depth() int { return t.depth }
+
+// ExecSteps returns the configured interpreter step budget, or def if
+// unset.
+func (t *Tracer) ExecSteps(def int) int {
+	if t.opts.ExecSteps > 0 {
+		return t.opts.ExecSteps
+	}
+	return def
+}
+
+// Record is the outcome of one traced execution.
+type Record struct {
+	Input       []byte
+	Exit        int
+	Comparisons []Comparison
+	EOFs        []EOFAccess
+	Blocks      []BlockHit
+	BlockFirst  map[uint32]int
+	PathHash    uint64
+	Edges       []byte
+	MaxDepth    int
+}
+
+// Finish seals the tracer into a Record with exit status exit.
+func (t *Tracer) Finish(exit int) *Record {
+	return &Record{
+		Input:       t.input,
+		Exit:        exit,
+		Comparisons: t.comps,
+		EOFs:        t.eofs,
+		Blocks:      t.blocks,
+		BlockFirst:  t.blockSet,
+		PathHash:    t.pathHash,
+		Edges:       t.edges,
+		MaxDepth:    t.maxDepth,
+	}
+}
+
+// Accepted reports whether the execution accepted the input as valid.
+func (r *Record) Accepted() bool { return r.Exit == 0 }
+
+// CoveredBlocks returns the set of block IDs hit during the run.
+func (r *Record) CoveredBlocks() map[uint32]bool {
+	out := make(map[uint32]bool, len(r.BlockFirst))
+	for id := range r.BlockFirst {
+		out[id] = true
+	}
+	return out
+}
+
+// LastComparedIndex returns the largest input offset touched by any
+// comparison, or -1 if no tainted comparison was recorded.
+func (r *Record) LastComparedIndex() int {
+	last := -1
+	for i := range r.Comparisons {
+		if r.Comparisons[i].Last > last {
+			last = r.Comparisons[i].Last
+		}
+	}
+	return last
+}
+
+// EOFAtEnd reports whether the parser attempted to read at or past
+// len(Input): it wanted more characters.
+func (r *Record) EOFAtEnd() bool {
+	for _, e := range r.EOFs {
+		if e.Index >= len(r.Input) {
+			return true
+		}
+	}
+	return false
+}
+
+// ComparisonsAt returns the comparisons whose span ends at input
+// offset idx — the comparisons made to the character the fuzzer will
+// substitute.
+func (r *Record) ComparisonsAt(idx int) []Comparison {
+	var out []Comparison
+	for i := range r.Comparisons {
+		if r.Comparisons[i].Last == idx {
+			out = append(out, r.Comparisons[i])
+		}
+	}
+	return out
+}
+
+// BlocksBeforeSeq counts distinct blocks first hit strictly before
+// event sequence number seq. The core uses it to ignore coverage that
+// error-handling code contributes after the failing character was
+// first examined (paper §3.1).
+func (r *Record) BlocksBeforeSeq(seq int) map[uint32]bool {
+	out := make(map[uint32]bool)
+	for id, s := range r.BlockFirst {
+		if s < seq {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// FirstComparisonSeqAt returns the sequence number of the first
+// comparison touching input offset idx, or -1 if none.
+func (r *Record) FirstComparisonSeqAt(idx int) int {
+	best := -1
+	for i := range r.Comparisons {
+		c := &r.Comparisons[i]
+		if c.Index <= idx && idx <= c.Last {
+			if best == -1 || c.Seq < best {
+				best = c.Seq
+			}
+		}
+	}
+	return best
+}
+
+// AvgStackLastTwo returns the mean instrumented stack depth of the
+// last two comparisons (paper §3.1, avgStackSize). With fewer than two
+// comparisons it degrades gracefully.
+func (r *Record) AvgStackLastTwo() float64 {
+	n := len(r.Comparisons)
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return float64(r.Comparisons[0].Stack)
+	}
+	return float64(r.Comparisons[n-1].Stack+r.Comparisons[n-2].Stack) / 2
+}
