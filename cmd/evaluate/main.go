@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	evaluate [-scale f] [-seed n] [-runs n] [-subjects a,b,c] [-out dir]
-//	         [-table1] [-fig2] [-fig3] [-tables] [-summary]
+//	evaluate [-scale f] [-seed n] [-runs n] [-workers n] [-subjects a,b,c]
+//	         [-out dir] [-table1] [-fig2] [-fig3] [-tables] [-summary]
 //
 // Without selector flags everything is produced. -scale multiplies
 // the execution budgets (1.0 ≈ one minute; the paper ran 48 hours per
-// tool and subject, so expect shape, not absolute numbers).
+// tool and subject, so expect shape, not absolute numbers). -workers
+// runs the pFuzzer campaigns on that many parallel executors; keep it
+// at 1 to reproduce the deterministic paper numbers.
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "multiply execution budgets")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		runs     = flag.Int("runs", 3, "repetitions per campaign; best run reported")
+		workers  = flag.Int("workers", 1, "parallel executors per pFuzzer campaign")
 		subjects = flag.String("subjects", "ini,csv,cjson,tinyc,mjs", "comma-separated subjects")
 		outDir   = flag.String("out", "", "directory for CSV results (optional)")
 		table1   = flag.Bool("table1", false, "print Table 1 only")
@@ -77,6 +80,7 @@ func main() {
 	budget := eval.DefaultBudget().Scale(*scale)
 	budget.Seed = *seed
 	budget.Runs = *runs
+	budget.Workers = *workers
 	fmt.Printf("Running campaigns: pFuzzer=%d execs, AFL=%d execs, KLEE=%d execs, %d run(s) each...\n\n",
 		budget.PFuzzerExecs, budget.AFLExecs, budget.KLEEExecs, budget.Runs)
 

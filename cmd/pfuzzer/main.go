@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	pfuzzer -subject cjson [-execs 100000] [-seed 1] [-quiet]
+//	pfuzzer -subject cjson [-execs 100000] [-seed 1] [-workers 4] [-quiet]
 //
 // Subjects: ini, csv, cjson, tinyc, mjs, expr, paren.
+//
+// With -workers 1 (the default) campaigns are deterministic under
+// -seed; more workers run candidate executions in parallel.
 package main
 
 import (
@@ -25,6 +28,7 @@ func main() {
 		execs       = flag.Int("execs", 100000, "execution budget")
 		seed        = flag.Int64("seed", 1, "RNG seed")
 		maxValids   = flag.Int("valids", 0, "stop after N valid inputs (0 = run out the budget)")
+		workers     = flag.Int("workers", 1, "parallel executors (1 = deterministic serial engine)")
 		quiet       = flag.Bool("quiet", false, "print only the summary")
 	)
 	flag.Parse()
@@ -36,7 +40,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := core.Config{Seed: *seed, MaxExecs: *execs, MaxValids: *maxValids}
+	cfg := core.Config{Seed: *seed, MaxExecs: *execs, MaxValids: *maxValids, Workers: *workers}
 	if !*quiet {
 		cfg.OnValid = func(input []byte, execs int) {
 			fmt.Printf("%8d  %q\n", execs, input)

@@ -1,0 +1,3 @@
+module pfuzzer
+
+go 1.22

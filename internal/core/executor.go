@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"pfuzzer/internal/pqueue"
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+// executorSeedStride separates the per-worker RNG streams from the
+// scheduler's (which uses Config.Seed itself) and from each other.
+const executorSeedStride = 2654435761
+
+// outcome is what one executed job sends back to the scheduler: the
+// candidate it came from (nil for queue-empty restarts) and the
+// distilled facts of the run(s). All campaign state mutation happens
+// on the scheduler side; an outcome is immutable once sent.
+type outcome struct {
+	cand    *candidate // popped candidate, nil for a restart input
+	depth   int        // substitution depth of the executed input
+	primary *runFacts  // the input itself
+	ext     *runFacts  // input + random char; nil if not run
+	execs   int        // executions consumed (1 or 2)
+}
+
+// executor is one worker of the concurrent campaign engine. Each
+// executor owns a private RNG (for random extensions and restarts)
+// and a private trace sink, so the hot execute-and-distill path runs
+// with zero shared mutable state; the only cross-goroutine touches
+// are the sharded queue pop and the outcome channel send.
+type executor struct {
+	id   int
+	prog subject.Program
+	cfg  *Config
+	rng  *rand.Rand
+	sink trace.Sink
+}
+
+func newExecutor(id int, prog subject.Program, cfg *Config) *executor {
+	return &executor{
+		id:   id,
+		prog: prog,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed + int64(id+1)*executorSeedStride)),
+	}
+}
+
+func (e *executor) randChar() byte {
+	return e.cfg.Charset[e.rng.Intn(len(e.cfg.Charset))]
+}
+
+// exec runs input once, reusing the executor's sink, and copies the
+// facts out before the sink can be reused; deriving marks runs whose
+// comparisons will seed children.
+func (e *executor) exec(input []byte, deriving bool) *runFacts {
+	return factsOf(subject.ExecuteInto(e.prog, input, traceOpts(), &e.sink), deriving)
+}
+
+// loop pops candidates from its home shard (stealing when it runs
+// dry), executes them plus a randomly extended variant, and streams
+// outcomes to the scheduler until the stop signal fires or the shared
+// execution budget runs out. When even stealing finds no work it
+// synthesizes a fresh single-character restart input, the parallel
+// analogue of the serial engine's queue-exhausted restart.
+//
+// The extension always runs (budget permitting), even when the input
+// was accepted: the executor cannot see the coverage set, so it
+// cannot tell an accepted input with new coverage (where the serial
+// engine skips the extension) from an accepted-but-stale one (where
+// the serial engine runs it and derives children from its trace).
+// Running it unconditionally keeps the stale case — the common one,
+// since emitted inputs are deduplicated — on the serial engine's
+// productive path, at the cost of one rarely wasted execution when
+// the input turns out to carry new coverage.
+func (e *executor) loop(q *pqueue.Sharded[*candidate], results chan<- outcome, budget *atomic.Int64, stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if budget.Add(-1) < 0 {
+			return
+		}
+		cand, _, ok := q.PopOwn(e.id)
+		var input []byte
+		depth := 0
+		if ok {
+			input, depth = cand.input, cand.parents
+		} else {
+			cand = nil
+			input = []byte{e.randChar()}
+		}
+		o := outcome{cand: cand, depth: depth, execs: 1, primary: e.exec(input, false)}
+		if budget.Add(-1) >= 0 {
+			eInp := append(append(make([]byte, 0, len(input)+1), input...), e.randChar())
+			o.ext = e.exec(eInp, true)
+			o.execs = 2
+		}
+		select {
+		case results <- o:
+		case <-stop:
+			return
+		}
+	}
+}

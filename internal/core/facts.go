@@ -1,0 +1,179 @@
+package core
+
+import (
+	"pfuzzer/internal/trace"
+)
+
+// traceOpts is the recording configuration both engines execute
+// subjects under. The ordered block sequence is off: the search only
+// consumes the first-hit block set, the comparisons, and the path
+// hash, and skipping the sequence keeps per-execution allocation (and
+// the per-worker sinks) small.
+func traceOpts() trace.Options { return trace.Options{Comparisons: true} }
+
+// runFacts is the distilled outcome of one subject execution: every
+// datum the campaign algorithm consumes, copied out of the (possibly
+// sink-backed, reusable) trace record. Extracting facts immediately
+// after the run is what lets executors reuse their trace buffers and
+// ship a compact value to the scheduler instead of the full record.
+type runFacts struct {
+	input     []byte
+	accepted  bool
+	pathHash  uint64
+	blocks    []uint32           // distinct covered blocks (coverage merge)
+	trimmed   []uint32           // blocks first hit before the final comparison
+	stack     float64            // avg stack depth of the last two comparisons
+	lastComps []trace.Comparison // comparisons ending at the last compared index
+}
+
+// factsOf distills rec into a runFacts, copying only what the
+// campaign can consume so the hot path stays allocation-light:
+//
+//   - Rejected primary runs (the most common outcome by far) feed
+//     nothing but the path-frequency map — children are derived from
+//     their extension run — so with deriving == false only the cheap
+//     scalars are kept.
+//   - Runs children are derived from (deriving == true, and every
+//     accepted run, since a valid input with new coverage spawns
+//     children directly) additionally carry the trimmed parent
+//     blocks, the stack average, and the final-index comparisons.
+//   - Only accepted runs carry the full block set; it exists to merge
+//     valid-input coverage.
+//
+// The trimming of the parent block set follows the paper's §3.1 rule
+// as adjusted for interleaved lexers (see DESIGN.md §4): blocks first
+// hit after the final comparison — error handling — do not count
+// towards a child's new-coverage score.
+func factsOf(rec *trace.Record, deriving bool) *runFacts {
+	rf := &runFacts{
+		input:    rec.Input,
+		accepted: rec.Accepted(),
+		pathHash: rec.PathHash,
+	}
+	if rf.accepted {
+		rf.blocks = make([]uint32, 0, len(rec.BlockFirst))
+		for id := range rec.BlockFirst {
+			rf.blocks = append(rf.blocks, id)
+		}
+	}
+	if deriving || rf.accepted {
+		rf.stack = rec.AvgStackLastTwo()
+		var trimmed map[uint32]bool
+		if n := len(rec.Comparisons); n > 0 {
+			trimmed = rec.BlocksBeforeSeq(rec.Comparisons[n-1].Seq + 1)
+		} else {
+			trimmed = rec.CoveredBlocks()
+		}
+		rf.trimmed = make([]uint32, 0, len(trimmed))
+		for id := range trimmed {
+			rf.trimmed = append(rf.trimmed, id)
+		}
+		// ComparisonsAt builds a fresh slice of struct copies whose
+		// byte fields point at per-comparison allocations, so it is
+		// already independent of the sink's reusable buffers.
+		rf.lastComps = rec.ComparisonsAt(rec.LastComparedIndex())
+	}
+	return rf
+}
+
+// pruner is the queue surface the prune-with-hysteresis rule needs;
+// both the serial engine's exact Queue and the parallel engine's
+// Sharded queue satisfy it.
+type pruner interface {
+	Len() int
+	Prune(max int)
+}
+
+// pruneIfOvergrown bounds q to MaxQueue with hysteresis: draining a
+// heap is O(max·log n), so prune only when the queue has grown half
+// again past its bound. Both engines share this rule so they cannot
+// silently drift apart.
+func (f *Fuzzer) pruneIfOvergrown(q pruner) {
+	if q.Len() > f.cfg.MaxQueue+f.cfg.MaxQueue/2 {
+		q.Prune(f.cfg.MaxQueue)
+	}
+}
+
+// hasNewIDs reports whether any of ids is not yet covered by a valid
+// input.
+func (f *Fuzzer) hasNewIDs(ids []uint32) bool {
+	for _, id := range ids {
+		if !f.vBr[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// emitValid records rf as a newly found valid input: it appends it to
+// the result (deduplicated), merges its blocks into the result
+// coverage and into vBr, and fires the OnValid callback. Re-scoring
+// the queue against the grown vBr is the caller's business — the
+// serial engine re-scores immediately (the paper's per-valid pass),
+// the scheduler defers it to the next generation merge.
+func (f *Fuzzer) emitValid(rf *runFacts) {
+	key := string(rf.input)
+	if _, dup := f.validSeen[key]; !dup {
+		f.validSeen[key] = struct{}{}
+		newBlocks := 0
+		for _, id := range rf.blocks {
+			if !f.res.Coverage[id] {
+				f.res.Coverage[id] = true
+				newBlocks++
+			}
+		}
+		v := Valid{
+			Input:     append([]byte{}, rf.input...),
+			NewBlocks: newBlocks,
+			Exec:      f.res.Execs,
+		}
+		f.res.Valids = append(f.res.Valids, v)
+		if f.cfg.OnValid != nil {
+			f.cfg.OnValid(v.Input, v.Exec)
+		}
+	}
+	for _, id := range rf.blocks {
+		f.vBr[id] = true
+	}
+}
+
+// addChildren derives one successor input per comparison made to the
+// last compared character and hands it to push (Algorithm 1,
+// addInputs). Substituting only at the failing index is what the
+// paper describes throughout: "the fuzzer then corrects the invalid
+// character to pass one of the character comparisons that was made at
+// that index" (§1), "the mutations always occur at the last index
+// where the comparison failed" (§6.2). The replacement is one of the
+// values the character was compared against; range and set
+// comparisons pick a random member, so repeated executions of the
+// same comparison explore different members. For a comparison
+// spanning input[s..e], the successor is input[:s] + expected +
+// input[e+1:]; for wrapped strcmp comparisons the whole literal is
+// substituted, which is how keywords enter the inputs.
+func (f *Fuzzer) addChildren(rf *runFacts, depth int, push func(*candidate)) {
+	for i := range rf.lastComps {
+		c := &rf.lastComps[i]
+		for _, cand := range f.pick(c) {
+			if c.Matched && len(cand) == len(c.Actual) && string(cand) == string(c.Actual) {
+				continue // no-op substitution
+			}
+			child := substitute(rf.input, c, cand)
+			if len(child) > f.cfg.MaxLen {
+				continue
+			}
+			key := string(child)
+			if _, dup := f.seen[key]; dup {
+				continue
+			}
+			f.seen[key] = struct{}{}
+			push(&candidate{
+				input:       child,
+				replacement: cand,
+				parentBlks:  rf.trimmed,
+				parentStack: rf.stack,
+				parentPath:  rf.pathHash,
+				parents:     depth,
+			})
+		}
+	}
+}

@@ -12,6 +12,17 @@
 // search path, and path novelty (§3.1–3.2). Valid inputs that cover
 // new code are emitted; by construction every emitted input is
 // accepted by the parser.
+//
+// The package provides two campaign engines behind one Config knob
+// (see DESIGN.md §5 for the architecture):
+//
+//   - Workers <= 1 runs the serial engine (serial.go), which is
+//     bit-for-bit deterministic under a fixed Seed and reproduces the
+//     paper's Algorithm 1 exactly.
+//   - Workers > 1 runs the concurrent engine: an executor pool
+//     (executor.go) of goroutines that each own a private RNG and
+//     trace sink, feeding a central scheduler (scheduler.go) that owns
+//     all campaign state and a sharded priority queue.
 package core
 
 import (
@@ -53,9 +64,28 @@ type Config struct {
 	// Deadline bounds wall-clock time (0 = none).
 	Deadline time.Duration
 	// OnValid, if non-nil, is invoked for every emitted valid input.
+	// With Workers > 1 it is called from the scheduler goroutine only,
+	// so it needs no synchronization of its own.
 	OnValid func(input []byte, execs int)
 	// DebugPop, if non-nil, observes every queue pop (diagnostics).
+	// Serial engine only: the parallel engine pops inside the
+	// executors and does not report pops.
 	DebugPop func(input []byte, score float64, execs, queueLen int)
+
+	// Workers sets the number of parallel executors. 0 or 1 selects
+	// the serial engine, whose output is bit-for-bit deterministic
+	// under a fixed Seed; with more workers candidate executions run
+	// concurrently and the emission order becomes nondeterministic.
+	// The subject's Run method must be safe for concurrent calls
+	// (every built-in subject is a stateless value, so it is).
+	Workers int
+	// Shards sets the shard count of the parallel engine's priority
+	// queue (0 = Workers). Ignored by the serial engine.
+	Shards int
+	// Generation sets how many executor outcomes the scheduler merges
+	// between batched queue re-scoring passes (0 = 4*Workers).
+	// Ignored by the serial engine.
+	Generation int
 
 	// Ablation switches; all false reproduces the paper's heuristic.
 	// They exist for the ablation benchmarks listed in DESIGN.md.
@@ -128,6 +158,7 @@ type Fuzzer struct {
 	cfg  Config
 	prog subject.Program
 	rng  *rand.Rand
+	sink trace.Sink // serial engine's reusable trace buffers
 
 	vBr       map[uint32]bool // blocks covered by valid inputs
 	queue     pqueue.Queue[*candidate]
@@ -154,55 +185,14 @@ func New(prog subject.Program, cfg Config) *Fuzzer {
 	}
 }
 
-// Run executes the campaign and returns its result.
+// Run executes the campaign and returns its result. With
+// Config.Workers > 1 the concurrent engine runs; otherwise the serial
+// engine does.
 func (f *Fuzzer) Run() *Result {
-	f.start = time.Now()
-	f.res.Coverage = make(map[uint32]bool)
-
-	// The paper starts from the empty string, whose rejection via an
-	// EOF access at index 0 teaches the fuzzer to append (Figure 1).
-	input := []byte{}
-	eInp := []byte{f.randChar()}
-
-	var cur *candidate
-	for !f.done() {
-		rec, ok := f.runCheck(input)
-		if !ok {
-			recE, okE := f.runCheck(eInp)
-			if !okE {
-				f.addInputs(eInp, recE)
-			}
-			// Re-enqueue the processed input with a retry decay: the
-			// random extension is drawn fresh on every pop, so a
-			// prefix whose extension led nowhere (for example a
-			// keyword destroyed by appending a letter) gets another
-			// chance later. The paper's queue admits duplicate
-			// inputs and retries the same way.
-			if cur != nil {
-				cur.retries++
-				f.queue.Push(cur, f.score(cur))
-			}
-			_ = rec
-		}
-		next, score, found := f.queue.PopRescored(f.score)
-		if !found {
-			// Queue exhausted: restart from a fresh random character.
-			input = []byte{f.randChar()}
-			f.curParents = 0
-			cur = nil
-		} else {
-			input = next.input
-			f.curParents = next.parents
-			cur = next
-			if f.cfg.DebugPop != nil {
-				f.cfg.DebugPop(input, score, f.res.Execs, f.queue.Len())
-			}
-		}
-		eInp = append(append([]byte{}, input...), f.randChar())
+	if f.cfg.Workers > 1 {
+		return f.runParallel()
 	}
-
-	f.res.Elapsed = time.Since(f.start)
-	return &f.res
+	return f.runSerial()
 }
 
 func (f *Fuzzer) done() bool {
@@ -220,115 +210,6 @@ func (f *Fuzzer) done() bool {
 
 func (f *Fuzzer) randChar() byte {
 	return f.cfg.Charset[f.rng.Intn(len(f.cfg.Charset))]
-}
-
-// runCheck executes input and, if it is valid and covers new code,
-// processes it as a new valid input (Algorithm 1, runCheck/validInp).
-// It returns the record and whether the input was treated as valid.
-func (f *Fuzzer) runCheck(input []byte) (*trace.Record, bool) {
-	rec := f.run(input)
-	if rec.Accepted() && f.hasNewBlocks(rec) {
-		f.validInp(rec)
-		return rec, true
-	}
-	return rec, false
-}
-
-func (f *Fuzzer) run(input []byte) *trace.Record {
-	f.res.Execs++
-	rec := subject.Execute(f.prog, input, trace.Full())
-	f.pathSeen[rec.PathHash]++
-	return rec
-}
-
-func (f *Fuzzer) hasNewBlocks(rec *trace.Record) bool {
-	for id := range rec.BlockFirst {
-		if !f.vBr[id] {
-			return true
-		}
-	}
-	return false
-}
-
-// validInp emits the input, merges its coverage into vBr, re-scores
-// the queue against the grown vBr, and derives successors from the
-// valid run's comparisons (Algorithm 1, validInp).
-func (f *Fuzzer) validInp(rec *trace.Record) {
-	key := string(rec.Input)
-	if _, dup := f.validSeen[key]; !dup {
-		f.validSeen[key] = struct{}{}
-		newBlocks := 0
-		for id := range rec.BlockFirst {
-			if !f.res.Coverage[id] {
-				f.res.Coverage[id] = true
-				newBlocks++
-			}
-		}
-		v := Valid{
-			Input:     append([]byte{}, rec.Input...),
-			NewBlocks: newBlocks,
-			Exec:      f.res.Execs,
-		}
-		f.res.Valids = append(f.res.Valids, v)
-		if f.cfg.OnValid != nil {
-			f.cfg.OnValid(v.Input, v.Exec)
-		}
-	}
-	for id := range rec.BlockFirst {
-		f.vBr[id] = true
-	}
-	f.queue.Reorder(f.score)
-	f.addInputs(rec.Input, rec)
-}
-
-// addInputs derives one successor input per comparison made to the
-// last compared character and enqueues it (Algorithm 1, addInputs).
-// Substituting only at the failing index is what the paper describes
-// throughout: "the fuzzer then corrects the invalid character to pass
-// one of the character comparisons that was made at that index" (§1),
-// "the mutations always occur at the last index where the comparison
-// failed" (§6.2). The replacement is one of the values the character
-// was compared against; range and set comparisons pick a random
-// member, so repeated executions of the same comparison explore
-// different members. For a comparison spanning input[s..e], the
-// successor is input[:s] + expected + input[e+1:]; for wrapped strcmp
-// comparisons the whole literal is substituted, which is how keywords
-// enter the inputs.
-func (f *Fuzzer) addInputs(input []byte, rec *trace.Record) {
-	parent := f.parentFacts(rec)
-	last := rec.LastComparedIndex()
-	comps := rec.ComparisonsAt(last)
-	for i := range comps {
-		c := &comps[i]
-		for _, cand := range f.pick(c) {
-			if c.Matched && len(cand) == len(c.Actual) && string(cand) == string(c.Actual) {
-				continue // no-op substitution
-			}
-			child := substitute(input, c, cand)
-			if len(child) > f.cfg.MaxLen {
-				continue
-			}
-			key := string(child)
-			if _, dup := f.seen[key]; dup {
-				continue
-			}
-			f.seen[key] = struct{}{}
-			cd := &candidate{
-				input:       child,
-				replacement: cand,
-				parentBlks:  parent.blocks,
-				parentStack: parent.stack,
-				parentPath:  rec.PathHash,
-				parents:     parent.parents + 1,
-			}
-			f.queue.Push(cd, f.score(cd))
-		}
-	}
-	// Prune with hysteresis: draining the heap is O(max·log n), so do
-	// it only when the queue has grown half again past its bound.
-	if f.queue.Len() > f.cfg.MaxQueue+f.cfg.MaxQueue/2 {
-		f.queue.Prune(f.cfg.MaxQueue)
-	}
 }
 
 // pick selects the replacement values to try for one comparison:
@@ -377,43 +258,6 @@ func substitute(input []byte, c *trace.Comparison, cand []byte) []byte {
 	out = append(out, input[e+1:]...)
 	return out
 }
-
-// parentFacts extracts from a run the facts the heuristic stores with
-// each child: covered blocks trimmed to before the first comparison of
-// the last compared character (so error-handling coverage does not
-// count, §3.1), the stack average, and the substitution depth.
-type facts struct {
-	blocks  []uint32
-	stack   float64
-	parents int
-}
-
-func (f *Fuzzer) parentFacts(rec *trace.Record) facts {
-	// The paper trims at "the first comparison of the last character"
-	// (§3.1). With an interleaved lexer that rule is blind to the
-	// blocks that recognize a just-completed keyword, because the
-	// lexer's lookahead touches the failing character before the
-	// parser acts on the keyword. Trimming at the last comparison
-	// keeps those blocks while still excluding error-handling code,
-	// which fires after the final failed comparison — the behaviour
-	// the trimming exists to produce (see DESIGN.md §4).
-	var blks map[uint32]bool
-	if n := len(rec.Comparisons); n > 0 {
-		blks = rec.BlocksBeforeSeq(rec.Comparisons[n-1].Seq + 1)
-	} else {
-		blks = rec.CoveredBlocks()
-	}
-	ids := make([]uint32, 0, len(blks))
-	for id := range blks {
-		ids = append(ids, id)
-	}
-	return facts{blocks: ids, stack: rec.AvgStackLastTwo(), parents: f.depthOf(rec)}
-}
-
-// depthOf returns the substitution depth of the run's input: the
-// number of substitutions on the search path from the initial input
-// (the root and queue restarts have depth 0).
-func (f *Fuzzer) depthOf(_ *trace.Record) int { return f.curParents }
 
 // score computes the queue priority of a candidate (Algorithm 1,
 // heur, with the parent-count sign following the paper's prose: fewer

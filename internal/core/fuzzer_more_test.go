@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"pfuzzer/internal/subject"
 	"pfuzzer/internal/subjects/cjson"
 	"pfuzzer/internal/subjects/expr"
 	"pfuzzer/internal/subjects/tinyc"
@@ -111,7 +112,7 @@ func TestAblationsRun(t *testing.T) {
 		cfg.MaxExecs = 2000
 		res := New(tinyc.New(), cfg).Run()
 		for _, v := range res.Valids {
-			rec := New(tinyc.New(), Config{}).run(v.Input)
+			rec := subject.Execute(tinyc.New(), v.Input, trace.Full())
 			if !rec.Accepted() {
 				t.Errorf("%s: emitted invalid input %q", name, v.Input)
 			}
@@ -126,7 +127,7 @@ func TestCoverageMatchesValids(t *testing.T) {
 	res := f.Run()
 	union := map[uint32]bool{}
 	for _, v := range res.Valids {
-		rec := New(expr.New(), Config{}).run(v.Input)
+		rec := subject.Execute(expr.New(), v.Input, trace.Full())
 		for id := range rec.BlockFirst {
 			union[id] = true
 		}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/subjects/cjson"
+	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/trace"
+)
+
+// TestParallelFindsValidInputs runs the concurrent engine and checks
+// the same contract as the serial engine: every emitted input is
+// accepted by the parser, the execution budget is respected, and the
+// search makes progress.
+func TestParallelFindsValidInputs(t *testing.T) {
+	for _, workers := range []int{2, 4} {
+		res := New(expr.New(), Config{Seed: 1, MaxExecs: 6000, Workers: workers}).Run()
+		if res.Execs > 6000 {
+			t.Errorf("workers=%d: %d execs exceed the budget of 6000", workers, res.Execs)
+		}
+		if len(res.Valids) == 0 {
+			t.Fatalf("workers=%d: no valid inputs after %d execs", workers, res.Execs)
+		}
+		for _, v := range res.Valids {
+			rec := subject.Execute(expr.New(), v.Input, trace.Full())
+			if !rec.Accepted() {
+				t.Errorf("workers=%d: emitted input %q is not accepted", workers, v.Input)
+			}
+		}
+	}
+}
+
+// TestParallelEmitsUniqueValids verifies the scheduler-side dedup.
+func TestParallelEmitsUniqueValids(t *testing.T) {
+	res := New(cjson.New(), Config{Seed: 5, MaxExecs: 8000, Workers: 4}).Run()
+	seen := map[string]bool{}
+	for _, v := range res.Valids {
+		if seen[string(v.Input)] {
+			t.Errorf("duplicate valid input %q", v.Input)
+		}
+		seen[string(v.Input)] = true
+	}
+}
+
+// TestParallelCoverageIsUnionOfValids mirrors the serial invariant:
+// the result coverage is exactly the union of the valids' block sets.
+func TestParallelCoverageIsUnionOfValids(t *testing.T) {
+	res := New(expr.New(), Config{Seed: 3, MaxExecs: 6000, Workers: 3}).Run()
+	union := map[uint32]bool{}
+	for _, v := range res.Valids {
+		rec := subject.Execute(expr.New(), v.Input, trace.Full())
+		for id := range rec.BlockFirst {
+			union[id] = true
+		}
+	}
+	if len(union) != len(res.Coverage) {
+		t.Fatalf("coverage = %d blocks, union of valids = %d", len(res.Coverage), len(union))
+	}
+}
+
+// TestParallelMaxValids checks the early-stop knob under concurrency.
+// In-flight outcomes may push the count slightly past the limit (the
+// serial engine can overshoot within one iteration the same way), but
+// the campaign must stop near it rather than running out the budget.
+func TestParallelMaxValids(t *testing.T) {
+	res := New(cjson.New(), Config{Seed: 2, MaxExecs: 50000, Workers: 4, MaxValids: 3}).Run()
+	if len(res.Valids) < 3 {
+		t.Fatalf("stopped with %d valids, want >= 3", len(res.Valids))
+	}
+	if res.Execs == 50000 {
+		t.Errorf("campaign ran out the full budget despite MaxValids=3")
+	}
+}
+
+// TestParallelOnValidFires checks the callback is delivered from the
+// scheduler goroutine for every emission.
+func TestParallelOnValidFires(t *testing.T) {
+	var calls int
+	cfg := Config{Seed: 1, MaxExecs: 6000, Workers: 4,
+		OnValid: func([]byte, int) { calls++ }}
+	res := New(expr.New(), cfg).Run()
+	if calls != len(res.Valids) {
+		t.Errorf("OnValid fired %d times for %d valids", calls, len(res.Valids))
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pfuzzer/internal/pqueue"
+)
+
+// runParallel executes the campaign with cfg.Workers executor
+// goroutines feeding a central scheduler (this goroutine). The
+// executors own execution and trace collection; the scheduler owns
+// every piece of campaign state — the sharded priority queue, the
+// valid-coverage set, the dedup and path-frequency maps, and the
+// result — so no state needs locking beyond the queue's own shard
+// locks.
+//
+// Where the serial engine re-scores the whole queue after every valid
+// input (the paper's per-execution re-evaluation), the scheduler
+// batches: coverage from valids merges into vBr as outcomes arrive,
+// but the queue-wide re-scoring pass against the grown coverage runs
+// once per generation of cfg.Generation outcomes. Freshly pushed
+// children always score against current coverage; only already-queued
+// candidates go briefly stale, which the relaxed sharded-queue order
+// tolerates by construction.
+//
+// Execution order, and therefore the emitted sequence, is
+// nondeterministic with Workers > 1. MaxExecs is enforced exactly via
+// a shared token budget; MaxValids and Deadline may overshoot by the
+// in-flight outcomes, the same way the serial engine can overshoot
+// within one loop iteration.
+func (f *Fuzzer) runParallel() *Result {
+	f.start = time.Now()
+	f.res.Coverage = make(map[uint32]bool)
+
+	nw := f.cfg.Workers
+	shards := f.cfg.Shards
+	if shards <= 0 {
+		shards = nw
+	}
+	gen := f.cfg.Generation
+	if gen <= 0 {
+		gen = 4 * nw
+	}
+	q := pqueue.NewSharded[*candidate](shards)
+
+	// Seed the search with the paper's empty initial input.
+	f.seen[""] = struct{}{}
+	q.Push(&candidate{input: []byte{}}, 0)
+
+	var budget atomic.Int64
+	budget.Store(int64(f.cfg.MaxExecs))
+	stop := make(chan struct{})
+	results := make(chan outcome, 4*nw)
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go newExecutor(i, f.prog, &f.cfg).loop(q, results, &budget, stop, &wg)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	stopped := false
+	halt := func() {
+		if !stopped {
+			stopped = true
+			close(stop)
+		}
+	}
+	pending, dirty := 0, false
+	for o := range results {
+		f.applyOutcome(&o, q, &dirty)
+		if pending++; pending >= gen {
+			pending = 0
+			if dirty {
+				q.Reorder(f.score)
+				dirty = false
+			}
+			f.pruneIfOvergrown(q)
+		}
+		if f.done() {
+			halt()
+		}
+	}
+	halt()
+
+	f.res.Elapsed = time.Since(f.start)
+	return &f.res
+}
+
+// applyOutcome folds one executor outcome into the campaign state,
+// mirroring the serial engine's per-iteration bookkeeping: count the
+// executions, bump path frequencies, emit valids, derive children
+// from the run that the serial engine would have derived them from,
+// and re-enqueue the candidate with a retry decay.
+func (f *Fuzzer) applyOutcome(o *outcome, q *pqueue.Sharded[*candidate], dirty *bool) {
+	push := func(cd *candidate) { q.Push(cd, f.score(cd)) }
+	f.res.Execs += o.execs
+	f.pathSeen[o.primary.pathHash]++
+	if o.ext != nil {
+		f.pathSeen[o.ext.pathHash]++
+	}
+
+	// Mirror the serial engine's case split exactly. Valid with new
+	// coverage: emit, derive children from the input's own trace, and
+	// retire the candidate (ignoring the speculative extension the
+	// executor ran — see executor.loop). Anything else — rejected, or
+	// accepted without new coverage — takes the extension path:
+	// children come from the extension's trace (emitting it first if
+	// it happens to be valid with new coverage itself), and the
+	// candidate re-enqueues with a retry decay so a fresh random
+	// extension gets drawn on a later pop.
+	childDepth := o.depth + 1
+	if o.primary.accepted && f.hasNewIDs(o.primary.blocks) {
+		f.emitValid(o.primary)
+		f.addChildren(o.primary, childDepth, push)
+		*dirty = true
+		return
+	}
+	if o.ext != nil {
+		if o.ext.accepted && f.hasNewIDs(o.ext.blocks) {
+			f.emitValid(o.ext)
+			f.addChildren(o.ext, childDepth, push)
+			*dirty = true
+		} else {
+			f.addChildren(o.ext, childDepth, push)
+		}
+	}
+	if o.cand != nil {
+		o.cand.retries++
+		push(o.cand)
+	}
+}

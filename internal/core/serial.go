@@ -1,0 +1,96 @@
+package core
+
+import (
+	"pfuzzer/internal/subject"
+	"time"
+)
+
+// runSerial executes the campaign on a single goroutine, popping one
+// candidate at a time and re-scoring the queue after every valid
+// input, exactly as the paper's Algorithm 1 does. Its behaviour under
+// a fixed Seed is bit-for-bit deterministic (golden_test.go pins the
+// emitted sequence), which keeps the paper-reproduction benchmarks
+// valid; the concurrent engine in scheduler.go trades that strict
+// ordering for throughput.
+func (f *Fuzzer) runSerial() *Result {
+	f.start = time.Now()
+	f.res.Coverage = make(map[uint32]bool)
+
+	// The paper starts from the empty string, whose rejection via an
+	// EOF access at index 0 teaches the fuzzer to append (Figure 1).
+	input := []byte{}
+	eInp := []byte{f.randChar()}
+
+	var cur *candidate
+	for !f.done() {
+		if _, ok := f.checkRun(input, false); !ok {
+			if rfE, okE := f.checkRun(eInp, true); !okE {
+				f.addChildrenSerial(rfE)
+			}
+			// Re-enqueue the processed input with a retry decay: the
+			// random extension is drawn fresh on every pop, so a
+			// prefix whose extension led nowhere (for example a
+			// keyword destroyed by appending a letter) gets another
+			// chance later. The paper's queue admits duplicate
+			// inputs and retries the same way.
+			if cur != nil {
+				cur.retries++
+				f.queue.Push(cur, f.score(cur))
+			}
+		}
+		next, score, found := f.queue.PopRescored(f.score)
+		if !found {
+			// Queue exhausted: restart from a fresh random character.
+			input = []byte{f.randChar()}
+			f.curParents = 0
+			cur = nil
+		} else {
+			input = next.input
+			f.curParents = next.parents
+			cur = next
+			if f.cfg.DebugPop != nil {
+				f.cfg.DebugPop(input, score, f.res.Execs, f.queue.Len())
+			}
+		}
+		eInp = append(append([]byte{}, input...), f.randChar())
+	}
+
+	f.res.Elapsed = time.Since(f.start)
+	return &f.res
+}
+
+// execFacts runs input once against the subject, reusing the serial
+// engine's trace sink, and distills the record into run facts;
+// deriving marks runs whose comparisons will seed children.
+func (f *Fuzzer) execFacts(input []byte, deriving bool) *runFacts {
+	f.res.Execs++
+	rec := subject.ExecuteInto(f.prog, input, traceOpts(), &f.sink)
+	f.pathSeen[rec.PathHash]++
+	return factsOf(rec, deriving)
+}
+
+// checkRun executes input and, if it is valid and covers new code,
+// processes it as a new valid input (Algorithm 1, runCheck/validInp).
+// It returns the run facts and whether the input was treated as valid.
+func (f *Fuzzer) checkRun(input []byte, deriving bool) (*runFacts, bool) {
+	rf := f.execFacts(input, deriving)
+	if rf.accepted && f.hasNewIDs(rf.blocks) {
+		f.emitValid(rf)
+		// Re-score the queue against the grown vBr: "all remaining
+		// inputs in the queue have to be re-evaluated in terms of
+		// coverage" (§3.2).
+		f.queue.Reorder(f.score)
+		f.addChildrenSerial(rf)
+		return rf, true
+	}
+	return rf, false
+}
+
+// addChildrenSerial enqueues rf's successor inputs at the current
+// substitution depth and keeps the queue within its bound.
+func (f *Fuzzer) addChildrenSerial(rf *runFacts) {
+	f.addChildren(rf, f.curParents+1, func(cd *candidate) {
+		f.queue.Push(cd, f.score(cd))
+	})
+	f.pruneIfOvergrown(&f.queue)
+}

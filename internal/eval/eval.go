@@ -44,6 +44,12 @@ type Budget struct {
 	Runs         int   // repetitions; the best run is reported
 	Seed         int64 // base RNG seed
 	Deadline     time.Duration
+	// Workers sets the pFuzzer campaign's executor count (see
+	// core.Config.Workers). 0 or 1 keeps the deterministic serial
+	// engine the paper numbers were produced with; more workers
+	// regenerate the figures faster at the cost of run-to-run
+	// ordering variation.
+	Workers int
 }
 
 // DefaultBudget approximates the paper's effective execution counts:
@@ -120,6 +126,7 @@ func runOnce(entry registry.Entry, tool Tool, budget Budget, seed int64) Subject
 			Seed:     seed,
 			MaxExecs: budget.PFuzzerExecs,
 			Deadline: budget.Deadline,
+			Workers:  budget.Workers,
 		})
 		res := f.Run()
 		out.Execs = res.Execs

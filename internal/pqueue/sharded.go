@@ -1,0 +1,152 @@
+package pqueue
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded is a concurrency-safe priority queue split across N
+// independently locked shards. It trades the strict global priority
+// order of Queue for parallelism: each shard is an exact max-heap, but
+// a pop observes only one shard at a time, so the popped value is the
+// best of that shard, not necessarily of the whole queue. With one
+// shard it degenerates to a mutex-guarded Queue and the global order
+// is exact.
+//
+// The deployment is one shard per executor: pushes spread round-robin
+// so no shard starves, and PopOwn gives each worker an affine home
+// shard it drains first, stealing from its neighbours when the home
+// runs dry. The paper's search tolerates the relaxed order: scores
+// are heuristic and continuously re-evaluated, so "a very good
+// candidate from my shard" approximates "the best candidate overall"
+// well enough, and per-shard locks keep the queue off the
+// scaling-critical path.
+type Sharded[T any] struct {
+	shards []shard[T]
+	pushes atomic.Uint64
+}
+
+type shard[T any] struct {
+	mu sync.Mutex
+	q  Queue[T]
+	// Pad the 40 bytes of live fields to a 128-byte stride: whatever
+	// the slice's base alignment, two shards' live bytes then sit at
+	// least 88 bytes apart, so they can never share a 64-byte cache
+	// line and the per-shard locks do not false-share.
+	_ [88]byte
+}
+
+// NewSharded returns a queue with n shards (n < 1 is treated as 1).
+func NewSharded[T any](n int) *Sharded[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &Sharded[T]{shards: make([]shard[T], n)}
+}
+
+// NumShards returns the shard count.
+func (s *Sharded[T]) NumShards() int { return len(s.shards) }
+
+// Push inserts v with the given score into the next shard in
+// round-robin order, spreading load evenly across shards.
+func (s *Sharded[T]) Push(v T, score float64) {
+	sh := &s.shards[s.pushes.Add(1)%uint64(len(s.shards))]
+	sh.mu.Lock()
+	sh.q.Push(v, score)
+	sh.mu.Unlock()
+}
+
+// PopOwn removes and returns the best value of worker w's home shard;
+// when that shard is empty it steals from the other shards in ring
+// order. It returns ok == false only when every shard was observed
+// empty.
+func (s *Sharded[T]) PopOwn(w int) (T, float64, bool) {
+	n := len(s.shards)
+	for i := 0; i < n; i++ {
+		sh := &s.shards[(uint(w)+uint(i))%uint(n)]
+		sh.mu.Lock()
+		v, score, ok := sh.q.Pop()
+		sh.mu.Unlock()
+		if ok {
+			return v, score, true
+		}
+	}
+	var zero T
+	return zero, 0, false
+}
+
+// Pop removes and returns the best value over all shard tops: it peeks
+// every shard, then pops from the best one. Under concurrent pops the
+// returned value may be second-best; with a single popper and one
+// shard the order is exact.
+func (s *Sharded[T]) Pop() (T, float64, bool) {
+	for {
+		best, bestScore := -1, 0.0
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			_, score, ok := sh.q.Peek()
+			sh.mu.Unlock()
+			if ok && (best < 0 || score > bestScore) {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			var zero T
+			return zero, 0, false
+		}
+		sh := &s.shards[best]
+		sh.mu.Lock()
+		v, score, ok := sh.q.Pop()
+		sh.mu.Unlock()
+		if ok {
+			return v, score, true
+		}
+		// The shard was drained between peek and pop; rescan.
+	}
+}
+
+// Len returns the total number of queued values across all shards.
+func (s *Sharded[T]) Len() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.q.Len()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Reorder recomputes every score with rescore and restores each
+// shard's heap property. This is the batched re-scoring pass the
+// scheduler runs once per generation after merging new coverage,
+// instead of the serial engine's re-score per valid input.
+func (s *Sharded[T]) Reorder(rescore func(T) float64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.q.Reorder(rescore)
+		sh.mu.Unlock()
+	}
+}
+
+// Prune bounds the queue to at most max values by discarding the
+// lowest-scored entries of each shard beyond its proportional share.
+// The bound is approximate: each shard keeps its own best max/N, so a
+// globally mediocre value can survive in an underfull shard.
+func (s *Sharded[T]) Prune(max int) {
+	if max < 0 {
+		return
+	}
+	per := max / len(s.shards)
+	if per < 1 {
+		per = 1
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.q.Prune(per)
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,153 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestShardedSingleShardIsExact checks that one shard degenerates to
+// the exact global priority order of Queue.
+func TestShardedSingleShardIsExact(t *testing.T) {
+	s := NewSharded[int](1)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		s.Push(i, rng.Float64()*100)
+	}
+	prev := 1e18
+	for {
+		_, score, ok := s.Pop()
+		if !ok {
+			break
+		}
+		if score > prev {
+			t.Fatalf("pop order not descending: %v after %v", score, prev)
+		}
+		prev = score
+	}
+}
+
+// TestShardedDeliversEverything pushes values across shards and
+// checks every value comes back exactly once, via both Pop and PopOwn.
+func TestShardedDeliversEverything(t *testing.T) {
+	for _, pop := range []struct {
+		name string
+		fn   func(s *Sharded[int]) (int, bool)
+	}{
+		{"Pop", func(s *Sharded[int]) (int, bool) { v, _, ok := s.Pop(); return v, ok }},
+		{"PopOwn", func(s *Sharded[int]) (int, bool) { v, _, ok := s.PopOwn(2); return v, ok }},
+	} {
+		s := NewSharded[int](4)
+		const n = 500
+		for i := 0; i < n; i++ {
+			s.Push(i, float64(i%7))
+		}
+		if s.Len() != n {
+			t.Fatalf("%s: Len = %d, want %d", pop.name, s.Len(), n)
+		}
+		got := map[int]bool{}
+		for {
+			v, ok := pop.fn(s)
+			if !ok {
+				break
+			}
+			if got[v] {
+				t.Fatalf("%s: value %d popped twice", pop.name, v)
+			}
+			got[v] = true
+		}
+		if len(got) != n {
+			t.Fatalf("%s: popped %d values, want %d", pop.name, len(got), n)
+		}
+	}
+}
+
+// TestShardedPopOwnStealsFromNeighbours verifies a worker whose home
+// shard is empty still finds work placed on another shard. The single
+// round-robin push lands on shard 1, so worker 0's pop must steal.
+func TestShardedPopOwnStealsFromNeighbours(t *testing.T) {
+	s := NewSharded[string](4)
+	s.Push("remote", 1)
+	v, _, ok := s.PopOwn(0)
+	if !ok || v != "remote" {
+		t.Fatalf("PopOwn(0) = %q, %v; want steal of \"remote\"", v, ok)
+	}
+	if _, _, ok := s.PopOwn(0); ok {
+		t.Fatal("queue should be empty after the steal")
+	}
+}
+
+// TestShardedReorder re-scores every queued value and checks the new
+// order is respected per shard.
+func TestShardedReorder(t *testing.T) {
+	s := NewSharded[int](1)
+	for i := 0; i < 10; i++ {
+		s.Push(i, float64(10-i)) // descending scores
+	}
+	s.Reorder(func(v int) float64 { return float64(v) }) // invert
+	v, _, ok := s.Pop()
+	if !ok || v != 9 {
+		t.Fatalf("after reorder Pop = %d, want 9", v)
+	}
+}
+
+// TestShardedPrune bounds the queue and keeps each shard's best.
+func TestShardedPrune(t *testing.T) {
+	s := NewSharded[int](4)
+	for i := 0; i < 400; i++ {
+		s.Push(i, float64(i))
+	}
+	s.Prune(100)
+	if got := s.Len(); got > 100 {
+		t.Fatalf("Len after Prune(100) = %d", got)
+	}
+	// The globally best value must survive in whatever shard holds it.
+	best := -1
+	for {
+		v, _, ok := s.Pop()
+		if !ok {
+			break
+		}
+		if v > best {
+			best = v
+		}
+	}
+	if best != 399 {
+		t.Fatalf("best survivor = %d, want 399", best)
+	}
+}
+
+// TestShardedConcurrentStress hammers pushes and pops from many
+// goroutines; run with -race it doubles as the locking proof.
+func TestShardedConcurrentStress(t *testing.T) {
+	s := NewSharded[int](8)
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	popped := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perW; i++ {
+				s.Push(w*perW+i, rng.Float64())
+				if i%3 == 0 {
+					if _, _, ok := s.PopOwn(w); ok {
+						popped[w]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range popped {
+		total += p
+	}
+	if got := s.Len(); got != workers*perW-total {
+		t.Fatalf("Len = %d, want %d pushed - %d popped", got, workers*perW, total)
+	}
+}

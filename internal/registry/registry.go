@@ -19,7 +19,11 @@ import (
 type Entry struct {
 	// Name is the subject's short name, matching Program.Name.
 	Name string
-	// New constructs the subject.
+	// New constructs the subject. Every registered constructor
+	// returns a stateless value whose Run method is safe for
+	// concurrent calls — the contract the concurrent campaign engine
+	// (core.Config.Workers > 1) relies on when sharing one Program
+	// across its executor pool.
 	New func() subject.Program
 	// Inventory is the subject's full token inventory.
 	Inventory tokens.Inventory

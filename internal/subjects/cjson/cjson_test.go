@@ -1,0 +1,71 @@
+package cjson
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+func run(in string) *trace.Record {
+	return subject.Execute(New(), []byte(in), trace.Full())
+}
+
+func TestNameAndBlocks(t *testing.T) {
+	p := New()
+	if p.Name() != "cjson" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Blocks() <= 0 {
+		t.Errorf("Blocks = %d", p.Blocks())
+	}
+}
+
+func TestAcceptReject(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{`{"nested":{"deep":[[[]]]}}`, true},
+		{`[0e0, -0.5E+2]`, true},
+		{`"é\t\/"`, true},
+		{`{"a":1 ,"b" : null}`, true},
+		{"-", false},
+		{`{"a":1,}`, false},
+		{`["\ud800"]`, false}, // lone high surrogate
+		{`[1 2]`, false},
+		{`{"a" 1}`, false},
+	}
+	for _, c := range cases {
+		if got := run(c.in).Accepted(); got != c.ok {
+			t.Errorf("%q accepted=%v, want %v", c.in, got, c.ok)
+		}
+	}
+}
+
+func TestTruncatedInputSignalsEOF(t *testing.T) {
+	// A structurally incomplete input must record an EOF access at
+	// the end: that is how the fuzzer learns to append (paper §2).
+	for _, in := range []string{`{"a":`, `[1,`, `"ab`, `tru`} {
+		rec := run(in)
+		if rec.Accepted() {
+			t.Errorf("%q unexpectedly accepted", in)
+			continue
+		}
+		if !rec.EOFAtEnd() {
+			t.Errorf("%q: no EOF access recorded at end", in)
+		}
+	}
+}
+
+func TestTokenizeFindsKeywords(t *testing.T) {
+	got := Tokenize([]byte(`{"k":[true,false,null,1.5e2]}`))
+	for _, want := range []string{"true", "false", "null", "{", "}", "[", "]", ":", ","} {
+		if !got[want] {
+			t.Errorf("token %q not found in %v", want, got)
+		}
+	}
+	if Inventory.Count() != 12 {
+		t.Errorf("inventory has %d tokens, Table 2 says 12", Inventory.Count())
+	}
+}

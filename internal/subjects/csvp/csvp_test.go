@@ -1,0 +1,64 @@
+package csvp
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+func run(in string) *trace.Record {
+	return subject.Execute(New(), []byte(in), trace.Full())
+}
+
+func TestNameAndBlocks(t *testing.T) {
+	p := New()
+	if p.Name() != "csv" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Blocks() <= 0 {
+		t.Errorf("Blocks = %d", p.Blocks())
+	}
+}
+
+func TestAcceptReject(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"x,y\r\nz,w\r\n", true},
+		{`"",""`, true},
+		{`"embedded ""quotes"" here"`, true},
+		{"trailing,comma,\n", true},
+		{`"a`, false},
+		{`ab"cd`, false},
+		{`"a"b`, false},
+	}
+	for _, c := range cases {
+		if got := run(c.in).Accepted(); got != c.ok {
+			t.Errorf("%q accepted=%v, want %v", c.in, got, c.ok)
+		}
+	}
+}
+
+func TestUnterminatedQuoteSignalsEOF(t *testing.T) {
+	rec := run(`"abc`)
+	if rec.Accepted() {
+		t.Fatal("unterminated quote accepted")
+	}
+	if !rec.EOFAtEnd() {
+		t.Error("no EOF access recorded for the unterminated quote")
+	}
+}
+
+func TestTokenizeSeparators(t *testing.T) {
+	got := Tokenize([]byte("a,b\n\"c\"\n"))
+	for _, want := range []string{","} {
+		if !got[want] {
+			t.Errorf("token %q not found in %v", want, got)
+		}
+	}
+	if Inventory.Count() == 0 {
+		t.Error("empty inventory")
+	}
+}

@@ -1,0 +1,77 @@
+package expr
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+func run(in string) *trace.Record {
+	return subject.Execute(New(), []byte(in), trace.Full())
+}
+
+func TestNameAndBlocks(t *testing.T) {
+	p := New()
+	if p.Name() != "expr" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Blocks() <= 0 {
+		t.Errorf("Blocks = %d", p.Blocks())
+	}
+}
+
+func TestAcceptReject(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"123", true},
+		{"-42", true},
+		{"(1+2)-3", true},
+		{"((7))", true},
+		{"1+-2", false},
+		{"(1))", false},
+		{"+", false},
+		{"1(", false},
+	}
+	for _, c := range cases {
+		if got := run(c.in).Accepted(); got != c.ok {
+			t.Errorf("%q accepted=%v, want %v", c.in, got, c.ok)
+		}
+	}
+}
+
+func TestOpenParenSignalsEOF(t *testing.T) {
+	// "(1" needs more input: the §2 walkthrough's append rule depends
+	// on this EOF signal.
+	rec := run("(1")
+	if rec.Accepted() {
+		t.Fatal("unclosed paren accepted")
+	}
+	if !rec.EOFAtEnd() {
+		t.Error("no EOF access recorded for the unclosed paren")
+	}
+}
+
+func TestRejectionRecordsComparisons(t *testing.T) {
+	rec := run("1A")
+	if rec.Accepted() {
+		t.Fatal("\"1A\" accepted")
+	}
+	if len(rec.Comparisons) == 0 {
+		t.Error("rejection left no comparisons for the fuzzer to correct")
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	got := Tokenize([]byte("(1+2)-3"))
+	for _, want := range []string{"(", ")", "+", "-", "number"} {
+		if !got[want] {
+			t.Errorf("token %q not found in %v", want, got)
+		}
+	}
+	if Inventory.Count() == 0 {
+		t.Error("empty inventory")
+	}
+}

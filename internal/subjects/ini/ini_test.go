@@ -1,0 +1,65 @@
+package ini
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+func run(in string) *trace.Record {
+	return subject.Execute(New(), []byte(in), trace.Full())
+}
+
+func TestNameAndBlocks(t *testing.T) {
+	p := New()
+	if p.Name() != "ini" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Blocks() <= 0 {
+		t.Errorf("Blocks = %d", p.Blocks())
+	}
+}
+
+func TestAcceptReject(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"[a]\n[b]\nk=v\n", true},
+		{"; only a comment", true},
+		{"k = spaced value\n", true},
+		{"[sec]\n; c\nk=v", true},
+		{"[", false},
+		{"key\n", false},
+		{"=v\n", false},
+		{"[s]extra\n", false},
+	}
+	for _, c := range cases {
+		if got := run(c.in).Accepted(); got != c.ok {
+			t.Errorf("%q accepted=%v, want %v", c.in, got, c.ok)
+		}
+	}
+}
+
+func TestUnclosedSectionSignalsEOF(t *testing.T) {
+	rec := run("[sect")
+	if rec.Accepted() {
+		t.Fatal("unclosed section accepted")
+	}
+	if !rec.EOFAtEnd() {
+		t.Error("no EOF access recorded for the unclosed section")
+	}
+}
+
+func TestTokenizeStructure(t *testing.T) {
+	got := Tokenize([]byte("[s]\nk=v\n; c\n"))
+	for _, want := range []string{"[", "]", "="} {
+		if !got[want] {
+			t.Errorf("token %q not found in %v", want, got)
+		}
+	}
+	if Inventory.Count() == 0 {
+		t.Error("empty inventory")
+	}
+}

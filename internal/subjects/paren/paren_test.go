@@ -1,0 +1,75 @@
+package paren
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+func run(in string) *trace.Record {
+	return subject.Execute(New(), []byte(in), trace.Full())
+}
+
+func TestNameAndBlocks(t *testing.T) {
+	p := New()
+	if p.Name() != "paren" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Blocks() <= 0 {
+		t.Errorf("Blocks = %d", p.Blocks())
+	}
+}
+
+func TestAcceptReject(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"{<>}", true},
+		{"()[]{}<>", true},
+		{"([{<()>}])", true},
+		{"(<)>", false}, // crossing pairs
+		{"]", false},
+		{"{{}", false},
+	}
+	for _, c := range cases {
+		if got := run(c.in).Accepted(); got != c.ok {
+			t.Errorf("%q accepted=%v, want %v", c.in, got, c.ok)
+		}
+	}
+}
+
+func TestDeepNestingStackDepth(t *testing.T) {
+	// The §3 heuristic relies on the instrumented stack depth growing
+	// with bracket nesting; check the tracer actually observes it.
+	shallow := run("()")
+	deep := run("(((((((())))))))")
+	if !shallow.Accepted() || !deep.Accepted() {
+		t.Fatal("bracket inputs rejected")
+	}
+	if deep.MaxDepth <= shallow.MaxDepth {
+		t.Errorf("deep nesting depth %d not greater than shallow %d",
+			deep.MaxDepth, shallow.MaxDepth)
+	}
+}
+
+func TestOpenBracketSignalsEOF(t *testing.T) {
+	rec := run("([")
+	if rec.Accepted() {
+		t.Fatal("unclosed brackets accepted")
+	}
+	if !rec.EOFAtEnd() {
+		t.Error("no EOF access recorded for the unclosed brackets")
+	}
+}
+
+func TestTokenizeAllBrackets(t *testing.T) {
+	got := Tokenize([]byte("()[]{}<>"))
+	if len(got) < 8 {
+		t.Errorf("expected all 8 bracket tokens, got %v", got)
+	}
+	if Inventory.Count() != 8 {
+		t.Errorf("inventory has %d tokens, want 8", Inventory.Count())
+	}
+}

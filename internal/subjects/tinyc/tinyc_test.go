@@ -1,0 +1,78 @@
+package tinyc
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+func run(in string) *trace.Record {
+	return subject.Execute(New(), []byte(in), trace.Full())
+}
+
+func TestNameAndBlocks(t *testing.T) {
+	p := New()
+	if p.Name() != "tinyc" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Blocks() <= 0 {
+		t.Errorf("Blocks = %d", p.Blocks())
+	}
+}
+
+func TestAcceptReject(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"{;}", true},
+		{"if(a<b){a=b;}else{b=a;}", true},
+		{"do{x=x+1;}while(x<2);", true},
+		{"while(0){a=1;}", true},
+		{"{a=(1+2)<3;}", true},
+		{"else;", false},
+		{"if(a<b{a=1;}", false},
+		{"do{a=1;}", false}, // missing while
+		{"a+;", false},
+	}
+	for _, c := range cases {
+		if got := run(c.in).Accepted(); got != c.ok {
+			t.Errorf("%q accepted=%v, want %v", c.in, got, c.ok)
+		}
+	}
+}
+
+func TestPartialKeywordSignalsProgress(t *testing.T) {
+	// "whil" must leave either a strcmp-style comparison or an EOF
+	// probe behind: the paper's keyword-synthesis mechanism (§6.2)
+	// needs one of the two to extend the prefix to "while".
+	rec := run("whil")
+	if rec.Accepted() {
+		t.Fatal("\"whil\" accepted")
+	}
+	if len(rec.Comparisons) == 0 && !rec.EOFAtEnd() {
+		t.Error("partial keyword left neither comparisons nor an EOF access")
+	}
+}
+
+func TestInterpreterTerminates(t *testing.T) {
+	// The step budget must stop runaway loops; acceptance is still
+	// expected because parsing succeeded.
+	rec := run("while(1<2)a=a+1;")
+	if !rec.Accepted() {
+		t.Error("infinite loop program rejected instead of budget-stopped")
+	}
+}
+
+func TestTokenizeKeywords(t *testing.T) {
+	got := Tokenize([]byte("if(a<b){c=1;}else{do;while(0);}"))
+	for _, want := range []string{"if", "else", "do", "while"} {
+		if !got[want] {
+			t.Errorf("token %q not found in %v", want, got)
+		}
+	}
+	if Inventory.Count() != 15 {
+		t.Errorf("inventory has %d tokens, Table 3 says 15", Inventory.Count())
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"testing"
+
+	"pfuzzer/internal/taint"
+)
+
+// runDemo drives a fixed little parser against t: two block hits, a
+// char comparison, a set comparison, and an EOF probe.
+func runDemo(t *Tracer) {
+	t.Enter()
+	t.Block(1)
+	if c, ok := t.At(0); ok {
+		t.CharEq(c, 'a')
+		t.CharSet(c, "xyz")
+	}
+	t.Block(2)
+	t.At(99) // EOF access
+	t.Leave()
+}
+
+// TestSinkMatchesFreshTracer checks that a sink-backed execution
+// records exactly what a freshly allocated tracer records.
+func TestSinkMatchesFreshTracer(t *testing.T) {
+	input := []byte("abc")
+	fresh := New(input, Full())
+	runDemo(fresh)
+	want := fresh.Finish(0)
+
+	var sink Sink
+	st := sink.New(input, Full())
+	runDemo(st)
+	got := st.Finish(0)
+
+	if got.PathHash != want.PathHash {
+		t.Errorf("path hash %#x, want %#x", got.PathHash, want.PathHash)
+	}
+	if len(got.Comparisons) != len(want.Comparisons) {
+		t.Fatalf("%d comparisons, want %d", len(got.Comparisons), len(want.Comparisons))
+	}
+	for i := range got.Comparisons {
+		g, w := got.Comparisons[i], want.Comparisons[i]
+		if g.Kind != w.Kind || g.Index != w.Index || g.Matched != w.Matched || g.Seq != w.Seq {
+			t.Errorf("comparison %d = %+v, want %+v", i, g, w)
+		}
+	}
+	if len(got.EOFs) != len(want.EOFs) || len(got.Blocks) != len(want.Blocks) {
+		t.Errorf("eofs/blocks = %d/%d, want %d/%d",
+			len(got.EOFs), len(got.Blocks), len(want.EOFs), len(want.Blocks))
+	}
+	if len(got.BlockFirst) != len(want.BlockFirst) {
+		t.Errorf("%d first-hit blocks, want %d", len(got.BlockFirst), len(want.BlockFirst))
+	}
+}
+
+// TestSinkReuseResetsState checks that a reused sink starts each
+// execution from a clean slate: no events, blocks, or path state may
+// leak from the previous run.
+func TestSinkReuseResetsState(t *testing.T) {
+	var sink Sink
+
+	first := sink.New([]byte("abc"), Full())
+	runDemo(first)
+	recA := first.Finish(1)
+	hashA := recA.PathHash
+	if len(recA.Comparisons) == 0 || len(recA.BlockFirst) != 2 {
+		t.Fatalf("unexpected first record: %d comps, %d blocks",
+			len(recA.Comparisons), len(recA.BlockFirst))
+	}
+
+	// Second run on a different input: nothing from run A may remain.
+	second := sink.New([]byte("x"), Full())
+	second.Block(7)
+	recB := second.Finish(0)
+	if len(recB.Comparisons) != 0 || len(recB.EOFs) != 0 {
+		t.Errorf("leaked events: %d comps, %d eofs", len(recB.Comparisons), len(recB.EOFs))
+	}
+	if len(recB.BlockFirst) != 1 || recB.BlockFirst[7] == 0 && len(recB.Blocks) != 1 {
+		t.Errorf("block state leaked: %v", recB.BlockFirst)
+	}
+	if recB.PathHash == hashA {
+		t.Errorf("path hash not reset across reuse")
+	}
+
+	// Third run identical to the first must reproduce it exactly.
+	third := sink.New([]byte("abc"), Full())
+	runDemo(third)
+	recC := third.Finish(1)
+	if recC.PathHash != hashA || len(recC.Comparisons) != len(recA.Comparisons) {
+		t.Errorf("reused sink diverges from original run: hash %#x vs %#x, %d vs %d comps",
+			recC.PathHash, hashA, len(recC.Comparisons), len(recA.Comparisons))
+	}
+}
+
+// TestSinkEdgesReset checks the AFL edge bitmap is zeroed on reuse.
+func TestSinkEdgesReset(t *testing.T) {
+	var sink Sink
+	opts := Options{Edges: true}
+
+	a := sink.New(nil, opts)
+	a.Block(1)
+	a.Block(2)
+	recA := a.Finish(0)
+	hits := 0
+	for _, v := range recA.Edges {
+		if v > 0 {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no edges recorded")
+	}
+
+	b := sink.New(nil, opts)
+	recB := b.Finish(0)
+	for i, v := range recB.Edges {
+		if v != 0 {
+			t.Fatalf("edge %d not reset: %d", i, v)
+		}
+	}
+}
+
+// TestSinkTaintedOrigins sanity-checks that sink-backed tracers still
+// taint input characters (guards against regressions in Sink.New's
+// field wiring).
+func TestSinkTaintedOrigins(t *testing.T) {
+	var sink Sink
+	tr := sink.New([]byte("q"), Full())
+	c, ok := tr.At(0)
+	if !ok || c.Origin != 0 || c.B != 'q' {
+		t.Fatalf("At(0) = %+v, %v", c, ok)
+	}
+	if c.Origin == taint.NoOrigin {
+		t.Fatal("input char lost its taint")
+	}
+}

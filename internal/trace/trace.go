@@ -132,6 +132,7 @@ type Options struct {
 type Tracer struct {
 	input []byte
 	opts  Options
+	sink  *Sink
 
 	comps  []Comparison
 	eofs   []EOFAccess
@@ -148,18 +149,59 @@ type Tracer struct {
 }
 
 // New returns a Tracer for one execution on input, recording according
-// to opts.
+// to opts. It delegates to a single-use Sink so there is exactly one
+// initialization path for both fresh and sink-backed tracers; the
+// throwaway sink is never reused, so the resulting Record stays valid
+// indefinitely.
 func New(input []byte, opts Options) *Tracer {
-	t := &Tracer{
+	return new(Sink).New(input, opts)
+}
+
+// Sink is a reusable event buffer for executing many subjects in a
+// row without re-allocating the per-execution slices and maps. Each
+// executor of the concurrent campaign engine owns one Sink, making
+// trace collection per-worker with zero shared state.
+//
+// A Sink must not be used by two Tracers at the same time: the Record
+// produced by Finish aliases the sink's buffers and is valid only
+// until the sink's next New call. Callers that need run facts beyond
+// that point must copy them out first.
+type Sink struct {
+	tracer   Tracer
+	comps    []Comparison
+	eofs     []EOFAccess
+	blocks   []BlockHit
+	blockSet map[uint32]int
+	edges    []byte
+}
+
+// New returns a Tracer recording into s's reusable buffers.
+func (s *Sink) New(input []byte, opts Options) *Tracer {
+	t := &s.tracer
+	*t = Tracer{
 		input:    input,
 		opts:     opts,
+		sink:     s,
+		comps:    s.comps[:0],
+		eofs:     s.eofs[:0],
+		blocks:   s.blocks[:0],
 		pathHash: fnvOffset,
 	}
 	if opts.Blocks || opts.Comparisons {
-		t.blockSet = make(map[uint32]int)
+		if s.blockSet == nil {
+			s.blockSet = make(map[uint32]int)
+		} else {
+			clear(s.blockSet)
+		}
+		t.blockSet = s.blockSet
 	}
 	if opts.Edges {
-		t.edges = make([]byte, EdgeMapSize)
+		if s.edges == nil {
+			s.edges = make([]byte, EdgeMapSize)
+		} else {
+			clear(s.edges)
+		}
+		t.edges = s.edges
 	}
 	return t
 }
@@ -360,8 +402,17 @@ type Record struct {
 	MaxDepth    int
 }
 
-// Finish seals the tracer into a Record with exit status exit.
+// Finish seals the tracer into a Record with exit status exit. A
+// Record produced by a sink-backed Tracer aliases the sink's buffers
+// and is valid only until the sink's next New call.
 func (t *Tracer) Finish(exit int) *Record {
+	if t.sink != nil {
+		// Hand the possibly grown slices back so the sink retains
+		// their capacity for the next execution.
+		t.sink.comps = t.comps
+		t.sink.eofs = t.eofs
+		t.sink.blocks = t.blocks
+	}
 	return &Record{
 		Input:       t.input,
 		Exit:        exit,
