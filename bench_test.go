@@ -279,6 +279,49 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkHybridCampaign tracks the §7.4 grammar-feedback campaign
+// (core.Config.MinePhase) against the pure parser-directed campaign
+// on tinyc: same seed and execution budget, reporting valid-input
+// counts and the longest emitted valid input. The hybrid's headline
+// quantity is max_valid_len — deep, recursive inputs the pure
+// campaign's last-character substitution does not reach.
+func BenchmarkHybridCampaign(b *testing.B) {
+	e, ok := registry.Get("tinyc")
+	if !ok {
+		b.Fatal("tinyc subject not registered")
+	}
+	const campaignExecs = 20000
+	for _, mined := range []bool{false, true} {
+		name := "pure"
+		if mined {
+			name = "hybrid"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *core.Result
+			execs, elapsed := 0, time.Duration(0)
+			for i := 0; i < b.N; i++ {
+				res = core.New(e.New(), core.Config{
+					Seed:      1,
+					MaxExecs:  campaignExecs,
+					MinePhase: mined,
+					MineLexer: e.Lexer,
+				}).Run()
+				execs += res.Execs
+				elapsed += res.Elapsed
+			}
+			maxLen := 0
+			for _, v := range res.Valids {
+				if len(v.Input) > maxLen {
+					maxLen = len(v.Input)
+				}
+			}
+			b.ReportMetric(float64(execs)/elapsed.Seconds(), "execs/s")
+			b.ReportMetric(float64(len(res.Valids)), "valids")
+			b.ReportMetric(float64(maxLen), "max_valid_len")
+		})
+	}
+}
+
 // BenchmarkExecsPerValid measures pFuzzer's defining efficiency
 // claim: valid inputs per execution (the paper: orders of magnitude
 // fewer tests than AFL).

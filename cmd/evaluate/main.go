@@ -1,12 +1,17 @@
 // Command evaluate regenerates every table and figure of the paper's
 // evaluation (§5): Table 1 (subjects), Figure 2 (branch coverage per
 // subject and tool), Tables 2–4 (token inventories), Figure 3 (tokens
-// generated per token length), and the §5.3 token-coverage aggregates.
+// generated per token length), and the §5.3 token-coverage
+// aggregates — plus the pFuzzer+Mine column reproducing the §7.4
+// experiment: pFuzzer exploration extended with grammar mining over
+// the valid corpus (its exploration is seed-identical to the pFuzzer
+// column, so the delta is exactly what mining adds).
 //
 // Usage:
 //
 //	evaluate [-scale f] [-seed n] [-runs n] [-workers n] [-subjects a,b,c]
-//	         [-out dir] [-table1] [-fig2] [-fig3] [-tables] [-summary]
+//	         [-mine-execs n] [-out dir] [-table1] [-fig2] [-fig3]
+//	         [-tables] [-summary]
 //
 // Without selector flags everything is produced. -scale multiplies
 // the execution budgets (1.0 ≈ one minute; the paper ran 48 hours per
@@ -33,6 +38,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		runs     = flag.Int("runs", 3, "repetitions per campaign; best run reported")
 		workers  = flag.Int("workers", 1, "parallel executors per pFuzzer campaign")
+		mineEx   = flag.Int("mine-execs", 0, "pFuzzer+Mine extra mining executions (0 = pFuzzer budget / 4)")
 		subjects = flag.String("subjects", "ini,csv,cjson,tinyc,mjs", "comma-separated subjects")
 		outDir   = flag.String("out", "", "directory for CSV results (optional)")
 		table1   = flag.Bool("table1", false, "print Table 1 only")
@@ -81,8 +87,9 @@ func main() {
 	budget.Seed = *seed
 	budget.Runs = *runs
 	budget.Workers = *workers
-	fmt.Printf("Running campaigns: pFuzzer=%d execs, AFL=%d execs, KLEE=%d execs, %d run(s) each...\n\n",
-		budget.PFuzzerExecs, budget.AFLExecs, budget.KLEEExecs, budget.Runs)
+	budget.MineExecs = *mineEx
+	fmt.Printf("Running campaigns: pFuzzer=%d execs, AFL=%d execs, KLEE=%d execs, pFuzzer+Mine=+%d execs, %d run(s) each...\n\n",
+		budget.PFuzzerExecs, budget.AFLExecs, budget.KLEEExecs, budget.EffectiveMineExecs(), budget.Runs)
 
 	results := eval.Matrix(entries, budget)
 

@@ -5,11 +5,15 @@
 // Usage:
 //
 //	pfuzzer -subject cjson [-execs 100000] [-seed 1] [-workers 4] [-quiet]
+//	        [-mine] [-mine-budget n] [-mine-tokens n] [-mine-cadence n]
 //
 // Subjects: ini, csv, cjson, tinyc, mjs, expr, paren.
 //
 // With -workers 1 (the default) campaigns are deterministic under
-// -seed; more workers run candidate executions in parallel.
+// -seed; more workers run candidate executions in parallel. -mine
+// enables the hybrid campaign (paper §7.4): a token grammar is mined
+// from the valid corpus and used to generate longer candidates, which
+// are validated through the same engine and fed back into the miner.
 package main
 
 import (
@@ -30,6 +34,10 @@ func main() {
 		maxValids   = flag.Int("valids", 0, "stop after N valid inputs (0 = run out the budget)")
 		workers     = flag.Int("workers", 1, "parallel executors (1 = deterministic serial engine)")
 		quiet       = flag.Bool("quiet", false, "print only the summary")
+		minePhase   = flag.Bool("mine", false, "hybrid campaign: mine a grammar from the valid corpus and validate generated candidates (§7.4)")
+		mineBudget  = flag.Int("mine-budget", 0, "executions reserved for mined candidates (0 = execs/4)")
+		mineTokens  = flag.Int("mine-tokens", 0, "max tokens per generated candidate (0 = 30)")
+		mineCadence = flag.Int("mine-cadence", 0, "exploration executions between mining bursts (0 = four interleavings)")
 	)
 	flag.Parse()
 
@@ -40,7 +48,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := core.Config{Seed: *seed, MaxExecs: *execs, MaxValids: *maxValids, Workers: *workers}
+	cfg := core.Config{
+		Seed: *seed, MaxExecs: *execs, MaxValids: *maxValids, Workers: *workers,
+		MinePhase: *minePhase, MineBudget: *mineBudget,
+		MineMaxTokens: *mineTokens, MineCadence: *mineCadence,
+		MineLexer: entry.Lexer,
+	}
 	if !*quiet {
 		cfg.OnValid = func(input []byte, execs int) {
 			fmt.Printf("%8d  %q\n", execs, input)

@@ -59,12 +59,15 @@ func (e *executor) exec(input []byte, deriving bool) *runFacts {
 	return factsOf(subject.ExecuteInto(e.prog, input, traceOpts(), &e.sink), deriving)
 }
 
-// loop pops candidates from its home shard (stealing when it runs
+// loop pops candidates from the home shard (stealing when it runs
 // dry), executes them plus a randomly extended variant, and streams
 // outcomes to the scheduler until the stop signal fires or the shared
 // execution budget runs out. When even stealing finds no work it
 // synthesizes a fresh single-character restart input, the parallel
-// analogue of the serial engine's queue-exhausted restart.
+// analogue of the serial engine's queue-exhausted restart. home is
+// the worker's shard affinity, passed separately from id because a
+// hybrid campaign rebuilds its executors every phase with fresh
+// (phase-folded) ids but the same shard layout.
 //
 // The extension always runs (budget permitting), even when the input
 // was accepted: the executor cannot see the coverage set, so it
@@ -75,7 +78,7 @@ func (e *executor) exec(input []byte, deriving bool) *runFacts {
 // since emitted inputs are deduplicated — on the serial engine's
 // productive path, at the cost of one rarely wasted execution when
 // the input turns out to carry new coverage.
-func (e *executor) loop(q *pqueue.Sharded[*candidate], results chan<- outcome, budget *atomic.Int64, stop <-chan struct{}, wg *sync.WaitGroup) {
+func (e *executor) loop(q *pqueue.Sharded[*candidate], results chan<- outcome, budget *atomic.Int64, stop <-chan struct{}, wg *sync.WaitGroup, home int) {
 	defer wg.Done()
 	for {
 		select {
@@ -86,7 +89,7 @@ func (e *executor) loop(q *pqueue.Sharded[*candidate], results chan<- outcome, b
 		if budget.Add(-1) < 0 {
 			return
 		}
-		cand, _, ok := q.PopOwn(e.id)
+		cand, _, ok := q.PopOwn(home)
 		var input []byte
 		depth := 0
 		if ok {

@@ -105,6 +105,23 @@ func (f *Fuzzer) hasNewIDs(ids []uint32) bool {
 	return false
 }
 
+// recordLength emits an accepted mined-lineage run as a valid input
+// when it sets a new length record, without granting it the search
+// treatment of a new-coverage valid. The paper's emission rule is new
+// block coverage; the mining phase exists to reach deep, recursive
+// inputs that are longer re-combinations of already-covered
+// constructs, for which coverage novelty is the wrong filter. Two
+// restrictions keep the relaxation from perturbing the search:
+// lineage-only (ordinary exploration inputs never qualify — emitting
+// a boring accepted prefix would stop its extension retries, which is
+// where exploration progress comes from), and the strictly-increasing
+// longestValid ratchet bounds the volume.
+func (f *Fuzzer) recordLength(rf *runFacts, mineGen int) {
+	if f.cfg.MinePhase && mineGen > 0 && rf.accepted && len(rf.input) > f.longestValid {
+		f.emitValid(rf)
+	}
+}
+
 // emitValid records rf as a newly found valid input: it appends it to
 // the result (deduplicated), merges its blocks into the result
 // coverage and into vBr, and fires the OnValid callback. Re-scoring
@@ -128,6 +145,9 @@ func (f *Fuzzer) emitValid(rf *runFacts) {
 			Exec:      f.res.Execs,
 		}
 		f.res.Valids = append(f.res.Valids, v)
+		if len(v.Input) > f.longestValid {
+			f.longestValid = len(v.Input)
+		}
 		if f.cfg.OnValid != nil {
 			f.cfg.OnValid(v.Input, v.Exec)
 		}
@@ -138,7 +158,9 @@ func (f *Fuzzer) emitValid(rf *runFacts) {
 }
 
 // addChildren derives one successor input per comparison made to the
-// last compared character and hands it to push (Algorithm 1,
+// last compared character and hands it to push, tagging each child
+// with the parent's mined lineage bumped by one (mineGen 0 stays 0:
+// ordinary candidates have no lineage) (Algorithm 1,
 // addInputs). Substituting only at the failing index is what the
 // paper describes throughout: "the fuzzer then corrects the invalid
 // character to pass one of the character comparisons that was made at
@@ -150,7 +172,11 @@ func (f *Fuzzer) emitValid(rf *runFacts) {
 // spanning input[s..e], the successor is input[:s] + expected +
 // input[e+1:]; for wrapped strcmp comparisons the whole literal is
 // substituted, which is how keywords enter the inputs.
-func (f *Fuzzer) addChildren(rf *runFacts, depth int, push func(*candidate)) {
+func (f *Fuzzer) addChildren(rf *runFacts, depth, parentMineGen int, push func(*candidate)) {
+	childGen := 0
+	if parentMineGen > 0 {
+		childGen = parentMineGen + 1
+	}
 	for i := range rf.lastComps {
 		c := &rf.lastComps[i]
 		for _, cand := range f.pick(c) {
@@ -173,6 +199,7 @@ func (f *Fuzzer) addChildren(rf *runFacts, depth int, push func(*candidate)) {
 				parentStack: rf.stack,
 				parentPath:  rf.pathHash,
 				parents:     depth,
+				mineGen:     childGen,
 			})
 		}
 	}

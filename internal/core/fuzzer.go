@@ -23,6 +23,11 @@
 //     (executor.go) of goroutines that each own a private RNG and
 //     trace sink, feeding a central scheduler (scheduler.go) that owns
 //     all campaign state and a sharded priority queue.
+//
+// A third knob, Config.MinePhase, layers the paper's §7.4 proposal on
+// either engine (hybrid.go, DESIGN.md §7): grammar mining over the
+// valid corpus, generation of longer candidates, validation through
+// the same engine, and feedback of accepted inputs into the miner.
 package core
 
 import (
@@ -30,6 +35,7 @@ import (
 	"math/rand"
 	"time"
 
+	"pfuzzer/internal/mine"
 	"pfuzzer/internal/pqueue"
 	"pfuzzer/internal/subject"
 	"pfuzzer/internal/trace"
@@ -86,6 +92,36 @@ type Config struct {
 	// between batched queue re-scoring passes (0 = 4*Workers).
 	// Ignored by the serial engine.
 	Generation int
+
+	// MinePhase enables the hybrid two-phase campaign (DESIGN.md §7,
+	// the paper's §7.4 proposal): after parser-directed exploration —
+	// or interleaved with it on the MineCadence — the engine mines a
+	// token-bigram grammar from the emitted valid corpus, generates
+	// batches of longer candidates, validates them through the same
+	// engine (serial loop or executor pool), and feeds accepted
+	// inputs back into both the result and the miner. With MinePhase
+	// set, accepted inputs strictly longer than any valid so far are
+	// emitted even without new block coverage: depth, not coverage
+	// novelty, is what the mining phase exists to buy.
+	MinePhase bool
+	// MineBudget is the number of executions reserved for validating
+	// mined candidates (0 = MaxExecs/4). The remainder of MaxExecs
+	// drives parser-directed exploration.
+	MineBudget int
+	// MineMaxTokens bounds the token length of generated candidates
+	// (0 = 30).
+	MineMaxTokens int
+	// MineCadence is the number of exploration executions between
+	// mining bursts (0 = a quarter of the exploration budget, i.e.
+	// four interleavings). Smaller cadences interleave the phases
+	// more finely, growing the grammar — and regenerating from it —
+	// as the corpus grows; MineCadence >= the exploration budget
+	// degenerates to one mining phase after all exploration.
+	MineCadence int
+	// MineLexer tokenizes inputs for the miner (nil = a keywordless
+	// mine.SimpleLexer). registry.Entry.Lexer supplies a per-subject
+	// lexer so every subject can be mined.
+	MineLexer mine.Lexer
 
 	// Ablation switches; all false reproduces the paper's heuristic.
 	// They exist for the ablation benchmarks listed in DESIGN.md.
@@ -151,6 +187,7 @@ type candidate struct {
 	parentPath  uint64   // parent's path hash
 	parents     int      // substitutions on the search path so far
 	retries     int      // times this input was already extended
+	mineGen     int      // mined lineage: 0 = ordinary, 1 = generated from the grammar, k = repair descendant k-1 substitutions later
 }
 
 // Fuzzer is one parser-directed fuzzing campaign over a subject.
@@ -162,16 +199,41 @@ type Fuzzer struct {
 
 	vBr       map[uint32]bool // blocks covered by valid inputs
 	queue     pqueue.Queue[*candidate]
-	seen      map[string]struct{} // inputs ever enqueued or run
-	pathSeen  map[uint64]int      // executions per path hash
+	pq        *pqueue.Sharded[*candidate] // parallel engine's queue, created lazily
+	seen      map[string]struct{}         // inputs ever enqueued or run
+	pathSeen  map[uint64]int              // executions per path hash
 	validSeen map[string]struct{}
 
 	res        Result
 	start      time.Time
 	curParents int // substitution depth of the input being processed
+	curMineGen int // mined lineage of the input being processed (serial engine)
+
+	// Campaign lifecycle. A Fuzzer runs exactly one campaign: Run
+	// panics on reuse (ran). Internally a campaign is one or more
+	// *phases* — the hybrid engine alternates exploration and mining
+	// bursts — so the engines are resumable: began marks one-time
+	// initialization, execCap is the current phase's execution bound,
+	// and the serial loop's cursor survives between phases.
+	ran          bool
+	began        bool
+	execCap      int
+	phases       int  // parallel phases run so far (executor RNG streams)
+	longestValid int  // length of the longest emitted valid input
+	miningActive bool // current phase is a mining burst (hybrid only)
+
+	// Serial engine's resumable loop cursor.
+	sStarted bool
+	sInput   []byte     // input to process next
+	sExt     []byte     // its random extension, drawn at pop time
+	sCur     *candidate // candidate sInput was popped as (nil = restart)
 }
 
-// New prepares a fuzzer for prog.
+// New prepares a fuzzer for prog. A Fuzzer is single-campaign: Run
+// may be called exactly once; construct a new Fuzzer (they are cheap)
+// for every campaign rather than reusing one — a second Run would
+// silently continue on the first campaign's dedup sets, coverage and
+// execution counts, so it panics instead.
 func New(prog subject.Program, cfg Config) *Fuzzer {
 	c := cfg.withDefaults()
 	return &Fuzzer{
@@ -187,15 +249,70 @@ func New(prog subject.Program, cfg Config) *Fuzzer {
 
 // Run executes the campaign and returns its result. With
 // Config.Workers > 1 the concurrent engine runs; otherwise the serial
-// engine does.
+// engine does. With Config.MinePhase the hybrid phase driver
+// (hybrid.go) alternates parser-directed exploration with
+// grammar-mining bursts on either engine.
+//
+// Run panics if called a second time: a Fuzzer holds one campaign's
+// state (dedup sets, coverage, execution counts), and continuing on
+// it would double-count executions. Create a new Fuzzer with New.
 func (f *Fuzzer) Run() *Result {
-	if f.cfg.Workers > 1 {
-		return f.runParallel()
+	if f.ran {
+		panic("core: Fuzzer.Run called twice; a Fuzzer is single-campaign — create a new one with New")
 	}
-	return f.runSerial()
+	f.ran = true
+	if f.cfg.MinePhase {
+		return f.runHybrid()
+	}
+	f.execCap = f.cfg.MaxExecs
+	f.runEngine()
+	return f.finish()
 }
 
+// runEngine runs one phase on the configured engine up to execCap.
+func (f *Fuzzer) runEngine() {
+	if f.cfg.Workers > 1 {
+		f.runParallel()
+	} else {
+		f.runSerial()
+	}
+}
+
+// begin performs the once-per-campaign initialization shared by both
+// engines; subsequent phases resume on the same state.
+func (f *Fuzzer) begin() {
+	if f.began {
+		return
+	}
+	f.began = true
+	f.start = time.Now()
+	f.res.Coverage = make(map[uint32]bool)
+}
+
+// finish stamps the elapsed time and returns the result.
+func (f *Fuzzer) finish() *Result {
+	f.res.Elapsed = time.Since(f.start)
+	return &f.res
+}
+
+// done reports whether the current phase is over. execCap bounds this
+// phase's executions; MaxValids and Deadline are campaign-global.
 func (f *Fuzzer) done() bool {
+	if f.res.Execs >= f.execCap {
+		return true
+	}
+	if f.cfg.MaxValids > 0 && len(f.res.Valids) >= f.cfg.MaxValids {
+		return true
+	}
+	if f.cfg.Deadline > 0 && time.Since(f.start) > f.cfg.Deadline {
+		return true
+	}
+	return false
+}
+
+// stopCampaign reports whether the whole campaign (not just the
+// current phase) is out of budget — the hybrid driver's loop guard.
+func (f *Fuzzer) stopCampaign() bool {
 	if f.res.Execs >= f.cfg.MaxExecs {
 		return true
 	}
@@ -259,10 +376,40 @@ func substitute(input []byte, c *trace.Comparison, cand []byte) []byte {
 	return out
 }
 
+// Mined-candidate scoring: a fresh mined candidate beats any
+// substitution child (whose scores are small: coverage counts minus
+// length-scale penalties). The base halves per lineage generation —
+// repair descendants of a mined near-miss stay prioritized over the
+// exploration frontier, or the repair loop could never touch the
+// long inputs mining produces (their length penalty buries them) —
+// and the steep retry decay drops any one candidate back into the
+// pack after a few fruitless extensions.
+const (
+	mineScoreBase  = 4096.0
+	mineRetryDecay = 1024.0
+)
+
+// mineScore is the queue priority of a candidate with mined lineage.
+func mineScore(c *candidate) float64 {
+	base := mineScoreBase
+	for g := 1; g < c.mineGen && base >= 1; g++ {
+		base /= 2
+	}
+	return base - mineRetryDecay*float64(c.retries) - float64(len(c.input))
+}
+
 // score computes the queue priority of a candidate (Algorithm 1,
 // heur, with the parent-count sign following the paper's prose: fewer
 // parents rank higher).
 func (f *Fuzzer) score(c *candidate) float64 {
+	if c.mineGen > 0 && f.miningActive {
+		// Phase fence: the mined boost applies only inside a mining
+		// burst. During exploration bursts, mined-lineage candidates
+		// fall through to the ordinary heuristic below (generated
+		// candidates carry no parent facts, so their length penalty
+		// buries them) instead of starving the exploration frontier.
+		return mineScore(c)
+	}
 	if f.cfg.BFS {
 		return -float64(len(c.input))
 	}

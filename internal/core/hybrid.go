@@ -1,0 +1,212 @@
+package core
+
+import (
+	"pfuzzer/internal/mine"
+)
+
+// mineRound bounds one generate-validate-refeed round of a mining
+// slice: small enough that accepted candidates re-enter the grammar
+// quickly, large enough that batch generation amortizes.
+const mineRound = 2048
+
+// runHybrid is the two-phase campaign driver behind Config.MinePhase,
+// implementing the tool chain the paper proposes as future work
+// (§7.4): "rely on parser-directed fuzzing for initial exploration,
+// use a tool to mine the grammar from the resulting sequences, and
+// use the mined grammar for generating longer and more complex
+// sequences".
+//
+// The driver alternates two kinds of phase on the same engine (serial
+// loop or scheduler/executor pool, per Config.Workers):
+//
+//   - exploration: plain parser-directed fuzzing, in bursts of
+//     MineCadence executions (default: the whole exploration budget
+//     in one burst);
+//   - mining: every valid input emitted so far is folded into an
+//     incremental token-bigram grammar (mine.Grammar.Add), a batch of
+//     deduplicated candidates is generated from it and enqueued as
+//     high-priority mined candidates, and the engine validates them —
+//     through the very same executor pool and sharded queue, so
+//     generated-candidate validation scales with Workers.
+//
+// Accepted candidates feed back twice: into the result (via the
+// hybrid emission rule, see shouldEmit) and into the miner, so the
+// grammar grows as the corpus grows. Rejected candidates stay in the
+// queue and fall to the ordinary heuristic, where the last-character
+// substitution loop repairs near-misses — the two search modes
+// compose rather than merely alternate.
+func (f *Fuzzer) runHybrid() *Result {
+	lex := f.cfg.MineLexer
+	if lex == nil {
+		lex = mine.SimpleLexer(nil)
+	}
+	g := mine.NewGrammar(lex)
+
+	maxTokens := f.cfg.MineMaxTokens
+	if maxTokens <= 0 {
+		maxTokens = 30
+	}
+	total := f.cfg.MaxExecs
+	mineBudget := f.cfg.MineBudget
+	if mineBudget <= 0 {
+		mineBudget = total / 4
+	}
+	if mineBudget > total {
+		mineBudget = total
+	}
+	explore := total - mineBudget
+	cadence := f.cfg.MineCadence
+	if cadence <= 0 {
+		// Default to four interleavings: early bursts mine from a
+		// small corpus, but their accepted candidates feed back into
+		// the grammar, so later bursts generate from a strictly
+		// richer automaton. An all-mining configuration (MineBudget
+		// >= MaxExecs) leaves cadence at 0; the explore branch below
+		// then spends whatever budget mining returns in one phase.
+		cadence = (explore + 3) / 4
+	}
+	// One mining burst per exploration burst, splitting the mining
+	// budget evenly; a final sweep below spends any remainder.
+	bursts := 1
+	if cadence > 0 {
+		bursts = (explore + cadence - 1) / cadence
+	}
+	mineSlice := mineBudget / bursts
+	if mineSlice < 1 {
+		mineSlice = mineBudget
+	}
+
+	fed := 0 // res.Valids already folded into the grammar
+	exploreLeft, mineLeft := explore, mineBudget
+	for (exploreLeft > 0 || mineLeft > 0) && !f.stopCampaign() {
+		if exploreLeft > 0 {
+			slice := cadence
+			if slice < 1 || slice > exploreLeft {
+				// Tail of the budget, or a zero cadence (all-mining
+				// configuration whose unminable slices fell through
+				// to exploration): spend what is left in one phase,
+				// so the loop always makes progress.
+				slice = exploreLeft
+			}
+			exploreLeft -= slice
+			f.runPhase(slice, false)
+			fed = f.feedGrammar(g, fed)
+		}
+		if mineLeft > 0 {
+			slice := mineSlice
+			if slice > mineLeft {
+				slice = mineLeft
+			}
+			mineLeft -= slice
+			// Spend the slice in rounds: generate a batch, validate
+			// it, fold the newly accepted inputs back into the
+			// grammar, regenerate. The feedback loop lives here, so
+			// even a single mining phase (MineCadence >= the
+			// exploration budget) grows its grammar as it goes.
+			for slice > 0 && !f.stopCampaign() {
+				round := mineRound
+				if round > slice {
+					round = slice
+				}
+				if f.enqueueMined(g, maxTokens, round) == 0 {
+					// Nothing to mine (no valid corpus yet, or the
+					// generator is exhausted): return the rest of the
+					// slice to exploration so the budget is spent
+					// either way.
+					exploreLeft += slice
+					break
+				}
+				f.runPhase(round, true)
+				fed = f.feedGrammar(g, fed)
+				slice -= round
+			}
+		}
+	}
+	// Rounding can leave a few executions unspent; run them out as
+	// exploration.
+	if !f.stopCampaign() {
+		f.runPhase(total-f.res.Execs, false)
+	}
+	f.setMining(false)
+	return f.finish()
+}
+
+// runPhase resumes the configured engine for up to slice more
+// executions, never exceeding the campaign budget. mining selects the
+// scoring regime (see the phase fence in score).
+func (f *Fuzzer) runPhase(slice int, mining bool) {
+	cap := f.res.Execs + slice
+	if cap > f.cfg.MaxExecs {
+		cap = f.cfg.MaxExecs
+	}
+	if f.res.Execs >= cap {
+		return
+	}
+	f.setMining(mining)
+	f.execCap = cap
+	f.runEngine()
+}
+
+// setMining toggles the scoring regime and re-scores the queues so no
+// stale phase scores survive the boundary (the serial queue's lazy
+// re-scoring assumes scores only decrease, which a regime flip
+// violates).
+func (f *Fuzzer) setMining(active bool) {
+	if f.miningActive == active {
+		return
+	}
+	f.miningActive = active
+	f.queue.Reorder(f.score)
+	if f.pq != nil {
+		f.pq.Reorder(f.score)
+	}
+}
+
+// feedGrammar folds valids emitted since the last call into the
+// grammar and returns the new high-water mark.
+func (f *Fuzzer) feedGrammar(g *mine.Grammar, from int) int {
+	for ; from < len(f.res.Valids); from++ {
+		g.Add(f.res.Valids[from].Input)
+	}
+	return from
+}
+
+// enqueueMined generates deduplicated candidates from the mined
+// grammar and pushes them onto the engine's queue as mined candidates
+// (score: see mineScoreBase). The batch is sized to a fraction of the
+// phase's execution slice: validating a candidate costs two
+// executions (the input and its random extension), and the rest of
+// the slice belongs to the repair loop — the substitution children of
+// near-miss candidates. It returns how many were enqueued.
+func (f *Fuzzer) enqueueMined(g *mine.Grammar, maxTokens, slice int) int {
+	if !g.Ready() {
+		return 0
+	}
+	n := slice / 8
+	if n < 16 {
+		n = 16
+	}
+	pushed := 0
+	for _, gen := range g.GenerateBatch(f.rng, maxTokens, n) {
+		if len(gen) > f.cfg.MaxLen {
+			continue
+		}
+		key := string(gen)
+		if _, dup := f.seen[key]; dup {
+			continue
+		}
+		f.seen[key] = struct{}{}
+		cd := &candidate{input: gen, mineGen: 1}
+		if f.cfg.Workers > 1 {
+			shards := f.cfg.Shards
+			if shards <= 0 {
+				shards = f.cfg.Workers
+			}
+			f.ensureSharded(shards).Push(cd, f.score(cd))
+		} else {
+			f.queue.Push(cd, f.score(cd))
+		}
+		pushed++
+	}
+	return pushed
+}

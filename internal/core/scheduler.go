@@ -3,7 +3,6 @@ package core
 import (
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"pfuzzer/internal/pqueue"
 )
@@ -26,13 +25,19 @@ import (
 // tolerates by construction.
 //
 // Execution order, and therefore the emitted sequence, is
-// nondeterministic with Workers > 1. MaxExecs is enforced exactly via
-// a shared token budget; MaxValids and Deadline may overshoot by the
-// in-flight outcomes, the same way the serial engine can overshoot
-// within one loop iteration.
-func (f *Fuzzer) runParallel() *Result {
-	f.start = time.Now()
-	f.res.Coverage = make(map[uint32]bool)
+// nondeterministic with Workers > 1. The phase's execution bound is
+// enforced exactly via a shared token budget; MaxValids and Deadline
+// may overshoot by the in-flight outcomes, the same way the serial
+// engine can overshoot within one loop iteration.
+//
+// Like the serial engine, runParallel is a resumable phase: the
+// sharded queue and all campaign state live on the Fuzzer, so the
+// hybrid driver can run exploration and mined-candidate validation as
+// successive phases over the same pool architecture. Each phase spins
+// up a fresh set of executor goroutines and drains them before
+// returning.
+func (f *Fuzzer) runParallel() {
+	f.begin()
 
 	nw := f.cfg.Workers
 	shards := f.cfg.Shards
@@ -43,20 +48,21 @@ func (f *Fuzzer) runParallel() *Result {
 	if gen <= 0 {
 		gen = 4 * nw
 	}
-	q := pqueue.NewSharded[*candidate](shards)
-
-	// Seed the search with the paper's empty initial input.
-	f.seen[""] = struct{}{}
-	q.Push(&candidate{input: []byte{}}, 0)
+	q := f.ensureSharded(shards)
 
 	var budget atomic.Int64
-	budget.Store(int64(f.cfg.MaxExecs))
+	budget.Store(int64(f.execCap - f.res.Execs))
 	stop := make(chan struct{})
 	results := make(chan outcome, 4*nw)
 	var wg sync.WaitGroup
+	// Executors are rebuilt per phase; fold the phase counter into
+	// their ids so each phase's private RNG streams differ from the
+	// last — replaying them would re-synthesize the same restart
+	// inputs and extensions every phase of a hybrid campaign.
+	f.phases++
 	for i := 0; i < nw; i++ {
 		wg.Add(1)
-		go newExecutor(i, f.prog, &f.cfg).loop(q, results, &budget, stop, &wg)
+		go newExecutor(i+(f.phases-1)*nw, f.prog, &f.cfg).loop(q, results, &budget, stop, &wg, i)
 	}
 	go func() {
 		wg.Wait()
@@ -86,9 +92,17 @@ func (f *Fuzzer) runParallel() *Result {
 		}
 	}
 	halt()
+}
 
-	f.res.Elapsed = time.Since(f.start)
-	return &f.res
+// ensureSharded returns the campaign's sharded queue, creating and
+// seeding it with the paper's empty initial input on first use.
+func (f *Fuzzer) ensureSharded(shards int) *pqueue.Sharded[*candidate] {
+	if f.pq == nil {
+		f.pq = pqueue.NewSharded[*candidate](shards)
+		f.seen[""] = struct{}{}
+		f.pq.Push(&candidate{input: []byte{}}, 0)
+	}
+	return f.pq
 }
 
 // applyOutcome folds one executor outcome into the campaign state,
@@ -114,19 +128,25 @@ func (f *Fuzzer) applyOutcome(o *outcome, q *pqueue.Sharded[*candidate], dirty *
 	// candidate re-enqueues with a retry decay so a fresh random
 	// extension gets drawn on a later pop.
 	childDepth := o.depth + 1
+	parentGen := 0
+	if o.cand != nil {
+		parentGen = o.cand.mineGen
+	}
 	if o.primary.accepted && f.hasNewIDs(o.primary.blocks) {
 		f.emitValid(o.primary)
-		f.addChildren(o.primary, childDepth, push)
+		f.addChildren(o.primary, childDepth, parentGen, push)
 		*dirty = true
 		return
 	}
+	f.recordLength(o.primary, parentGen)
 	if o.ext != nil {
 		if o.ext.accepted && f.hasNewIDs(o.ext.blocks) {
 			f.emitValid(o.ext)
-			f.addChildren(o.ext, childDepth, push)
+			f.addChildren(o.ext, childDepth, parentGen, push)
 			*dirty = true
 		} else {
-			f.addChildren(o.ext, childDepth, push)
+			f.recordLength(o.ext, parentGen)
+			f.addChildren(o.ext, childDepth, parentGen, push)
 		}
 	}
 	if o.cand != nil {

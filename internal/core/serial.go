@@ -2,7 +2,6 @@ package core
 
 import (
 	"pfuzzer/internal/subject"
-	"time"
 )
 
 // runSerial executes the campaign on a single goroutine, popping one
@@ -12,19 +11,27 @@ import (
 // emitted sequence), which keeps the paper-reproduction benchmarks
 // valid; the concurrent engine in scheduler.go trades that strict
 // ordering for throughput.
-func (f *Fuzzer) runSerial() *Result {
-	f.start = time.Now()
-	f.res.Coverage = make(map[uint32]bool)
+//
+// The loop cursor (sInput, sExt, sCur) lives on the Fuzzer so the
+// engine is resumable: the hybrid phase driver (hybrid.go) runs it in
+// bursts bounded by execCap, and a later burst continues exactly
+// where — and with exactly the RNG stream position — the previous one
+// stopped. Single-phase campaigns enter once and run out the budget,
+// which is bit-identical to the pre-refactor loop.
+func (f *Fuzzer) runSerial() {
+	f.begin()
+	if !f.sStarted {
+		f.sStarted = true
+		// The paper starts from the empty string, whose rejection via
+		// an EOF access at index 0 teaches the fuzzer to append
+		// (Figure 1).
+		f.sInput = []byte{}
+		f.sExt = []byte{f.randChar()}
+	}
 
-	// The paper starts from the empty string, whose rejection via an
-	// EOF access at index 0 teaches the fuzzer to append (Figure 1).
-	input := []byte{}
-	eInp := []byte{f.randChar()}
-
-	var cur *candidate
 	for !f.done() {
-		if _, ok := f.checkRun(input, false); !ok {
-			if rfE, okE := f.checkRun(eInp, true); !okE {
+		if _, ok := f.checkRun(f.sInput, false); !ok {
+			if rfE, okE := f.checkRun(f.sExt, true); !okE {
 				f.addChildrenSerial(rfE)
 			}
 			// Re-enqueue the processed input with a retry decay: the
@@ -33,30 +40,29 @@ func (f *Fuzzer) runSerial() *Result {
 			// keyword destroyed by appending a letter) gets another
 			// chance later. The paper's queue admits duplicate
 			// inputs and retries the same way.
-			if cur != nil {
-				cur.retries++
-				f.queue.Push(cur, f.score(cur))
+			if f.sCur != nil {
+				f.sCur.retries++
+				f.queue.Push(f.sCur, f.score(f.sCur))
 			}
 		}
 		next, score, found := f.queue.PopRescored(f.score)
 		if !found {
 			// Queue exhausted: restart from a fresh random character.
-			input = []byte{f.randChar()}
+			f.sInput = []byte{f.randChar()}
 			f.curParents = 0
-			cur = nil
+			f.curMineGen = 0
+			f.sCur = nil
 		} else {
-			input = next.input
+			f.sInput = next.input
 			f.curParents = next.parents
-			cur = next
+			f.curMineGen = next.mineGen
+			f.sCur = next
 			if f.cfg.DebugPop != nil {
-				f.cfg.DebugPop(input, score, f.res.Execs, f.queue.Len())
+				f.cfg.DebugPop(f.sInput, score, f.res.Execs, f.queue.Len())
 			}
 		}
-		eInp = append(append([]byte{}, input...), f.randChar())
+		f.sExt = append(append([]byte{}, f.sInput...), f.randChar())
 	}
-
-	f.res.Elapsed = time.Since(f.start)
-	return &f.res
 }
 
 // execFacts runs input once against the subject, reusing the serial
@@ -71,7 +77,10 @@ func (f *Fuzzer) execFacts(input []byte, deriving bool) *runFacts {
 
 // checkRun executes input and, if it is valid and covers new code,
 // processes it as a new valid input (Algorithm 1, runCheck/validInp).
-// It returns the run facts and whether the input was treated as valid.
+// It returns the run facts and whether the input was treated as
+// valid. Accepted mined-lineage runs that merely set a length record
+// are emitted into the result (recordLength) but stay on the ordinary
+// search path — extension and retry — as if nothing happened.
 func (f *Fuzzer) checkRun(input []byte, deriving bool) (*runFacts, bool) {
 	rf := f.execFacts(input, deriving)
 	if rf.accepted && f.hasNewIDs(rf.blocks) {
@@ -83,13 +92,15 @@ func (f *Fuzzer) checkRun(input []byte, deriving bool) (*runFacts, bool) {
 		f.addChildrenSerial(rf)
 		return rf, true
 	}
+	f.recordLength(rf, f.curMineGen)
 	return rf, false
 }
 
 // addChildrenSerial enqueues rf's successor inputs at the current
-// substitution depth and keeps the queue within its bound.
+// substitution depth and mined lineage, and keeps the queue within
+// its bound.
 func (f *Fuzzer) addChildrenSerial(rf *runFacts) {
-	f.addChildren(rf, f.curParents+1, func(cd *candidate) {
+	f.addChildren(rf, f.curParents+1, f.curMineGen, func(cd *candidate) {
 		f.queue.Push(cd, f.score(cd))
 	})
 	f.pruneIfOvergrown(&f.queue)

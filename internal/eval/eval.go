@@ -19,18 +19,24 @@ import (
 	"pfuzzer/internal/tokens"
 )
 
-// Tool identifies one of the three compared test generators.
+// Tool identifies one of the compared test generators.
 type Tool string
 
-// The compared tools.
+// The compared tools. PFuzzerMine is the §7.4 tool chain: a pFuzzer
+// campaign extended with grammar mining over its valid corpus — with
+// Workers <= 1 its exploration is bit-identical to the PFuzzer
+// campaign under the same seed, so its token coverage is a superset
+// by construction and the column isolates what mining adds.
 const (
-	PFuzzer Tool = "pFuzzer"
-	AFL     Tool = "AFL"
-	KLEE    Tool = "KLEE"
+	PFuzzer     Tool = "pFuzzer"
+	AFL         Tool = "AFL"
+	KLEE        Tool = "KLEE"
+	PFuzzerMine Tool = "pFuzzer+Mine"
 )
 
-// Tools lists the tools in the paper's presentation order.
-var Tools = []Tool{AFL, KLEE, PFuzzer}
+// Tools lists the tools in the paper's presentation order, extended
+// with the §7.4 hybrid column.
+var Tools = []Tool{AFL, KLEE, PFuzzer, PFuzzerMine}
 
 // Budget scales the campaigns. The paper gives every tool 48 hours;
 // here executions are the budget currency, with AFL given roughly
@@ -41,9 +47,16 @@ type Budget struct {
 	PFuzzerExecs int
 	AFLExecs     int
 	KLEEExecs    int
-	Runs         int   // repetitions; the best run is reported
-	Seed         int64 // base RNG seed
-	Deadline     time.Duration
+	// MineExecs is the extra execution budget the pFuzzer+Mine
+	// campaign spends validating mined candidates on top of its
+	// PFuzzerExecs exploration (0 = PFuzzerExecs/4). The paper's
+	// §7.4 sketch layers mining on a finished campaign, so the
+	// hybrid's exploration keeps the full pFuzzer budget and the
+	// Execs column reports the overhead honestly.
+	MineExecs int
+	Runs      int   // repetitions; the best run is reported
+	Seed      int64 // base RNG seed
+	Deadline  time.Duration
 	// Workers sets the pFuzzer campaign's executor count (see
 	// core.Config.Workers). 0 or 1 keeps the deterministic serial
 	// engine the paper numbers were produced with; more workers
@@ -72,7 +85,18 @@ func (b Budget) Scale(f float64) Budget {
 	b.PFuzzerExecs = int(float64(b.PFuzzerExecs) * f)
 	b.AFLExecs = int(float64(b.AFLExecs) * f)
 	b.KLEEExecs = int(float64(b.KLEEExecs) * f)
+	b.MineExecs = int(float64(b.MineExecs) * f)
 	return b
+}
+
+// EffectiveMineExecs returns the mining budget the pFuzzer+Mine
+// campaign actually spends: MineExecs, defaulting to a quarter of the
+// exploration budget.
+func (b Budget) EffectiveMineExecs() int {
+	if b.MineExecs > 0 {
+		return b.MineExecs
+	}
+	return b.PFuzzerExecs / 4
 }
 
 // SubjectResult is the outcome of one tool on one subject (best run).
@@ -127,6 +151,29 @@ func runOnce(entry registry.Entry, tool Tool, budget Budget, seed int64) Subject
 			MaxExecs: budget.PFuzzerExecs,
 			Deadline: budget.Deadline,
 			Workers:  budget.Workers,
+		})
+		res := f.Run()
+		out.Execs = res.Execs
+		out.Valids = res.ValidInputs()
+		out.Coverage = res.Coverage
+		out.Elapsed = res.Elapsed
+	case PFuzzerMine:
+		mineExecs := budget.EffectiveMineExecs()
+		f := core.New(prog, core.Config{
+			Seed: seed,
+			// Exploration gets the full pFuzzer budget and runs as
+			// one uninterrupted phase (MineCadence >= exploration),
+			// so with Workers <= 1 it reproduces the PFuzzer
+			// campaign's corpus exactly; the mining phase then spends
+			// its own budget on top, with the feedback loop running
+			// round by round inside the phase.
+			MaxExecs:    budget.PFuzzerExecs + mineExecs,
+			MineBudget:  mineExecs,
+			MineCadence: budget.PFuzzerExecs,
+			MinePhase:   true,
+			MineLexer:   entry.Lexer,
+			Deadline:    budget.Deadline,
+			Workers:     budget.Workers,
 		})
 		res := f.Run()
 		out.Execs = res.Execs

@@ -73,6 +73,39 @@ func TestSummarizePoolsCounts(t *testing.T) {
 	}
 }
 
+// TestMineColumnTokenCoverageSuperset pins the pFuzzer+Mine column's
+// contract on every paper subject: with Workers <= 1 the hybrid's
+// exploration phase reproduces the pFuzzer campaign exactly (same
+// seed, same budget, deterministic serial engine), so its valid
+// corpus extends pFuzzer's and its token coverage is a superset —
+// never below the pFuzzer column.
+func TestMineColumnTokenCoverageSuperset(t *testing.T) {
+	b := Budget{PFuzzerExecs: 4000, Runs: 1, Seed: 1}
+	for _, e := range registry.Paper() {
+		p := Run(e, PFuzzer, b)
+		m := Run(e, PFuzzerMine, b)
+		if len(m.Valids) < len(p.Valids) {
+			t.Fatalf("%s: pFuzzer+Mine emitted %d valids, pFuzzer %d", e.Name, len(m.Valids), len(p.Valids))
+		}
+		for i := range p.Valids {
+			if string(m.Valids[i]) != string(p.Valids[i]) {
+				t.Errorf("%s: valid[%d] = %q, want pFuzzer's %q (exploration must be prefix-identical)",
+					e.Name, i, m.Valids[i], p.Valids[i])
+				break
+			}
+		}
+		for tok := range p.TokenCov.Found {
+			if !m.TokenCov.Found[tok] {
+				t.Errorf("%s: token %q covered by pFuzzer but not pFuzzer+Mine", e.Name, tok)
+			}
+		}
+		if m.TokenCov.FoundCount() < p.TokenCov.FoundCount() {
+			t.Errorf("%s: pFuzzer+Mine token coverage %d below pFuzzer's %d",
+				e.Name, m.TokenCov.FoundCount(), p.TokenCov.FoundCount())
+		}
+	}
+}
+
 func TestReportsRender(t *testing.T) {
 	e, _ := registry.Get("expr")
 	results := Matrix([]registry.Entry{e}, tinyBudget())

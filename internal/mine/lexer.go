@@ -41,12 +41,20 @@ func SimpleLexer(keywords []string) Lexer {
 				j := i + 1
 				for j < len(input) && input[j] != '"' {
 					if input[j] == '\\' {
-						j++
+						j++ // skip the escaped character...
 					}
 					j++
 				}
 				if j < len(input) {
-					j++
+					j++ // consume the closing quote
+				}
+				// An unterminated string whose last byte is a
+				// backslash leaves j == len(input)+1 (the escape skip
+				// ran off the end); clamp before slicing. This lexer
+				// is fed raw fuzzer output, so truncated strings are
+				// routine, not exceptional.
+				if j > len(input) {
+					j = len(input)
 				}
 				out = append(out, Lexeme{Class: "string", Spelling: string(input[i:j])})
 				i = j
@@ -61,4 +69,39 @@ func SimpleLexer(keywords []string) Lexer {
 
 func isLetter(b byte) bool {
 	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b == '_' || b == '$'
+}
+
+// DelimLexer builds a Lexer for flat, delimiter-structured formats
+// (ini, csv): every byte of delims is its own single-character class,
+// space, tab and carriage return separate tokens and are dropped, and
+// maximal runs of anything else form one token of class text. It is
+// what lets the non-C-family subjects be mined at all.
+func DelimLexer(delims string, text string) Lexer {
+	var isDelim [256]bool
+	for i := 0; i < len(delims); i++ {
+		isDelim[delims[i]] = true
+	}
+	return func(input []byte) []Lexeme {
+		var out []Lexeme
+		i := 0
+		for i < len(input) {
+			b := input[i]
+			switch {
+			case isDelim[b]:
+				out = append(out, Lexeme{Class: string(b), Spelling: string(b)})
+				i++
+			case b == ' ' || b == '\t' || b == '\r':
+				i++
+			default:
+				j := i
+				for j < len(input) && !isDelim[input[j]] &&
+					input[j] != ' ' && input[j] != '\t' && input[j] != '\r' {
+					j++
+				}
+				out = append(out, Lexeme{Class: text, Spelling: string(input[i:j])})
+				i = j
+			}
+		}
+		return out
+	}
 }

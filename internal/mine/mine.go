@@ -9,11 +9,16 @@
 // The miner learns a token-level regular approximation of the input
 // language from the fuzzer's valid inputs: tokens become terminal
 // classes, and the observed token bigrams (plus start and end sets)
-// form an automaton. The generator random-walks the automaton to
+// form a weighted automaton. The generator random-walks the automaton
+// — biased towards frequently observed transitions and spellings — to
 // produce longer candidate inputs, which are validated against the
-// subject — exactly the "stumbling block" experiment the paper
-// sketches: without the valid and diverse seed inputs produced by
-// pFuzzer there is nothing to mine from.
+// subject: exactly the "stumbling block" experiment the paper
+// sketches, since without the valid and diverse seed inputs produced
+// by pFuzzer there is nothing to mine from.
+//
+// The grammar is incremental: the hybrid campaign engine
+// (internal/core, Config.MinePhase) feeds every newly emitted valid
+// input back through Add, so the automaton grows as the corpus grows.
 package mine
 
 import (
@@ -22,20 +27,46 @@ import (
 	"strings"
 )
 
-// Token is one mined terminal: a token class and one or more concrete
-// spellings observed for it.
+// Token is one mined terminal: a token class and the pool of concrete
+// spellings observed for it, each weighted by its occurrence count.
 type Token struct {
 	Class     string
-	Spellings []string
+	Spellings []string // insertion-ordered spelling pool
+	counts    []int    // occurrences per spelling, parallel to Spellings
+	total     int      // sum of counts
+}
+
+// pick returns a spelling drawn proportionally to observed frequency,
+// with add-one smoothing so rare spellings keep being exercised.
+func (t *Token) pick(rng *rand.Rand) string {
+	if len(t.Spellings) == 1 {
+		return t.Spellings[0]
+	}
+	n := rng.Intn(t.total + len(t.Spellings))
+	for i, c := range t.counts {
+		if n < c+1 {
+			return t.Spellings[i]
+		}
+		n -= c + 1
+	}
+	return t.Spellings[len(t.Spellings)-1]
 }
 
 // Grammar is a token-bigram approximation of an input language.
+// Transitions and spellings carry observation counts, so generation
+// follows the corpus distribution instead of treating a once-seen
+// bigram the same as a dominant one.
 type Grammar struct {
-	tokens map[string]*Token          // class -> spellings
-	start  map[string]bool            // classes observed first
-	end    map[string]bool            // classes observed last
-	follow map[string]map[string]bool // class -> classes observed after it
-	empty  bool                       // the empty input was valid
+	lex         Lexer
+	tokens      map[string]*Token
+	start       map[string]int            // class -> times observed first
+	startOrder  []string                  // insertion order (deterministic walks)
+	end         map[string]int            // class -> times observed last
+	follow      map[string]map[string]int // class -> class -> count
+	followOrder map[string][]string       // insertion order per class
+	emitted     map[string]bool           // candidate dedup for GenerateBatch
+	sepCache    map[string]bool           // memoized needSep per spelling pair
+	empty       bool                      // the empty input was valid
 }
 
 // Lexer splits an input into (class, spelling) pairs; subjects'
@@ -48,51 +79,85 @@ type Lexeme struct {
 	Spelling string
 }
 
+// NewGrammar returns an empty grammar that lexes inputs with lex.
+// Feed it inputs incrementally with Add or Seed.
+func NewGrammar(lex Lexer) *Grammar {
+	return &Grammar{
+		lex:         lex,
+		tokens:      map[string]*Token{},
+		start:       map[string]int{},
+		end:         map[string]int{},
+		follow:      map[string]map[string]int{},
+		followOrder: map[string][]string{},
+		emitted:     map[string]bool{},
+		sepCache:    map[string]bool{},
+	}
+}
+
 // Mine learns a grammar from a corpus of valid inputs.
 func Mine(corpus [][]byte, lex Lexer) *Grammar {
-	g := &Grammar{
-		tokens: map[string]*Token{},
-		start:  map[string]bool{},
-		end:    map[string]bool{},
-		follow: map[string]map[string]bool{},
-	}
-	for _, input := range corpus {
-		seq := lex(input)
-		if len(seq) == 0 {
-			g.empty = true
-			continue
-		}
-		g.start[seq[0].Class] = true
-		g.end[seq[len(seq)-1].Class] = true
-		for i, lx := range seq {
-			tok := g.tokens[lx.Class]
-			if tok == nil {
-				tok = &Token{Class: lx.Class}
-				g.tokens[lx.Class] = tok
-			}
-			if !contains(tok.Spellings, lx.Spelling) {
-				tok.Spellings = append(tok.Spellings, lx.Spelling)
-			}
-			if i > 0 {
-				prev := seq[i-1].Class
-				if g.follow[prev] == nil {
-					g.follow[prev] = map[string]bool{}
-				}
-				g.follow[prev][lx.Class] = true
-			}
-		}
-	}
+	g := NewGrammar(lex)
+	g.Seed(corpus)
 	return g
 }
 
-func contains(s []string, v string) bool {
-	for _, x := range s {
-		if x == v {
-			return true
+// Seed folds a corpus of valid inputs into the grammar. It is the
+// incremental bulk API: calling Seed repeatedly with new corpora (or
+// Add with single inputs) grows the same automaton.
+func (g *Grammar) Seed(corpus [][]byte) {
+	for _, input := range corpus {
+		g.Add(input)
+	}
+}
+
+// Add folds one valid input into the grammar, incrementing the
+// weights of every spelling and bigram it exhibits.
+func (g *Grammar) Add(input []byte) {
+	seq := g.lex(input)
+	if len(seq) == 0 {
+		g.empty = true
+		return
+	}
+	if g.start[seq[0].Class] == 0 {
+		g.startOrder = append(g.startOrder, seq[0].Class)
+	}
+	g.start[seq[0].Class]++
+	g.end[seq[len(seq)-1].Class]++
+	for i, lx := range seq {
+		tok := g.tokens[lx.Class]
+		if tok == nil {
+			tok = &Token{Class: lx.Class}
+			g.tokens[lx.Class] = tok
+		}
+		tok.add(lx.Spelling)
+		if i > 0 {
+			prev := seq[i-1].Class
+			if g.follow[prev] == nil {
+				g.follow[prev] = map[string]int{}
+			}
+			if g.follow[prev][lx.Class] == 0 {
+				g.followOrder[prev] = append(g.followOrder[prev], lx.Class)
+			}
+			g.follow[prev][lx.Class]++
 		}
 	}
-	return false
 }
+
+func (t *Token) add(spelling string) {
+	t.total++
+	for i, s := range t.Spellings {
+		if s == spelling {
+			t.counts[i]++
+			return
+		}
+	}
+	t.Spellings = append(t.Spellings, spelling)
+	t.counts = append(t.counts, 1)
+}
+
+// Ready reports whether the grammar has mined enough to generate:
+// at least one observed start class.
+func (g *Grammar) Ready() bool { return len(g.startOrder) > 0 }
 
 // Classes returns the mined token classes, sorted.
 func (g *Grammar) Classes() []string {
@@ -124,35 +189,140 @@ func (g *Grammar) Starts() []string {
 	return out
 }
 
-// Generate random-walks the bigram automaton for up to maxTokens
-// tokens, preferring to stop at a class observed in end position. The
-// outputs are candidates: longer and more repetitive than anything in
-// the corpus, to be validated against the subject.
-func (g *Grammar) Generate(rng *rand.Rand, maxTokens int) []byte {
-	starts := g.Starts()
-	if len(starts) == 0 {
+// weightedPick draws a key from order proportionally to weights, with
+// add-one (Laplace) smoothing: frequent transitions dominate without
+// starving the rare ones a small corpus has seen only once.
+func weightedPick(rng *rand.Rand, order []string, weights map[string]int) string {
+	if len(order) == 1 {
+		return order[0]
+	}
+	total := 0
+	for _, k := range order {
+		total += weights[k] + 1
+	}
+	n := rng.Intn(total)
+	for _, k := range order {
+		if n < weights[k]+1 {
+			return k
+		}
+		n -= weights[k] + 1
+	}
+	return order[len(order)-1]
+}
+
+// GenerateTokens random-walks the weighted bigram automaton for
+// between minTokens and maxTokens tokens. Once past the minimum, the
+// end set acts as a weighted ε-accept edge: the walk stops at a class
+// in proportion to how often the corpus ended there versus continued,
+// so outputs terminate the way observed inputs do. A walk that
+// dead-ends (a class with no observed followers) before reaching
+// minTokens returns nil — generation is rejection sampling towards
+// walks that are both long and naturally terminated, which is what
+// makes the candidates worth spending executions on.
+//
+// The returned sequence is the generation's ground truth: Render must
+// re-lex back to exactly this sequence.
+func (g *Grammar) GenerateTokens(rng *rand.Rand, minTokens, maxTokens int) []Lexeme {
+	return g.walk(rng, minTokens, maxTokens, true)
+}
+
+func (g *Grammar) walk(rng *rand.Rand, minTokens, maxTokens int, strict bool) []Lexeme {
+	if len(g.startOrder) == 0 {
 		return nil
 	}
-	var sb strings.Builder
-	class := starts[rng.Intn(len(starts))]
+	class := weightedPick(rng, g.startOrder, g.start)
+	var seq []Lexeme
 	for i := 0; i < maxTokens; i++ {
 		tok := g.tokens[class]
 		if tok == nil || len(tok.Spellings) == 0 {
 			break
 		}
-		sb.WriteString(tok.Spellings[rng.Intn(len(tok.Spellings))])
-		follows := g.Follows(class)
-		if len(follows) == 0 {
+		seq = append(seq, Lexeme{Class: class, Spelling: tok.pick(rng)})
+		order := g.followOrder[class]
+		if len(order) == 0 {
+			if strict && len(seq) < minTokens {
+				return nil // died before the minimum: reject the walk
+			}
 			break
 		}
-		// Once past the minimum, stop early when an end class is
-		// reached, so outputs tend to be well-formed.
-		if g.end[class] && i >= maxTokens/2 {
-			break
+		if len(seq) >= minTokens && g.end[class] > 0 {
+			cont := 0
+			for _, k := range order {
+				cont += g.follow[class][k]
+			}
+			if rng.Intn(g.end[class]+cont) < g.end[class] {
+				break
+			}
 		}
-		class = follows[rng.Intn(len(follows))]
+		class = weightedPick(rng, order, g.follow[class])
+	}
+	return seq
+}
+
+// Render concatenates a token sequence into an input, inserting a
+// separator wherever two adjacent spellings would otherwise re-lex as
+// a single token (for example keyword "int" followed by identifier
+// "x" must not fuse into identifier "intx"). The check is performed
+// with the grammar's own lexer, so it adapts to whatever token rules
+// the subject has.
+func (g *Grammar) Render(seq []Lexeme) []byte {
+	var sb strings.Builder
+	for i, lx := range seq {
+		if i > 0 && g.needSep(seq[i-1].Spelling, lx.Spelling) {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(lx.Spelling)
 	}
 	return []byte(sb.String())
+}
+
+// needSep reports whether prev and next, written back-to-back, fail
+// to re-lex as exactly the two original spellings. The answer depends
+// only on the pair, and batch generation re-renders the same small
+// vocabulary thousands of times per mining round, so it is memoized.
+// (A Grammar, like the campaign state that owns it, is used from a
+// single goroutine.)
+func (g *Grammar) needSep(prev, next string) bool {
+	key := prev + "\x00" + next
+	if sep, ok := g.sepCache[key]; ok {
+		return sep
+	}
+	relex := g.lex([]byte(prev + next))
+	sep := len(relex) != 2 || relex[0].Spelling != prev || relex[1].Spelling != next
+	g.sepCache[key] = sep
+	return sep
+}
+
+// Generate random-walks the automaton and renders the result,
+// aiming for at least maxTokens/2 tokens but keeping whatever a
+// dead-ended walk produced. The outputs are candidates: longer and
+// more repetitive than anything in the corpus, to be validated
+// against the subject.
+func (g *Grammar) Generate(rng *rand.Rand, maxTokens int) []byte {
+	return g.Render(g.walk(rng, maxTokens/2, maxTokens, false))
+}
+
+// GenerateBatch produces up to n candidates none of which the grammar
+// has handed out before (dedup persists across batches, so a growing
+// corpus keeps yielding fresh candidates instead of re-validating old
+// ones). It prefers long, naturally terminated walks — rejection
+// sampling via GenerateTokens' strict mode — and halves the length
+// floor whenever a sampling round yields nothing, so sparse automata
+// (few observed bigrams, no cycles) still generate instead of
+// starving the caller. It gives up after a bounded number of draws.
+func (g *Grammar) GenerateBatch(rng *rand.Rand, maxTokens, n int) [][]byte {
+	var out [][]byte
+	for minTok := maxTokens / 4; len(out) == 0 && minTok >= 0; minTok = minTok/2 - 1 {
+		for tries := 0; tries < 16*n && len(out) < n; tries++ {
+			gen := g.Render(g.walk(rng, minTok, maxTokens, true))
+			if len(gen) == 0 || g.emitted[string(gen)] {
+				continue
+			}
+			g.emitted[string(gen)] = true
+			out = append(out, gen)
+		}
+	}
+	return out
 }
 
 // Stats summarizes a mined grammar.

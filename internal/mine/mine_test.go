@@ -3,11 +3,6 @@ package mine
 import (
 	"math/rand"
 	"testing"
-
-	"pfuzzer/internal/core"
-	"pfuzzer/internal/subject"
-	"pfuzzer/internal/subjects/expr"
-	"pfuzzer/internal/trace"
 )
 
 func corpus(ss ...string) [][]byte {
@@ -69,6 +64,37 @@ func TestSimpleLexerKeywords(t *testing.T) {
 	}
 }
 
+// TestSimpleLexerUnterminatedString is the regression test for the
+// slice-bounds crash: an unterminated string whose last byte is a
+// backslash used to advance the scan index to len(input)+1 and panic
+// on the final slice. The lexer is fed raw fuzzer output, so these
+// inputs occur in every campaign.
+func TestSimpleLexerUnterminatedString(t *testing.T) {
+	lex := SimpleLexer(nil)
+	for _, in := range []string{
+		`"ab\`,    // trailing backslash: the crashing input
+		`"\`,      // escape as the only string content
+		`"ab`,     // unterminated, no escape
+		`"`,       // bare quote at end of input
+		`x"a\"b\`, // escape mid-string, then trailing backslash
+	} {
+		seq := lex([]byte(in)) // must not panic
+		if len(seq) == 0 {
+			t.Errorf("lex(%q) produced no lexemes", in)
+			continue
+		}
+		last := seq[len(seq)-1]
+		if last.Class != "string" {
+			t.Errorf("lex(%q) last lexeme = %+v, want a string", in, last)
+		}
+	}
+	// A properly terminated escaped string still lexes as one token.
+	seq := lex([]byte(`"a\"b"`))
+	if len(seq) != 1 || seq[0].Spelling != `"a\"b"` {
+		t.Errorf("escaped string lexed as %v", seq)
+	}
+}
+
 func TestStats(t *testing.T) {
 	g := Mine(corpus("1+2", "2+3"), SimpleLexer(nil))
 	s := g.Stats()
@@ -83,51 +109,142 @@ func TestStats(t *testing.T) {
 	}
 }
 
-// TestPipelineOnExpr runs the full §7.4 tool chain: fuzz the expr
-// parser, mine a grammar from the valid inputs, generate longer
-// inputs, and measure the acceptance rate — the mined grammar must
-// produce mostly valid inputs that are longer than the corpus.
-func TestPipelineOnExpr(t *testing.T) {
-	res := core.New(expr.New(), core.Config{Seed: 1, MaxExecs: 10000}).Run()
-	if len(res.Valids) == 0 {
-		t.Fatal("fuzzing produced no corpus to mine")
+// TestIncrementalAddMatchesMine checks the Seed/Add incremental API:
+// feeding a corpus input-by-input must yield the same automaton as
+// mining it in one shot.
+func TestIncrementalAddMatchesMine(t *testing.T) {
+	c := corpus("1+2", "(3)", "1-2", "4+(5)")
+	bulk := Mine(c, SimpleLexer(nil))
+	inc := NewGrammar(SimpleLexer(nil))
+	for _, in := range c {
+		inc.Add(in)
 	}
-	g := Mine(res.ValidInputs(), SimpleLexer(nil))
-
-	rng := rand.New(rand.NewSource(9))
-	longest := 0
-	for _, v := range res.Valids {
-		if len(v.Input) > longest {
-			longest = len(v.Input)
+	if bulk.Stats() != inc.Stats() {
+		t.Errorf("incremental stats %+v != bulk stats %+v", inc.Stats(), bulk.Stats())
+	}
+	for _, cl := range bulk.Classes() {
+		bf, inf := bulk.Follows(cl), inc.Follows(cl)
+		if len(bf) != len(inf) {
+			t.Errorf("class %q: follows %v != %v", cl, inf, bf)
 		}
 	}
-	accepted, total, longer := 0, 0, 0
-	for i := 0; i < 300; i++ {
-		gen := g.Generate(rng, 40)
-		if len(gen) == 0 {
+	if !inc.Ready() {
+		t.Error("grammar with mined inputs reports not ready")
+	}
+	if NewGrammar(SimpleLexer(nil)).Ready() {
+		t.Error("empty grammar reports ready")
+	}
+}
+
+// TestRenderRoundTrip is the regression test for the token
+// concatenation bug: rendering a generated token sequence and lexing
+// it back must reproduce the sequence exactly. Without boundary
+// separators, keyword "int" followed by identifier "x" fused into one
+// identifier "intx", making generated candidates systematically
+// invalid for keyword subjects.
+func TestRenderRoundTrip(t *testing.T) {
+	lex := SimpleLexer([]string{"int", "while"})
+	g := Mine(corpus("int x ; while ( 1 ) y = 2 ;", "int y2 ;"), lex)
+	rng := rand.New(rand.NewSource(3))
+	checked := 0
+	for i := 0; i < 200; i++ {
+		seq := g.GenerateTokens(rng, 12, 24)
+		if len(seq) == 0 {
 			continue
 		}
-		total++
-		if len(gen) > longest {
-			longer++
+		out := g.Render(seq)
+		relex := lex(out)
+		if len(relex) != len(seq) {
+			t.Fatalf("round trip changed token count: %q -> %d tokens, want %d (%v)",
+				out, len(relex), len(seq), seq)
 		}
-		rec := subject.Execute(expr.New(), gen, trace.Options{})
-		if rec.Accepted() {
-			accepted++
+		for j := range seq {
+			if relex[j] != seq[j] {
+				t.Fatalf("round trip changed token %d of %q: %+v, want %+v",
+					j, out, relex[j], seq[j])
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("generator produced nothing to check")
+	}
+}
+
+// TestRenderSeparatesFusingTokens pins the concrete fusion cases.
+func TestRenderSeparatesFusingTokens(t *testing.T) {
+	lex := SimpleLexer([]string{"int"})
+	g := NewGrammar(lex)
+	g.Add([]byte("int x ; 1 2"))
+	for _, tc := range []struct {
+		seq  []Lexeme
+		want string
+	}{
+		{[]Lexeme{{"int", "int"}, {"identifier", "x"}}, "int x"},
+		{[]Lexeme{{"number", "1"}, {"number", "2"}}, "1 2"},
+		{[]Lexeme{{"identifier", "x"}, {";", ";"}}, "x;"},
+		{[]Lexeme{{"(", "("}, {")", ")"}}, "()"},
+	} {
+		if got := string(g.Render(tc.seq)); got != tc.want {
+			t.Errorf("Render(%v) = %q, want %q", tc.seq, got, tc.want)
 		}
 	}
-	if total == 0 {
-		t.Fatal("generator produced nothing")
+}
+
+// TestGenerateBatchDedups checks candidate dedup across batches.
+func TestGenerateBatchDedups(t *testing.T) {
+	g := Mine(corpus("1+2", "3-4"), SimpleLexer(nil))
+	rng := rand.New(rand.NewSource(1))
+	seen := map[string]bool{}
+	for round := 0; round < 4; round++ {
+		for _, c := range g.GenerateBatch(rng, 10, 25) {
+			if seen[string(c)] {
+				t.Fatalf("duplicate candidate %q handed out twice", c)
+			}
+			seen[string(c)] = true
+		}
 	}
-	// A token-bigram automaton is a regular approximation: it cannot
-	// balance parentheses, so a fraction of generations is invalid —
-	// the gap real grammar mining (AutoGram, §7.4) would close.
-	rate := float64(accepted) / float64(total)
-	if rate < 0.15 {
-		t.Errorf("mined-grammar acceptance rate %.2f too low (%d/%d)", rate, accepted, total)
+	if len(seen) == 0 {
+		t.Fatal("GenerateBatch produced nothing")
 	}
-	if longer == 0 {
-		t.Error("generator never exceeded the corpus length")
+}
+
+// TestWeightedGenerationFollowsCorpus checks that spelling choice is
+// frequency-weighted: a spelling seen 9× as often should dominate the
+// generated outputs.
+func TestWeightedGenerationFollowsCorpus(t *testing.T) {
+	var c [][]byte
+	for i := 0; i < 9; i++ {
+		c = append(c, []byte("1"))
 	}
-	t.Logf("acceptance %.0f%%, %d/%d longer than corpus max %d", rate*100, longer, total, longest)
+	c = append(c, []byte("2"))
+	g := Mine(c, SimpleLexer(nil))
+	rng := rand.New(rand.NewSource(5))
+	ones := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		if s := string(g.Generate(rng, 1)); s == "1" {
+			ones++
+		}
+	}
+	if ones < n*7/10 {
+		t.Errorf("dominant spelling generated only %d/%d times", ones, n)
+	}
+}
+
+func TestDelimLexer(t *testing.T) {
+	lex := DelimLexer("[]=;\n", "text")
+	seq := lex([]byte("[sec]\nkey = value\n"))
+	wantClasses := []string{"[", "text", "]", "\n", "text", "=", "text", "\n"}
+	if len(seq) != len(wantClasses) {
+		t.Fatalf("lexemes = %v", seq)
+	}
+	for i, w := range wantClasses {
+		if seq[i].Class != w {
+			t.Errorf("lexeme %d = %q, want %q", i, seq[i].Class, w)
+		}
+	}
+	if seq[4].Spelling != "key" || seq[6].Spelling != "value" {
+		t.Errorf("text spellings = %q, %q", seq[4].Spelling, seq[6].Spelling)
+	}
 }

@@ -1,0 +1,64 @@
+// External test package: it drives a real fuzzing campaign through
+// internal/core, which itself imports mine for the hybrid engine's
+// grammar-feedback phase, so this test cannot live in package mine.
+package mine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pfuzzer/internal/core"
+	"pfuzzer/internal/mine"
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/trace"
+)
+
+// TestPipelineOnExpr runs the full §7.4 tool chain: fuzz the expr
+// parser, mine a grammar from the valid inputs, generate longer
+// inputs, and measure the acceptance rate — the mined grammar must
+// produce mostly valid inputs that are longer than the corpus.
+func TestPipelineOnExpr(t *testing.T) {
+	res := core.New(expr.New(), core.Config{Seed: 1, MaxExecs: 10000}).Run()
+	if len(res.Valids) == 0 {
+		t.Fatal("fuzzing produced no corpus to mine")
+	}
+	g := mine.Mine(res.ValidInputs(), mine.SimpleLexer(nil))
+
+	rng := rand.New(rand.NewSource(9))
+	longest := 0
+	for _, v := range res.Valids {
+		if len(v.Input) > longest {
+			longest = len(v.Input)
+		}
+	}
+	accepted, total, longer := 0, 0, 0
+	for i := 0; i < 300; i++ {
+		gen := g.Generate(rng, 40)
+		if len(gen) == 0 {
+			continue
+		}
+		total++
+		if len(gen) > longest {
+			longer++
+		}
+		rec := subject.Execute(expr.New(), gen, trace.Options{})
+		if rec.Accepted() {
+			accepted++
+		}
+	}
+	if total == 0 {
+		t.Fatal("generator produced nothing")
+	}
+	// A token-bigram automaton is a regular approximation: it cannot
+	// balance parentheses, so a fraction of generations is invalid —
+	// the gap real grammar mining (AutoGram, §7.4) would close.
+	rate := float64(accepted) / float64(total)
+	if rate < 0.15 {
+		t.Errorf("mined-grammar acceptance rate %.2f too low (%d/%d)", rate, accepted, total)
+	}
+	if longer == 0 {
+		t.Error("generator never exceeded the corpus length")
+	}
+	t.Logf("acceptance %.0f%%, %d/%d longer than corpus max %d", rate*100, longer, total, longest)
+}

@@ -132,21 +132,71 @@ func (s *Sharded[T]) Reorder(rescore func(T) float64) {
 }
 
 // Prune bounds the queue to at most max values by discarding the
-// lowest-scored entries of each shard beyond its proportional share.
-// The bound is approximate: each shard keeps its own best max/N, so a
-// globally mediocre value can survive in an underfull shard.
+// lowest-scored entries of each shard beyond its quota. Quotas are
+// exact: max/N per shard with the remainder spread over the first
+// max%N shards, and quota a shard cannot fill (it holds fewer
+// entries) is redistributed to fuller shards — so when the queue held
+// at least max values, exactly max survive. The value selection stays
+// approximate (each shard keeps its own best), but the bound itself
+// no longer silently tightens by up to N-1 entries the way a plain
+// max/N split does. Concurrent pushes during the prune can leave the
+// total off by the in-flight values; the campaign scheduler is the
+// only pruner, so in practice the count is exact.
 func (s *Sharded[T]) Prune(max int) {
 	if max < 0 {
 		return
 	}
-	per := max / len(s.shards)
-	if per < 1 {
-		per = 1
+	n := len(s.shards)
+	lens := make([]int, n)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		lens[i] = sh.q.Len()
+		sh.mu.Unlock()
+	}
+	quota := make([]int, n)
+	for i := range quota {
+		quota[i] = max / n
+		if i < max%n {
+			quota[i]++
+		}
+	}
+	// Hand quota that underfull shards cannot use to shards with room,
+	// until nothing moves.
+	for {
+		slack := 0
+		for i := range quota {
+			if lens[i] < quota[i] {
+				slack += quota[i] - lens[i]
+				quota[i] = lens[i]
+			}
+		}
+		if slack == 0 {
+			break
+		}
+		moved := false
+		for i := range quota {
+			if slack == 0 {
+				break
+			}
+			if room := lens[i] - quota[i]; room > 0 {
+				take := room
+				if take > slack {
+					take = slack
+				}
+				quota[i] += take
+				slack -= take
+				moved = true
+			}
+		}
+		if !moved {
+			break // every shard is at its length; total < max
+		}
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		sh.q.Prune(per)
+		sh.q.Prune(quota[i])
 		sh.mu.Unlock()
 	}
 }

@@ -98,8 +98,8 @@ func TestShardedPrune(t *testing.T) {
 		s.Push(i, float64(i))
 	}
 	s.Prune(100)
-	if got := s.Len(); got > 100 {
-		t.Fatalf("Len after Prune(100) = %d", got)
+	if got := s.Len(); got != 100 {
+		t.Fatalf("Len after Prune(100) = %d, want exactly 100", got)
 	}
 	// The globally best value must survive in whatever shard holds it.
 	best := -1
@@ -114,6 +114,63 @@ func TestShardedPrune(t *testing.T) {
 	}
 	if best != 399 {
 		t.Fatalf("best survivor = %d, want 399", best)
+	}
+}
+
+// TestShardedPruneExactTotal is the regression test for the dropped
+// remainder: per := max/N silently tightened the bound by up to N-1
+// entries (and pruned to N instead of max when max < N). The
+// post-prune total must be exactly min(max, Len) for bounds that do
+// not divide the shard count.
+func TestShardedPruneExactTotal(t *testing.T) {
+	for _, tc := range []struct {
+		shards, pushes, max, want int
+	}{
+		{4, 400, 101, 101}, // remainder 1: first shard keeps one extra
+		{4, 400, 103, 103}, // remainder 3
+		{4, 400, 3, 3},     // max < shards: old code kept 4
+		{4, 400, 1, 1},     // max < shards, minimal
+		{4, 400, 0, 0},     // drain entirely
+		{3, 100, 100, 100}, // max == Len: nothing pruned
+		{3, 10, 50, 10},    // max > Len: nothing pruned
+		{5, 7, 6, 6},       // shard lengths differ (round-robin leaves 2,1,1,1,2... per shard)
+	} {
+		s := NewSharded[int](tc.shards)
+		for i := 0; i < tc.pushes; i++ {
+			s.Push(i, float64(i%13))
+		}
+		s.Prune(tc.max)
+		if got := s.Len(); got != tc.want {
+			t.Errorf("shards=%d pushes=%d: Len after Prune(%d) = %d, want %d",
+				tc.shards, tc.pushes, tc.max, got, tc.want)
+		}
+	}
+}
+
+// TestShardedPruneRedistributesSlack skews the load so a naive equal
+// split cannot reach the bound: three shards are drained empty, so
+// the surviving shard's quota must absorb the quota the empty shards
+// cannot use.
+func TestShardedPruneRedistributesSlack(t *testing.T) {
+	s := NewSharded[int](4)
+	for i := 0; i < 40; i++ {
+		s.Push(i, float64(i)) // 10 values per shard, round-robin
+	}
+	// PopOwn pops the home shard first while it has entries, so 10
+	// targeted pops drain exactly that shard.
+	for _, w := range []int{0, 2, 3} {
+		for i := 0; i < 10; i++ {
+			if _, _, ok := s.PopOwn(w); !ok {
+				t.Fatalf("drain of shard %d ran dry early", w)
+			}
+		}
+	}
+	if got := s.Len(); got != 10 {
+		t.Fatalf("Len after draining three shards = %d, want 10", got)
+	}
+	s.Prune(7) // naive 7/4 per shard would keep only 1
+	if got := s.Len(); got != 7 {
+		t.Fatalf("Len after Prune(7) = %d, want 7", got)
 	}
 }
 

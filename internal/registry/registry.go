@@ -4,6 +4,7 @@
 package registry
 
 import (
+	"pfuzzer/internal/mine"
 	"pfuzzer/internal/subject"
 	"pfuzzer/internal/subjects/cjson"
 	"pfuzzer/internal/subjects/csvp"
@@ -29,25 +30,54 @@ type Entry struct {
 	Inventory tokens.Inventory
 	// Tokenize extracts inventory token names from an input.
 	Tokenize func([]byte) map[string]bool
+	// Lexer is the sequence-valued tokenizer the grammar miner uses
+	// (core.Config.MineLexer): C-family subjects get a keyword-aware
+	// SimpleLexer, the flat line formats a DelimLexer — so every
+	// subject, not just the C-family ones, can be mined.
+	Lexer mine.Lexer
 	// PaperLoC is the subject's size in Table 1 (0 for extra subjects).
 	PaperLoC int
 	// Accessed is the version date in Table 1.
 	Accessed string
 }
 
+// wordNames extracts the keyword-like names (letter-initial, length
+// >= 2) from an inventory, the word set a mining lexer should treat
+// as distinct token classes.
+func wordNames(inv tokens.Inventory) []string {
+	var out []string
+	for _, t := range inv {
+		if len(t.Name) >= 2 && (t.Name[0] >= 'a' && t.Name[0] <= 'z' ||
+			t.Name[0] >= 'A' && t.Name[0] <= 'Z') {
+			out = append(out, t.Name)
+		}
+	}
+	return out
+}
+
 // Paper returns the five evaluation subjects in Table 1 order.
 func Paper() []Entry {
 	return []Entry{
 		{Name: "ini", New: func() subject.Program { return ini.New() },
-			Inventory: ini.Inventory, Tokenize: ini.Tokenize, PaperLoC: 293, Accessed: "2018-10-25"},
+			Inventory: ini.Inventory, Tokenize: ini.Tokenize,
+			Lexer:    mine.DelimLexer("[]=;\n", "text"),
+			PaperLoC: 293, Accessed: "2018-10-25"},
 		{Name: "csv", New: func() subject.Program { return csvp.New() },
-			Inventory: csvp.Inventory, Tokenize: csvp.Tokenize, PaperLoC: 297, Accessed: "2018-10-25"},
+			Inventory: csvp.Inventory, Tokenize: csvp.Tokenize,
+			Lexer:    mine.DelimLexer(",\n", "field"),
+			PaperLoC: 297, Accessed: "2018-10-25"},
 		{Name: "cjson", New: func() subject.Program { return cjson.New() },
-			Inventory: cjson.Inventory, Tokenize: cjson.Tokenize, PaperLoC: 2483, Accessed: "2018-10-25"},
+			Inventory: cjson.Inventory, Tokenize: cjson.Tokenize,
+			Lexer:    mine.SimpleLexer(wordNames(cjson.Inventory)),
+			PaperLoC: 2483, Accessed: "2018-10-25"},
 		{Name: "tinyc", New: func() subject.Program { return tinyc.New() },
-			Inventory: tinyc.Inventory, Tokenize: tinyc.Tokenize, PaperLoC: 191, Accessed: "2018-10-25"},
+			Inventory: tinyc.Inventory, Tokenize: tinyc.Tokenize,
+			Lexer:    mine.SimpleLexer(wordNames(tinyc.Inventory)),
+			PaperLoC: 191, Accessed: "2018-10-25"},
 		{Name: "mjs", New: func() subject.Program { return mjs.New() },
-			Inventory: mjs.Inventory, Tokenize: mjs.Tokenize, PaperLoC: 10920, Accessed: "2018-06-21"},
+			Inventory: mjs.Inventory, Tokenize: mjs.Tokenize,
+			Lexer:    mine.SimpleLexer(wordNames(mjs.Inventory)),
+			PaperLoC: 10920, Accessed: "2018-06-21"},
 	}
 }
 
@@ -56,9 +86,11 @@ func Paper() []Entry {
 func Extra() []Entry {
 	return []Entry{
 		{Name: "expr", New: func() subject.Program { return expr.New() },
-			Inventory: expr.Inventory, Tokenize: expr.Tokenize},
+			Inventory: expr.Inventory, Tokenize: expr.Tokenize,
+			Lexer: mine.SimpleLexer(nil)},
 		{Name: "paren", New: func() subject.Program { return paren.New() },
-			Inventory: paren.Inventory, Tokenize: paren.Tokenize},
+			Inventory: paren.Inventory, Tokenize: paren.Tokenize,
+			Lexer: mine.SimpleLexer(nil)},
 	}
 }
 
