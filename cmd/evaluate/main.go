@@ -9,15 +9,23 @@
 //
 // Usage:
 //
-//	evaluate [-scale f] [-seed n] [-runs n] [-workers n] [-subjects a,b,c]
-//	         [-mine-execs n] [-out dir] [-table1] [-fig2] [-fig3]
-//	         [-tables] [-summary]
+//	evaluate [-scale f] [-seed n] [-runs n] [-workers n] [-parallel n]
+//	         [-subjects a,b,c] [-mine-execs n] [-out dir] [-table1]
+//	         [-fig2] [-fig3] [-tables] [-summary]
 //
 // Without selector flags everything is produced. -scale multiplies
 // the execution budgets (1.0 ≈ one minute; the paper ran 48 hours per
 // tool and subject, so expect shape, not absolute numbers). -workers
 // runs the pFuzzer campaigns on that many parallel executors; keep it
 // at 1 to reproduce the deterministic paper numbers.
+//
+// -parallel n runs the whole matrix — every subject, tool and
+// repetition — as a fleet of n concurrently advancing campaigns over
+// one shared worker pool (internal/campaign), with a live progress
+// line on stderr. Unlike -workers it changes nothing about the
+// results: serial campaigns are slice-invariant under fleet
+// multiplexing, so the parallel matrix is bit-identical to the serial
+// one, just faster on multicore hosts.
 package main
 
 import (
@@ -38,6 +46,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		runs     = flag.Int("runs", 3, "repetitions per campaign; best run reported")
 		workers  = flag.Int("workers", 1, "parallel executors per pFuzzer campaign")
+		parallel = flag.Int("parallel", 1, "campaigns advanced concurrently (fleet mode; results identical to serial)")
 		mineEx   = flag.Int("mine-execs", 0, "pFuzzer+Mine extra mining executions (0 = pFuzzer budget / 4)")
 		subjects = flag.String("subjects", "ini,csv,cjson,tinyc,mjs", "comma-separated subjects")
 		outDir   = flag.String("out", "", "directory for CSV results (optional)")
@@ -87,9 +96,14 @@ func main() {
 	budget.Seed = *seed
 	budget.Runs = *runs
 	budget.Workers = *workers
+	budget.Fleet = *parallel
 	budget.MineExecs = *mineEx
-	fmt.Printf("Running campaigns: pFuzzer=%d execs, AFL=%d execs, KLEE=%d execs, pFuzzer+Mine=+%d execs, %d run(s) each...\n\n",
-		budget.PFuzzerExecs, budget.AFLExecs, budget.KLEEExecs, budget.EffectiveMineExecs(), budget.Runs)
+	mode := "serial schedule"
+	if budget.Fleet > 1 {
+		mode = fmt.Sprintf("fleet of %d", budget.Fleet)
+	}
+	fmt.Printf("Running campaigns (%s): pFuzzer=%d execs, AFL=%d execs, KLEE=%d execs, pFuzzer+Mine=+%d execs, %d run(s) each...\n\n",
+		mode, budget.PFuzzerExecs, budget.AFLExecs, budget.KLEEExecs, budget.EffectiveMineExecs(), budget.Runs)
 
 	results := eval.Matrix(entries, budget)
 

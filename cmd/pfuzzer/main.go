@@ -6,14 +6,27 @@
 //
 //	pfuzzer -subject cjson [-execs 100000] [-seed 1] [-workers 4] [-quiet]
 //	        [-mine] [-mine-budget n] [-mine-tokens n] [-mine-cadence n]
+//	        [-out file] [-resume file] [-snap-every n] [-mine-from file]
+//	pfuzzer -list
 //
-// Subjects: ini, csv, cjson, tinyc, mjs, expr, paren.
+// Subjects: ini, csv, cjson, tinyc, mjs, expr, paren (-list prints
+// them with block counts and token-inventory sizes).
 //
 // With -workers 1 (the default) campaigns are deterministic under
 // -seed; more workers run candidate executions in parallel. -mine
 // enables the hybrid campaign (paper §7.4): a token grammar is mined
 // from the valid corpus and used to generate longer candidates, which
 // are validated through the same engine and fed back into the miner.
+//
+// -out journals the campaign into a persistent corpus store
+// (internal/corpus): every valid input as it is found, plus an engine
+// snapshot every -snap-every executions. A campaign killed mid-run
+// resumes with -resume from the journal's last snapshot; on the
+// serial engine the resumed campaign re-finds exactly the valids lost
+// after that snapshot, so the journal converges to the uninterrupted
+// run's corpus at the same total budget. -mine-from seeds the -mine
+// grammar from a previously saved corpus without resuming it — the
+// §7.4 chain (fuzz, mine, generate) across process restarts.
 package main
 
 import (
@@ -21,9 +34,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pfuzzer/internal/core"
+	"pfuzzer/internal/corpus"
 	"pfuzzer/internal/registry"
+	"pfuzzer/internal/subject"
 )
 
 func main() {
@@ -34,37 +50,239 @@ func main() {
 		maxValids   = flag.Int("valids", 0, "stop after N valid inputs (0 = run out the budget)")
 		workers     = flag.Int("workers", 1, "parallel executors (1 = deterministic serial engine)")
 		quiet       = flag.Bool("quiet", false, "print only the summary")
+		list        = flag.Bool("list", false, "list registered subjects and exit")
 		minePhase   = flag.Bool("mine", false, "hybrid campaign: mine a grammar from the valid corpus and validate generated candidates (§7.4)")
 		mineBudget  = flag.Int("mine-budget", 0, "executions reserved for mined candidates (0 = execs/4)")
 		mineTokens  = flag.Int("mine-tokens", 0, "max tokens per generated candidate (0 = 30)")
 		mineCadence = flag.Int("mine-cadence", 0, "exploration executions between mining bursts (0 = four interleavings)")
+		mineFrom    = flag.String("mine-from", "", "seed the -mine grammar from a saved corpus journal")
+		outPath     = flag.String("out", "", "journal the campaign (valids + snapshots) to this file")
+		resumePath  = flag.String("resume", "", "resume the campaign journaled at this file")
+		snapEvery   = flag.Int("snap-every", 10000, "executions between journal snapshots")
 	)
 	flag.Parse()
 
-	entry, ok := registry.Get(*subjectName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "pfuzzer: unknown subject %q (have %s)\n",
-			*subjectName, strings.Join(registry.Names(), ", "))
-		os.Exit(2)
+	if *list {
+		listSubjects()
+		return
+	}
+	if *resumePath != "" && *outPath != "" && *resumePath != *outPath {
+		fail("use either -resume (which keeps journaling to the same file) or -out, not both")
 	}
 
-	cfg := core.Config{
-		Seed: *seed, MaxExecs: *execs, MaxValids: *maxValids, Workers: *workers,
-		MinePhase: *minePhase, MineBudget: *mineBudget,
-		MineMaxTokens: *mineTokens, MineCadence: *mineCadence,
-		MineLexer: entry.Lexer,
+	var run *campaignRun
+	if *resumePath != "" {
+		warnIgnoredOnResume()
+		run = resume(*resumePath, *execs, *maxValids, *quiet)
+	} else {
+		run = fresh(flagConfig(*subjectName, *seed, *execs, *maxValids, *workers,
+			*minePhase, *mineBudget, *mineTokens, *mineCadence, *mineFrom), *subjectName, *outPath, *quiet)
 	}
-	if !*quiet {
-		cfg.OnValid = func(input []byte, execs int) {
-			fmt.Printf("%8d  %q\n", execs, input)
+	if run.store != nil {
+		defer run.store.Close()
+	}
+
+	drive(run.camp, run.store, *snapEvery)
+	run.summarize()
+}
+
+// campaignRun bundles one invocation's campaign, journal and subject.
+// The subject Program is constructed once and shared between the
+// engine and the summary.
+type campaignRun struct {
+	camp  *core.Campaign
+	store *corpus.Store
+	entry registry.Entry
+	prog  subject.Program
+}
+
+func fail(msg string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pfuzzer: "+msg+"\n", args...)
+	os.Exit(2)
+}
+
+// explicit reports whether a flag was set on the command line.
+func explicit(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// warnIgnoredOnResume flags the knobs a resumed campaign takes from
+// its snapshot, so an explicitly passed value does not silently do
+// nothing. -execs and -valids are the supported overrides.
+func warnIgnoredOnResume() {
+	ignored := map[string]bool{
+		"subject": true, "seed": true, "workers": true,
+		"mine": true, "mine-budget": true, "mine-tokens": true,
+		"mine-cadence": true, "mine-from": true,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if ignored[f.Name] {
+			fmt.Fprintf(os.Stderr, "pfuzzer: -%s is ignored with -resume (the snapshot carries it)\n", f.Name)
+		}
+	})
+}
+
+// listSubjects prints the registry: every subject with its
+// instrumented block count and token-inventory size.
+func listSubjects() {
+	fmt.Printf("%-8s %8s %8s\n", "subject", "blocks", "tokens")
+	for _, e := range registry.All() {
+		fmt.Printf("%-8s %8d %8d\n", e.Name, e.New().Blocks(), e.Inventory.Count())
+	}
+}
+
+func lookup(name string) registry.Entry {
+	entry, ok := registry.Get(name)
+	if !ok {
+		fail("unknown subject %q (have %s)", name, strings.Join(registry.Names(), ", "))
+	}
+	return entry
+}
+
+func flagConfig(subject string, seed int64, execs, maxValids, workers int,
+	mine bool, mineBudget, mineTokens, mineCadence int, mineFrom string) core.Config {
+	cfg := core.Config{
+		Seed: seed, MaxExecs: execs, MaxValids: maxValids, Workers: workers,
+		MinePhase: mine, MineBudget: mineBudget,
+		MineMaxTokens: mineTokens, MineCadence: mineCadence,
+	}
+	if mineFrom != "" {
+		if !mine {
+			fail("-mine-from needs -mine")
+		}
+		prev, err := corpus.Open(mineFrom)
+		if err != nil {
+			fail("%v", err)
+		}
+		if prev.Meta().Subject != subject {
+			fail("-mine-from %s holds a %s corpus, but -subject is %s: a foreign-language grammar would only generate invalid candidates",
+				mineFrom, prev.Meta().Subject, subject)
+		}
+		cfg.MineSeeds = prev.ValidInputs()
+		prev.Close()
+		fmt.Fprintf(os.Stderr, "seeding grammar from %d valids in %s\n",
+			len(cfg.MineSeeds), mineFrom)
+	}
+	return cfg
+}
+
+// events wires the campaign's event stream to stdout and the journal.
+func events(store *corpus.Store, quiet bool) func(core.Event) {
+	return func(ev core.Event) {
+		if ev.Kind != core.EventValid {
+			return
+		}
+		if store != nil {
+			if err := store.AppendValid(ev.Execs, ev.Input); err != nil {
+				fail("%v", err)
+			}
+		}
+		if !quiet {
+			fmt.Printf("%8d  %q\n", ev.Execs, ev.Input)
 		}
 	}
-	res := core.New(entry.New(), cfg).Run()
+}
 
+// fresh builds a new campaign from flags, creating the journal if
+// -out was given.
+func fresh(cfg core.Config, subjectName, outPath string, quiet bool) *campaignRun {
+	entry := lookup(subjectName)
+	cfg.MineLexer = entry.Lexer
+	var store *corpus.Store
+	if outPath != "" {
+		var err error
+		store, err = corpus.Create(outPath, corpus.Meta{
+			Subject: entry.Name, Tool: "pFuzzer", Seed: cfg.Seed, MaxExecs: cfg.MaxExecs,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+	cfg.Events = events(store, quiet)
 	prog := entry.New()
+	return &campaignRun{camp: core.NewCampaign(prog, cfg), store: store, entry: entry, prog: prog}
+}
+
+// resume reopens a journal (recovering a torn tail if the previous
+// run was killed mid-write), restores the engine from its last
+// snapshot, and re-journals into the same file. Explicit -execs and
+// -valids override the saved budget; everything else comes from the
+// snapshot.
+func resume(path string, execs, maxValids int, quiet bool) *campaignRun {
+	store, err := corpus.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if n := store.TruncatedBytes(); n > 0 {
+		fmt.Fprintf(os.Stderr, "recovered journal %s: dropped %d bytes of torn tail\n", path, n)
+	}
+	blob := store.Snapshot()
+	if blob == nil {
+		fail("journal %s holds no snapshot to resume from", path)
+	}
+	snap, err := core.UnmarshalSnapshot(blob)
+	if err != nil {
+		fail("%v", err)
+	}
+	entry := lookup(store.Meta().Subject)
+	over := core.Config{
+		Events:    events(store, quiet),
+		MineLexer: entry.Lexer,
+	}
+	if explicit("execs") {
+		over.MaxExecs = execs
+	}
+	if explicit("valids") {
+		over.MaxValids = maxValids
+	}
+	prog := entry.New()
+	camp, err := core.Restore(prog, over, snap)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "resuming %s at %d execs, %d valids\n",
+		entry.Name, camp.Result().Execs, len(camp.Result().Valids))
+	return &campaignRun{camp: camp, store: store, entry: entry, prog: prog}
+}
+
+// drive steps the campaign to completion, snapshotting into the
+// journal between slices so a kill at any point loses at most one
+// slice of work.
+func drive(camp *core.Campaign, store *corpus.Store, snapEvery int) {
+	if snapEvery < 1 {
+		snapEvery = 10000
+	}
+	for {
+		spent, more := camp.Step(snapEvery)
+		if store != nil {
+			blob, err := camp.Snapshot().Marshal()
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := store.AppendSnapshot(blob); err != nil {
+				fail("%v", err)
+			}
+		}
+		// spent == 0 with more: a stuck engine. Treat as terminal like
+		// Fuzzer.Run and the fleet do, instead of journaling snapshots
+		// forever.
+		if !more || spent == 0 {
+			return
+		}
+	}
+}
+
+func (r *campaignRun) summarize() {
+	res, entry := r.camp.Result(), r.entry
 	fmt.Printf("\nsubject=%s execs=%d valids=%d coverage=%d/%d (%.1f%%) elapsed=%v\n",
-		entry.Name, res.Execs, len(res.Valids), len(res.Coverage), prog.Blocks(),
-		100*float64(len(res.Coverage))/float64(prog.Blocks()), res.Elapsed.Round(1000000))
+		entry.Name, res.Execs, len(res.Valids), len(res.Coverage), r.prog.Blocks(),
+		100*float64(len(res.Coverage))/float64(r.prog.Blocks()), res.Elapsed.Round(time.Millisecond))
 
 	found := map[string]bool{}
 	for _, v := range res.Valids {

@@ -157,8 +157,10 @@ func main() {
 	fuzzer := core.New(wireProto{}, core.Config{
 		Seed:     7,
 		MaxExecs: 50000,
-		OnValid: func(input []byte, execs int) {
-			fmt.Printf("  exec %6d: %q\n", execs, input)
+		Events: func(ev core.Event) {
+			if ev.Kind == core.EventValid {
+				fmt.Printf("  exec %6d: %q\n", ev.Execs, ev.Input)
+			}
 		},
 	})
 	res := fuzzer.Run()

@@ -24,9 +24,12 @@ func main() {
 	fuzzer := core.New(prog, core.Config{
 		Seed:     1,
 		MaxExecs: 60000,
-		OnValid: func(input []byte, execs int) {
+		Events: func(ev core.Event) {
+			if ev.Kind != core.EventValid {
+				return
+			}
 			newTokens := []string{}
-			for tok := range cjson.Tokenize(input) {
+			for tok := range cjson.Tokenize(ev.Input) {
 				if !found[tok] {
 					found[tok] = true
 					newTokens = append(newTokens, tok)
@@ -34,7 +37,7 @@ func main() {
 			}
 			if len(newTokens) > 0 {
 				fmt.Printf("  exec %6d: %-24q new tokens: %s\n",
-					execs, string(input), strings.Join(newTokens, " "))
+					ev.Execs, string(ev.Input), strings.Join(newTokens, " "))
 			}
 		},
 	})

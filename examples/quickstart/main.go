@@ -35,8 +35,10 @@ func main() {
 		Seed:      2019, // the year of the paper
 		MaxExecs:  20000,
 		MaxValids: 12,
-		OnValid: func(input []byte, execs int) {
-			fmt.Printf("  after %5d executions: %q\n", execs, input)
+		Events: func(ev core.Event) {
+			if ev.Kind == core.EventValid {
+				fmt.Printf("  after %5d executions: %q\n", ev.Execs, ev.Input)
+			}
 		},
 	})
 	res := fuzzer.Run()

@@ -27,8 +27,10 @@ func main() {
 	pf := core.New(tinyc.New(), core.Config{
 		Seed:     1,
 		MaxExecs: budget,
-		OnValid: func(input []byte, _ int) {
-			pfValids = append(pfValids, append([]byte{}, input...))
+		Events: func(ev core.Event) {
+			if ev.Kind == core.EventValid {
+				pfValids = append(pfValids, append([]byte{}, ev.Input...))
+			}
 		},
 	})
 	pf.Run()

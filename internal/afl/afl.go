@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"pfuzzer/internal/stepclock"
 	"pfuzzer/internal/subject"
 	"pfuzzer/internal/trace"
 )
@@ -26,7 +27,8 @@ type Config struct {
 	Seeds [][]byte
 	// MaxLen bounds generated inputs (0 = 512).
 	MaxLen int
-	// Deadline bounds wall-clock time (0 = none).
+	// Deadline bounds active campaign time — time inside Run/Step,
+	// not fleet wait between Steps (0 = none).
 	Deadline time.Duration
 	// OnValid, if non-nil, observes each new valid input.
 	OnValid func(input []byte, execs int)
@@ -104,7 +106,9 @@ type Fuzzer struct {
 	queue     [][]byte
 	seenValid map[string]struct{}
 	res       Result
-	start     time.Time
+	clock     stepclock.Clock // active stepping time (Result.Elapsed, Deadline)
+	began     bool
+	execCap   int // current step's execution bound
 }
 
 // New prepares a fuzzer for prog.
@@ -121,11 +125,34 @@ func New(prog subject.Program, cfg Config) *Fuzzer {
 
 // Run executes the campaign.
 func (f *Fuzzer) Run() *Result {
-	f.start = time.Now()
-	f.res.Coverage = make(map[uint32]bool)
+	for {
+		if _, more := f.Step(f.cfg.MaxExecs); !more {
+			break
+		}
+	}
+	return f.Result()
+}
 
-	for _, s := range f.cfg.Seeds {
-		f.execute(append([]byte{}, s...), true)
+// Step advances the campaign by up to n executions and reports how
+// many were spent and whether budget remains — the resumable-campaign
+// surface the fleet orchestrator (internal/campaign) multiplexes.
+// Unlike the deterministic serial pFuzzer engine, an interrupted
+// mutation stage is abandoned at the step boundary and a fresh queue
+// entry drawn on resume, so a sliced AFL campaign is deterministic
+// for a fixed slicing but not slice-invariant.
+func (f *Fuzzer) Step(n int) (spent int, more bool) {
+	f.clock.StepBegin()
+	before := f.res.Execs
+	f.execCap = f.res.Execs + n
+	if f.execCap > f.cfg.MaxExecs {
+		f.execCap = f.cfg.MaxExecs
+	}
+	if !f.began {
+		f.began = true
+		f.res.Coverage = make(map[uint32]bool)
+		for _, s := range f.cfg.Seeds {
+			f.execute(append([]byte{}, s...), true)
+		}
 	}
 	for !f.done() {
 		if len(f.queue) == 0 {
@@ -139,18 +166,33 @@ func (f *Fuzzer) Run() *Result {
 		f.havoc(entry)
 	}
 	f.res.QueueLen = len(f.queue)
-	f.res.Elapsed = time.Since(f.start)
-	return &f.res
+	f.res.Elapsed = f.clock.StepEnd()
+	return f.res.Execs - before, !f.over()
 }
 
+// Result returns the campaign's live result (final once over).
+func (f *Fuzzer) Result() *Result { return &f.res }
+
+// done bounds the current step; over bounds the whole campaign.
 func (f *Fuzzer) done() bool {
+	if f.res.Execs >= f.execCap {
+		return true
+	}
+	return f.deadlineHit()
+}
+
+func (f *Fuzzer) over() bool {
 	if f.res.Execs >= f.cfg.MaxExecs {
 		return true
 	}
-	if f.cfg.Deadline > 0 && time.Since(f.start) > f.cfg.Deadline {
-		return true
-	}
-	return false
+	return f.deadlineHit()
+}
+
+// deadlineHit compares the Deadline against active stepping time —
+// completed Steps plus the running one — so fleet queue wait between
+// Steps does not cut the campaign short.
+func (f *Fuzzer) deadlineHit() bool {
+	return f.clock.Exceeded(f.cfg.Deadline)
 }
 
 // execute runs one input, updates the edge map, and queues the input

@@ -1,0 +1,234 @@
+// Package campaign orchestrates fleets of fuzzing campaigns: M
+// resumable campaigns multiplexed over a fixed worker pool through
+// the step-driven engine API (core.Campaign, afl.Fuzzer,
+// klee.Explorer — anything satisfying Runner), under one optional
+// global execution budget.
+//
+// The fleet is what turns the paper's strictly serial evaluation
+// matrix (§5: tools × subjects × repetitions) into a saturating
+// workload: each campaign advances in execution slices, workers pull
+// the next runnable campaign round-robin, and a campaign that
+// finishes frees its slot immediately instead of gating the rest of
+// its row. Campaigns are never stepped by two workers at once, and a
+// serial pFuzzer campaign is slice-invariant, so multiplexing does
+// not perturb the deterministic golden sequences — the property
+// internal/eval's fleet tests pin.
+package campaign
+
+import (
+	"sync"
+)
+
+// Runner is one resumable campaign: Step advances it by up to n
+// subject executions and reports how many were spent and whether the
+// campaign can still make progress.
+type Runner interface {
+	Step(n int) (spent int, more bool)
+}
+
+// Job is one campaign under fleet control.
+type Job struct {
+	// Name labels the job in progress reports.
+	Name string
+	// Runner is the campaign to advance.
+	Runner Runner
+	// Slice overrides the fleet's per-step slice for this job
+	// (0 = Fleet.Slice). A slice at least the campaign's own budget
+	// runs it in one step — how internal/eval schedules the AFL and
+	// KLEE baselines, whose mutation stages are not slice-invariant.
+	Slice int
+
+	execs int
+	done  bool
+}
+
+// Execs returns the executions the fleet observed this job spend.
+func (j *Job) Execs() int { return j.execs }
+
+// Done reports whether the fleet retired the job: its campaign ran
+// out of work, or the global budget cut it off.
+func (j *Job) Done() bool { return j.done }
+
+// Progress is one fleet progress notification, delivered after every
+// job step.
+type Progress struct {
+	Finished int    // jobs retired so far
+	Total    int    // jobs overall
+	Execs    int    // executions spent across the fleet
+	Job      string // the job that just advanced
+	JobDone  bool   // whether that step retired it
+}
+
+// Fleet runs jobs over a shared worker pool.
+type Fleet struct {
+	// Workers is the number of campaigns advanced concurrently
+	// (<= 1: one at a time, in strict round-robin).
+	Workers int
+	// Slice is the default per-step execution slice (0 = 4096).
+	// Smaller slices interleave campaigns more fairly; larger ones
+	// amortize scheduling overhead.
+	Slice int
+	// MaxTotalExecs bounds executions across all jobs (0 = none).
+	// Slices are reserved against it before stepping, so the fleet
+	// overshoots by at most each engine's in-flight pair; jobs still
+	// unfinished when it runs out are retired where they stand.
+	MaxTotalExecs int
+	// OnProgress, if non-nil, observes every job step. Calls are
+	// serialized under the fleet's lock, so the sink needs no
+	// synchronization of its own.
+	OnProgress func(Progress)
+}
+
+// Run advances every job to completion (or to the global budget) and
+// returns only when all workers have drained. Jobs are queued in the
+// given order and re-queued after each step, so with one worker the
+// schedule is a deterministic round-robin.
+func (fl *Fleet) Run(jobs []*Job) {
+	workers := fl.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	slice := fl.Slice
+	if slice <= 0 {
+		slice = 4096
+	}
+	if len(jobs) == 0 {
+		return
+	}
+
+	s := &fleetState{
+		fl:       fl,
+		slice:    slice,
+		total:    len(jobs),
+		ready:    append(make([]*Job, 0, len(jobs)), jobs...),
+		reserved: 0,
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.work()
+		}()
+	}
+	wg.Wait()
+}
+
+// fleetState is the orchestrator's shared scheduling state: a FIFO
+// ready queue plus budget accounting, guarded by one mutex (steps do
+// the heavy lifting outside it).
+type fleetState struct {
+	fl    *Fleet
+	slice int
+	total int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ready    []*Job
+	active   int // jobs being stepped right now
+	finished int
+	execs    int // executions spent across the fleet
+	reserved int // execs + slices handed to in-flight steps
+}
+
+// budgetLeft returns how many executions may still be reserved, or -1
+// for unlimited. Callers hold mu.
+func (s *fleetState) budgetLeft() int {
+	if s.fl.MaxTotalExecs <= 0 {
+		return -1
+	}
+	left := s.fl.MaxTotalExecs - s.reserved
+	if left < 0 {
+		left = 0
+	}
+	return left
+}
+
+// work is one worker's loop: pop the next ready job, step it outside
+// the lock, account the result, re-queue or retire.
+func (s *fleetState) work() {
+	for {
+		s.mu.Lock()
+		for len(s.ready) == 0 && s.active > 0 {
+			s.cond.Wait()
+		}
+		if len(s.ready) == 0 {
+			// No ready work and nobody stepping who could requeue any:
+			// the fleet is drained.
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			return
+		}
+		j := s.ready[0]
+		s.ready = s.ready[1:]
+
+		n := s.slice
+		if j.Slice > 0 {
+			n = j.Slice
+		}
+		if left := s.budgetLeft(); left >= 0 && n > left {
+			n = left
+		}
+		if n == 0 {
+			if s.active > 0 {
+				// The budget is only transiently zero: in-flight steps
+				// hold reservations they may partly refund. Requeue and
+				// wait for one to settle rather than retiring a job
+				// that refunded budget could still advance.
+				s.ready = append(s.ready, j)
+				s.cond.Wait()
+				s.mu.Unlock()
+				continue
+			}
+			// Global budget truly exhausted: retire the job where it
+			// stands.
+			s.retire(j)
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			continue
+		}
+		s.active++
+		s.reserved += n
+		s.mu.Unlock()
+
+		spent, more := j.Runner.Step(n)
+
+		s.mu.Lock()
+		s.active--
+		s.reserved += spent - n // refund the unspent reservation
+		s.execs += spent
+		j.execs += spent
+		if more && spent > 0 {
+			s.ready = append(s.ready, j)
+			s.notify(j, false)
+		} else {
+			// Finished — or spinning (spent == 0 with more): retire
+			// rather than loop forever on a stuck campaign.
+			s.retire(j)
+		}
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
+}
+
+// retire marks j done and reports progress. Callers hold mu.
+func (s *fleetState) retire(j *Job) {
+	j.done = true
+	s.finished++
+	s.notify(j, true)
+}
+
+// notify delivers a progress event. Callers hold mu.
+func (s *fleetState) notify(j *Job, done bool) {
+	if s.fl.OnProgress != nil {
+		s.fl.OnProgress(Progress{
+			Finished: s.finished, Total: s.total, Execs: s.execs,
+			Job: j.Name, JobDone: done,
+		})
+	}
+}

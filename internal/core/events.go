@@ -1,0 +1,42 @@
+package core
+
+// EventKind discriminates the campaign events the engines emit
+// through Config.Events — the typed stream that replaced the original
+// OnValid/DebugPop callback pair.
+type EventKind int
+
+const (
+	// EventValid reports a new valid input entering the corpus.
+	// Input, Execs and NewBlocks are set.
+	EventValid EventKind = iota
+	// EventPop reports a serial-engine queue pop: Input, Score, Execs
+	// and QueueLen are set. The parallel engine pops inside its
+	// executors and does not report pops.
+	EventPop
+	// EventPhase reports a hybrid phase-regime switch: Mining is the
+	// new regime, Execs the boundary's execution index.
+	EventPhase
+)
+
+// Event is one typed campaign event. Which fields are meaningful
+// depends on Kind; the rest are zero. The Input slice aliases
+// campaign-owned memory and is valid for the duration of the callback
+// only — copy it to retain it.
+type Event struct {
+	Kind      EventKind
+	Input     []byte
+	Execs     int
+	NewBlocks int     // EventValid: blocks this input covered first
+	Score     float64 // EventPop: the popped candidate's score
+	QueueLen  int     // EventPop: queue length after the pop
+	Mining    bool    // EventPhase: entering (true) or leaving (false) a mining burst
+}
+
+// emit delivers ev to the configured event sink, if any. With
+// Workers > 1 every emission happens on the scheduler goroutine, so a
+// sink needs no synchronization of its own.
+func (f *Fuzzer) emit(ev Event) {
+	if f.cfg.Events != nil {
+		f.cfg.Events(ev)
+	}
+}

@@ -124,7 +124,7 @@ func (f *Fuzzer) recordLength(rf *runFacts, mineGen int) {
 
 // emitValid records rf as a newly found valid input: it appends it to
 // the result (deduplicated), merges its blocks into the result
-// coverage and into vBr, and fires the OnValid callback. Re-scoring
+// coverage and into vBr, and emits an EventValid. Re-scoring
 // the queue against the grown vBr is the caller's business — the
 // serial engine re-scores immediately (the paper's per-valid pass),
 // the scheduler defers it to the next generation merge.
@@ -148,9 +148,7 @@ func (f *Fuzzer) emitValid(rf *runFacts) {
 		if len(v.Input) > f.longestValid {
 			f.longestValid = len(v.Input)
 		}
-		if f.cfg.OnValid != nil {
-			f.cfg.OnValid(v.Input, v.Exec)
-		}
+		f.emit(Event{Kind: EventValid, Input: v.Input, Execs: v.Exec, NewBlocks: v.NewBlocks})
 	}
 	for _, id := range rf.blocks {
 		f.vBr[id] = true

@@ -37,6 +37,7 @@ import (
 
 	"pfuzzer/internal/mine"
 	"pfuzzer/internal/pqueue"
+	"pfuzzer/internal/stepclock"
 	"pfuzzer/internal/subject"
 	"pfuzzer/internal/trace"
 )
@@ -67,16 +68,19 @@ type Config struct {
 	MaxQueue int
 	// Charset is the random-extension alphabet (nil = DefaultCharset).
 	Charset []byte
-	// Deadline bounds wall-clock time (0 = none).
+	// Deadline bounds the campaign's active running time (0 = none):
+	// time spent inside Run or Campaign.Step, excluding time parked
+	// between Steps — so a campaign multiplexed by the fleet
+	// orchestrator is not cut short by queue wait, and a restored
+	// campaign resumes its deadline clock where the snapshot left it.
 	Deadline time.Duration
-	// OnValid, if non-nil, is invoked for every emitted valid input.
-	// With Workers > 1 it is called from the scheduler goroutine only,
-	// so it needs no synchronization of its own.
-	OnValid func(input []byte, execs int)
-	// DebugPop, if non-nil, observes every queue pop (diagnostics).
-	// Serial engine only: the parallel engine pops inside the
-	// executors and does not report pops.
-	DebugPop func(input []byte, score float64, execs, queueLen int)
+	// Events, if non-nil, receives the campaign's typed event stream:
+	// every emitted valid input (EventValid), every serial-engine
+	// queue pop (EventPop), and every hybrid phase switch
+	// (EventPhase). With Workers > 1 events are delivered from the
+	// scheduler goroutine only, so the sink needs no synchronization
+	// of its own.
+	Events func(Event)
 
 	// Workers sets the number of parallel executors. 0 or 1 selects
 	// the serial engine, whose output is bit-for-bit deterministic
@@ -122,6 +126,12 @@ type Config struct {
 	// mine.SimpleLexer). registry.Entry.Lexer supplies a per-subject
 	// lexer so every subject can be mined.
 	MineLexer mine.Lexer
+	// MineSeeds pre-seeds the miner's grammar with an external valid
+	// corpus before the campaign's own valids arrive — the §7.4 chain
+	// across process restarts: a pFuzzer+Mine run can start from the
+	// corpus a previous pFuzzer campaign saved (see internal/corpus).
+	// Ignored without MinePhase.
+	MineSeeds [][]byte
 
 	// Ablation switches; all false reproduces the paper's heuristic.
 	// They exist for the ablation benchmarks listed in DESIGN.md.
@@ -195,7 +205,8 @@ type Fuzzer struct {
 	cfg  Config
 	prog subject.Program
 	rng  *rand.Rand
-	sink trace.Sink // serial engine's reusable trace buffers
+	cs   *countedSource // rng's draw-counting source (snapshot/restore)
+	sink trace.Sink     // serial engine's reusable trace buffers
 
 	vBr       map[uint32]bool // blocks covered by valid inputs
 	queue     pqueue.Queue[*candidate]
@@ -205,9 +216,9 @@ type Fuzzer struct {
 	validSeen map[string]struct{}
 
 	res        Result
-	start      time.Time
-	curParents int // substitution depth of the input being processed
-	curMineGen int // mined lineage of the input being processed (serial engine)
+	clock      stepclock.Clock // active stepping time (Result.Elapsed, Deadline)
+	curParents int             // substitution depth of the input being processed
+	curMineGen int             // mined lineage of the input being processed (serial engine)
 
 	// Campaign lifecycle. A Fuzzer runs exactly one campaign: Run
 	// panics on reuse (ran). Internally a campaign is one or more
@@ -218,9 +229,10 @@ type Fuzzer struct {
 	ran          bool
 	began        bool
 	execCap      int
-	phases       int  // parallel phases run so far (executor RNG streams)
-	longestValid int  // length of the longest emitted valid input
-	miningActive bool // current phase is a mining burst (hybrid only)
+	phases       int          // parallel phases run so far (executor RNG streams)
+	longestValid int          // length of the longest emitted valid input
+	miningActive bool         // current phase is a mining burst (hybrid only)
+	hyb          *hybridState // hybrid phase driver (nil until first hybrid step)
 
 	// Serial engine's resumable loop cursor.
 	sStarted bool
@@ -236,10 +248,12 @@ type Fuzzer struct {
 // execution counts, so it panics instead.
 func New(prog subject.Program, cfg Config) *Fuzzer {
 	c := cfg.withDefaults()
+	cs := &countedSource{src: rand.NewSource(c.Seed)}
 	return &Fuzzer{
 		cfg:       c,
 		prog:      prog,
-		rng:       rand.New(rand.NewSource(c.Seed)),
+		rng:       rand.New(cs),
+		cs:        cs,
 		vBr:       make(map[uint32]bool),
 		seen:      make(map[string]struct{}),
 		pathSeen:  make(map[uint64]int),
@@ -253,6 +267,13 @@ func New(prog subject.Program, cfg Config) *Fuzzer {
 // (hybrid.go) alternates parser-directed exploration with
 // grammar-mining bursts on either engine.
 //
+// Run is implemented as one maximal Step of the campaign's engine;
+// the step-driven surface behind it is the Campaign type
+// (campaign.go), which the fleet orchestrator and the persistence
+// layer consume. Stepping in smaller slices is execution-equivalent
+// for the serial engine, so Run stays bit-identical to the
+// pre-refactor engines (golden_test.go).
+//
 // Run panics if called a second time: a Fuzzer holds one campaign's
 // state (dedup sets, coverage, execution counts), and continuing on
 // it would double-count executions. Create a new Fuzzer with New.
@@ -261,12 +282,55 @@ func (f *Fuzzer) Run() *Result {
 		panic("core: Fuzzer.Run called twice; a Fuzzer is single-campaign — create a new one with New")
 	}
 	f.ran = true
-	if f.cfg.MinePhase {
-		return f.runHybrid()
+	for {
+		spent, more := f.step(f.cfg.MaxExecs)
+		if !more || spent == 0 {
+			break
+		}
 	}
-	f.execCap = f.cfg.MaxExecs
-	f.runEngine()
 	return f.finish()
+}
+
+// step advances the campaign by up to n executions on the configured
+// engine and reports how many were actually spent and whether the
+// campaign can still make progress. It is the one engine entry point:
+// Run, Campaign.Step and the hybrid phase driver all go through it,
+// so the serial, parallel and hybrid engines expose identical
+// resumable behaviour.
+func (f *Fuzzer) step(n int) (spent int, more bool) {
+	if n <= 0 || f.campaignOver() {
+		return 0, !f.campaignOver()
+	}
+	f.clock.StepBegin()
+	f.begin()
+	before := f.res.Execs
+	if f.cfg.MinePhase {
+		f.stepHybrid(n)
+	} else {
+		cap := f.res.Execs + n
+		if cap > f.cfg.MaxExecs {
+			cap = f.cfg.MaxExecs
+		}
+		if f.res.Execs < cap {
+			f.execCap = cap
+			f.runEngine()
+		}
+	}
+	f.res.Elapsed = f.clock.StepEnd()
+	return f.res.Execs - before, !f.campaignOver()
+}
+
+// campaignOver reports whether the campaign has nothing left to do:
+// the global budget is spent (stopCampaign), or the hybrid driver has
+// run through its final phase.
+func (f *Fuzzer) campaignOver() bool {
+	if f.stopCampaign() {
+		return true
+	}
+	if f.cfg.MinePhase && f.hyb != nil && f.hyb.stage == hsDone && !f.hyb.phaseActive {
+		return true
+	}
+	return false
 }
 
 // runEngine runs one phase on the configured engine up to execCap.
@@ -285,13 +349,16 @@ func (f *Fuzzer) begin() {
 		return
 	}
 	f.began = true
-	f.start = time.Now()
 	f.res.Coverage = make(map[uint32]bool)
 }
 
-// finish stamps the elapsed time and returns the result.
+// finish stamps the elapsed time and returns the result. Elapsed is
+// active stepping time, not wall clock: a campaign multiplexed by the
+// fleet orchestrator spends most of its wall time parked between
+// Steps, and counting that would misattribute fleet wait to the
+// engine.
 func (f *Fuzzer) finish() *Result {
-	f.res.Elapsed = time.Since(f.start)
+	f.res.Elapsed = f.clock.Active()
 	return &f.res
 }
 
@@ -304,7 +371,7 @@ func (f *Fuzzer) done() bool {
 	if f.cfg.MaxValids > 0 && len(f.res.Valids) >= f.cfg.MaxValids {
 		return true
 	}
-	if f.cfg.Deadline > 0 && time.Since(f.start) > f.cfg.Deadline {
+	if f.deadlineHit() {
 		return true
 	}
 	return false
@@ -319,10 +386,20 @@ func (f *Fuzzer) stopCampaign() bool {
 	if f.cfg.MaxValids > 0 && len(f.res.Valids) >= f.cfg.MaxValids {
 		return true
 	}
-	if f.cfg.Deadline > 0 && time.Since(f.start) > f.cfg.Deadline {
+	if f.deadlineHit() {
 		return true
 	}
 	return false
+}
+
+// deadlineHit reports whether the Deadline's budget of active
+// campaign time is spent — completed Steps (which a restored snapshot
+// carries over) plus the running Step's share. Time parked between
+// Steps — fleet queue wait — does not count, and before the first
+// step nothing has accrued, so the deadline never reads as expired on
+// a fresh campaign (step consults stopCampaign before begin runs).
+func (f *Fuzzer) deadlineHit() bool {
+	return f.clock.Exceeded(f.cfg.Deadline)
 }
 
 func (f *Fuzzer) randChar() byte {

@@ -44,8 +44,11 @@ func TestSubstitute(t *testing.T) {
 func TestFindsJSONKeywordsFast(t *testing.T) {
 	found := map[string]bool{}
 	f := New(cjson.New(), Config{Seed: 1, MaxExecs: 5000,
-		OnValid: func(in []byte, _ int) {
-			for tok := range cjson.Tokenize(in) {
+		Events: func(ev Event) {
+			if ev.Kind != EventValid {
+				return
+			}
+			for tok := range cjson.Tokenize(ev.Input) {
 				found[tok] = true
 			}
 		}})
@@ -80,18 +83,35 @@ func TestMaxLenRespected(t *testing.T) {
 	}
 }
 
-func TestOnValidSeesEveryEmission(t *testing.T) {
+// TestEventsSeeEveryEmission pins the typed event stream's EventValid
+// contract: one event per emitted valid, in emission order, carrying
+// the new-block count.
+func TestEventsSeeEveryEmission(t *testing.T) {
 	var seen [][]byte
+	pops := 0
 	f := New(expr.New(), Config{Seed: 4, MaxExecs: 3000,
-		OnValid: func(in []byte, _ int) { seen = append(seen, in) }})
+		Events: func(ev Event) {
+			switch ev.Kind {
+			case EventValid:
+				if ev.NewBlocks <= 0 {
+					t.Errorf("EventValid for %q carries NewBlocks=%d", ev.Input, ev.NewBlocks)
+				}
+				seen = append(seen, append([]byte(nil), ev.Input...))
+			case EventPop:
+				pops++
+			}
+		}})
 	res := f.Run()
 	if len(seen) != len(res.Valids) {
-		t.Errorf("OnValid saw %d inputs, result has %d", len(seen), len(res.Valids))
+		t.Errorf("Events saw %d valids, result has %d", len(seen), len(res.Valids))
 	}
 	for i := range seen {
 		if string(seen[i]) != string(res.Valids[i].Input) {
-			t.Errorf("OnValid order mismatch at %d", i)
+			t.Errorf("EventValid order mismatch at %d", i)
 		}
+	}
+	if pops == 0 {
+		t.Error("serial engine reported no EventPop")
 	}
 }
 

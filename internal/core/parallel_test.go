@@ -73,14 +73,21 @@ func TestParallelMaxValids(t *testing.T) {
 	}
 }
 
-// TestParallelOnValidFires checks the callback is delivered from the
-// scheduler goroutine for every emission.
-func TestParallelOnValidFires(t *testing.T) {
+// TestParallelEventsFire checks the typed event stream is delivered
+// from the scheduler goroutine for every emission. The sink is
+// intentionally unsynchronized: with Workers > 1 all events come from
+// the single scheduler goroutine, so under -race this doubles as the
+// delivery-thread proof.
+func TestParallelEventsFire(t *testing.T) {
 	var calls int
 	cfg := Config{Seed: 1, MaxExecs: 6000, Workers: 4,
-		OnValid: func([]byte, int) { calls++ }}
+		Events: func(ev Event) {
+			if ev.Kind == EventValid {
+				calls++
+			}
+		}}
 	res := New(expr.New(), cfg).Run()
 	if calls != len(res.Valids) {
-		t.Errorf("OnValid fired %d times for %d valids", calls, len(res.Valids))
+		t.Errorf("EventValid fired %d times for %d valids", calls, len(res.Valids))
 	}
 }

@@ -57,8 +57,9 @@ func (f *Fuzzer) runSerial() {
 			f.curParents = next.parents
 			f.curMineGen = next.mineGen
 			f.sCur = next
-			if f.cfg.DebugPop != nil {
-				f.cfg.DebugPop(f.sInput, score, f.res.Execs, f.queue.Len())
+			if f.cfg.Events != nil {
+				f.emit(Event{Kind: EventPop, Input: f.sInput, Score: score,
+					Execs: f.res.Execs, QueueLen: f.queue.Len()})
 			}
 		}
 		f.sExt = append(append([]byte{}, f.sInput...), f.randChar())

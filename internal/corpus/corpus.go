@@ -1,0 +1,346 @@
+// Package corpus implements the persistent campaign store: an
+// append-only journal of valid inputs and engine snapshots with
+// crash-tolerant recovery.
+//
+// A store backs cmd/pfuzzer's -out/-resume flags and the §7.4 chain
+// across process restarts: valids are journaled as the engine emits
+// them (so the corpus of record survives a kill at any point), and
+// periodic snapshots carry the full engine state (core.Snapshot) so a
+// resumed campaign continues exactly where the last snapshot was
+// taken. A later campaign can also mine a previously saved corpus
+// (core.Config.MineSeeds) without resuming it — the reusable
+// token-level corpus that Token-Level Fuzzing shows carrying value
+// across campaigns.
+//
+// On disk a store is two files. The journal at path is a magic
+// header followed by framed records:
+//
+//	[type:1][len:4 LE][payload][crc32(payload):4 LE]
+//
+// Record types: 'M' campaign metadata (JSON, first record), 'V' one
+// valid input ([exec:4 LE][input]). Appends go straight to the file
+// descriptor (no userspace buffering); a crash can therefore lose at
+// most the tail record, which recovery detects by frame length or
+// checksum and truncates away. Everything before the last intact
+// record is preserved.
+//
+// The latest engine snapshot lives beside the journal at path+".snap"
+// (gzip-compressed), replaced atomically on every save: the journal
+// is fsynced first (a snapshot at exec N implies the corpus through N
+// is durable), then the new snapshot is written to a temp file,
+// fsynced, and renamed over the old one. Only the latest snapshot is
+// ever needed, so superseded ones occupy no space and recovery never
+// re-reads history; a torn write can only affect the temp file, never
+// the published snapshot, and external corruption is caught by gzip's
+// own checksum.
+package corpus
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+const magic = "PFCORP1\n"
+
+const (
+	recMeta  = 'M'
+	recValid = 'V'
+)
+
+// maxRecord bounds a single record's payload; larger frames are
+// treated as corruption during recovery.
+const maxRecord = 1 << 30
+
+// Meta identifies the campaign a store belongs to.
+type Meta struct {
+	Subject  string `json:"subject"`
+	Tool     string `json:"tool,omitempty"`
+	Seed     int64  `json:"seed"`
+	MaxExecs int    `json:"max_execs,omitempty"`
+}
+
+// Valid is one journaled valid input.
+type Valid struct {
+	Exec  int
+	Input []byte
+}
+
+// Store is an open campaign journal. It is not safe for concurrent
+// use; the campaign loop owns it.
+type Store struct {
+	f    *os.File
+	path string
+	meta Meta
+
+	valids []Valid
+	seen   map[string]struct{} // dedup: the journal is the corpus of record
+	snap   []byte              // latest snapshot payload, decompressed
+
+	truncated int // bytes of corrupt tail dropped by Open
+}
+
+// SnapPath returns the sidecar file holding a journal's latest
+// snapshot.
+func SnapPath(path string) string { return path + ".snap" }
+
+// Create creates (or truncates) a journal at path, removing any stale
+// snapshot sidecar, and writes the metadata header.
+func Create(path string, meta Meta) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: create %s: %w", path, err)
+	}
+	os.Remove(SnapPath(path)) // a previous campaign's snapshot must not resume this one
+	s := &Store{f: f, path: path, meta: meta, seen: map[string]struct{}{}}
+	if _, err := f.WriteString(magic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("corpus: writing header: %w", err)
+	}
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("corpus: encoding meta: %w", err)
+	}
+	if err := s.append(recMeta, mb); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("corpus: sync: %w", err)
+	}
+	return s, nil
+}
+
+// Open opens an existing journal for reading and appending, running
+// crash recovery: records are scanned front to back, and the first
+// truncated or checksum-corrupt record — the possible remains of a
+// write cut short by a crash — and everything after it are dropped by
+// truncating the file there. TruncatedBytes reports how much was
+// dropped.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: open %s: %w", path, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("corpus: reading %s: %w", path, err)
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("corpus: %s is not a corpus journal", path)
+	}
+	s := &Store{f: f, path: path, seen: map[string]struct{}{}}
+	off := len(magic)
+	sawMeta := false
+	for off < len(data) {
+		typ, payload, next, ok := parseRecord(data, off)
+		if !ok {
+			break
+		}
+		switch typ {
+		case recMeta:
+			if err := json.Unmarshal(payload, &s.meta); err != nil {
+				ok = false
+			} else {
+				sawMeta = true
+			}
+		case recValid:
+			if len(payload) < 4 {
+				ok = false
+				break
+			}
+			in := append([]byte(nil), payload[4:]...)
+			s.valids = append(s.valids, Valid{Exec: int(binary.LittleEndian.Uint32(payload)), Input: in})
+			s.seen[string(in)] = struct{}{}
+		default:
+			ok = false
+		}
+		if !ok {
+			break
+		}
+		off = next
+	}
+	if !sawMeta {
+		f.Close()
+		return nil, fmt.Errorf("corpus: %s has no intact metadata record", path)
+	}
+	if off < len(data) {
+		s.truncated = len(data) - off
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("corpus: truncating corrupt tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("corpus: seeking append position: %w", err)
+	}
+	// The sidecar always holds a complete previous snapshot (writes
+	// go through temp+rename); gzip's own checksum catches external
+	// corruption, which reads as "no snapshot" rather than bad state.
+	if data, err := os.ReadFile(SnapPath(path)); err == nil {
+		if blob, err := gunzip(data); err == nil {
+			s.snap = blob
+		}
+	}
+	return s, nil
+}
+
+// parseRecord decodes the record at data[off:]; ok is false when the
+// frame is truncated, oversized or fails its checksum.
+func parseRecord(data []byte, off int) (typ byte, payload []byte, next int, ok bool) {
+	if off+5 > len(data) {
+		return 0, nil, 0, false
+	}
+	typ = data[off]
+	n := int(binary.LittleEndian.Uint32(data[off+1 : off+5]))
+	if n < 0 || n > maxRecord || off+5+n+4 > len(data) {
+		return 0, nil, 0, false
+	}
+	payload = data[off+5 : off+5+n]
+	sum := binary.LittleEndian.Uint32(data[off+5+n : off+9+n])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, nil, 0, false
+	}
+	return typ, payload, off + 9 + n, true
+}
+
+// append frames and writes one record.
+func (s *Store) append(typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	buf := make([]byte, 0, len(hdr)+len(payload)+len(sum))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	buf = append(buf, sum[:]...)
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("corpus: appending record: %w", err)
+	}
+	return nil
+}
+
+// AppendValid journals one valid input. Duplicates (by input bytes)
+// are skipped: a resumed campaign re-discovers the valids found
+// between its snapshot and the crash, and deduplication makes the
+// journal converge to exactly the uninterrupted run's corpus.
+func (s *Store) AppendValid(exec int, input []byte) error {
+	if _, dup := s.seen[string(input)]; dup {
+		return nil
+	}
+	in := append([]byte(nil), input...)
+	s.seen[string(in)] = struct{}{}
+	s.valids = append(s.valids, Valid{Exec: exec, Input: in})
+	payload := make([]byte, 4+len(in))
+	binary.LittleEndian.PutUint32(payload, uint32(exec))
+	copy(payload[4:], in)
+	return s.append(recValid, payload)
+}
+
+// AppendSnapshot publishes an opaque engine snapshot: the journal is
+// fsynced first (a snapshot at exec N implies the corpus through N is
+// durable), then the gzip-compressed blob atomically replaces the
+// sidecar at SnapPath. Superseded snapshots occupy no space, and a
+// crash at any point leaves either the previous or the new snapshot
+// intact, never a torn one.
+func (s *Store) AppendSnapshot(blob []byte) error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("corpus: sync: %w", err)
+	}
+	var z bytes.Buffer
+	zw := gzip.NewWriter(&z)
+	if _, err := zw.Write(blob); err != nil {
+		return fmt.Errorf("corpus: compressing snapshot: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("corpus: compressing snapshot: %w", err)
+	}
+	snapPath := SnapPath(s.path)
+	tmp := snapPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("corpus: writing snapshot: %w", err)
+	}
+	if _, err := f.Write(z.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("corpus: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("corpus: writing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("corpus: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, snapPath); err != nil {
+		return fmt.Errorf("corpus: publishing snapshot: %w", err)
+	}
+	s.snap = append([]byte(nil), blob...)
+	return nil
+}
+
+func gunzip(b []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Meta returns the campaign metadata.
+func (s *Store) Meta() Meta { return s.meta }
+
+// Path returns the journal's path.
+func (s *Store) Path() string { return s.path }
+
+// Valids returns the journaled valid inputs in append order,
+// deduplicated. The slices are owned by the store.
+func (s *Store) Valids() []Valid { return s.valids }
+
+// ValidInputs returns just the input bytes of Valids — the corpus in
+// the shape core.Config.MineSeeds and mine.Grammar.Seed consume.
+func (s *Store) ValidInputs() [][]byte {
+	out := make([][]byte, len(s.valids))
+	for i := range s.valids {
+		out[i] = s.valids[i].Input
+	}
+	return out
+}
+
+// Snapshot returns the latest intact snapshot blob, or nil if none
+// was published.
+func (s *Store) Snapshot() []byte { return s.snap }
+
+// TruncatedBytes reports how many bytes of corrupt tail Open dropped
+// (0 for a clean journal).
+func (s *Store) TruncatedBytes() int { return s.truncated }
+
+// Close syncs and closes the journal.
+func (s *Store) Close() error {
+	if s.f == nil {
+		return errors.New("corpus: store already closed")
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

@@ -5,6 +5,15 @@
 // reports — branch coverage of the valid inputs (Figure 2) and token
 // coverage of the valid inputs grouped by token length (Figure 3,
 // Tables 2–4, and the §5.3 aggregates).
+//
+// Every campaign of the matrix runs as a job of the fleet
+// orchestrator (internal/campaign). With Budget.Fleet <= 1 the matrix
+// is the paper's strictly serial schedule; with more fleet workers,
+// campaigns across subjects, tools and repetitions advance
+// concurrently over the shared pool. The numbers are identical either
+// way: pFuzzer campaigns are slice-invariant on the serial engine,
+// and the AFL/KLEE baselines run as single full-budget steps — the
+// parity and seed-identity tests in eval_test.go pin both.
 package eval
 
 import (
@@ -13,6 +22,7 @@ import (
 	"time"
 
 	"pfuzzer/internal/afl"
+	"pfuzzer/internal/campaign"
 	"pfuzzer/internal/core"
 	"pfuzzer/internal/klee"
 	"pfuzzer/internal/registry"
@@ -63,6 +73,16 @@ type Budget struct {
 	// regenerate the figures faster at the cost of run-to-run
 	// ordering variation.
 	Workers int
+	// Fleet sets how many campaigns of the matrix advance
+	// concurrently over the fleet orchestrator's worker pool (0 or 1
+	// = one at a time). Unlike Workers it changes no campaign's
+	// result: serial pFuzzer campaigns are slice-invariant and the
+	// baselines run as single steps, so a parallel matrix reproduces
+	// the serial one bit for bit, only faster.
+	Fleet int
+	// FleetSlice is the per-step execution slice pFuzzer campaigns
+	// are multiplexed at (0 = the fleet default, 4096).
+	FleetSlice int
 }
 
 // DefaultBudget approximates the paper's effective execution counts:
@@ -115,20 +135,12 @@ type SubjectResult struct {
 // Run executes one tool on one subject with the given budget and
 // returns the best of budget.Runs repetitions, where "best" is the
 // run with the highest valid-input branch coverage (ties broken by
-// token coverage).
+// token coverage, with the earliest repetition kept on full ties).
+// With Budget.Fleet > 1 the repetitions advance concurrently.
 func Run(entry registry.Entry, tool Tool, budget Budget) SubjectResult {
-	runs := budget.Runs
-	if runs <= 0 {
-		runs = 1
-	}
-	var best SubjectResult
-	for r := 0; r < runs; r++ {
-		seed := budget.Seed + int64(r)*7919
-		res := runOnce(entry, tool, budget, seed)
-		if r == 0 || better(res, best) {
-			best = res
-		}
-	}
+	cells := groupCells(entry, tool, budget)
+	runCells(cells, budget, nil)
+	best, _ := foldGroup(cells)
 	return best
 }
 
@@ -139,27 +151,67 @@ func better(a, b SubjectResult) bool {
 	return a.TokenCov.FoundCount() > b.TokenCov.FoundCount()
 }
 
-func runOnce(entry registry.Entry, tool Tool, budget Budget, seed int64) SubjectResult {
-	out := SubjectResult{Subject: entry.Name, Tool: tool}
+// cell is one campaign of the evaluation matrix — one (subject, tool,
+// repetition) triple under fleet control. collect distills the
+// finished campaign into a SubjectResult.
+type cell struct {
+	entry   registry.Entry
+	tool    Tool
+	rep     int
+	job     *campaign.Job
+	collect func() SubjectResult
+}
+
+// newCell builds the campaign for one matrix cell. The tool
+// configurations are exactly the paper harness's; only the driving
+// moved from blocking Runs to fleet-stepped jobs.
+func newCell(entry registry.Entry, tool Tool, budget Budget, rep int) *cell {
+	seed := budget.Seed + int64(rep)*7919
 	prog := entry.New()
-	out.Blocks = prog.Blocks()
+	c := &cell{entry: entry, tool: tool, rep: rep}
+	name := fmt.Sprintf("%s/%s/r%d", entry.Name, tool, rep)
+	finalize := func(execs int, valids [][]byte, cov map[uint32]bool, elapsed time.Duration) SubjectResult {
+		out := SubjectResult{
+			Subject: entry.Name, Tool: tool, Blocks: prog.Blocks(),
+			Execs: execs, Valids: valids, Coverage: cov, Elapsed: elapsed,
+		}
+		out.CoveragePct = tokens.Percent(len(cov), out.Blocks)
+		found := map[string]bool{}
+		for _, in := range valids {
+			for tok := range entry.Tokenize(in) {
+				found[tok] = true
+			}
+		}
+		out.TokenCov = tokens.Cover(entry.Inventory, found)
+		return out
+	}
+
+	// Serial pFuzzer campaigns are slice-invariant, so they ride the
+	// fleet's default slice for fine multiplexing. With Workers > 1
+	// each Step spins a fresh executor generation, so those campaigns
+	// — like AFL and KLEE below — run as one full-budget step instead
+	// of paying pool startup per slice.
+	pfSlice := budget.FleetSlice
+	if budget.Workers > 1 {
+		pfSlice = budget.PFuzzerExecs + budget.EffectiveMineExecs()
+	}
 
 	switch tool {
 	case PFuzzer:
-		f := core.New(prog, core.Config{
+		f := core.NewCampaign(prog, core.Config{
 			Seed:     seed,
 			MaxExecs: budget.PFuzzerExecs,
 			Deadline: budget.Deadline,
 			Workers:  budget.Workers,
 		})
-		res := f.Run()
-		out.Execs = res.Execs
-		out.Valids = res.ValidInputs()
-		out.Coverage = res.Coverage
-		out.Elapsed = res.Elapsed
+		c.job = &campaign.Job{Name: name, Runner: f, Slice: pfSlice}
+		c.collect = func() SubjectResult {
+			r := f.Result()
+			return finalize(r.Execs, r.ValidInputs(), r.Coverage, r.Elapsed)
+		}
 	case PFuzzerMine:
 		mineExecs := budget.EffectiveMineExecs()
-		f := core.New(prog, core.Config{
+		f := core.NewCampaign(prog, core.Config{
 			Seed: seed,
 			// Exploration gets the full pFuzzer budget and runs as
 			// one uninterrupted phase (MineCadence >= exploration),
@@ -175,57 +227,141 @@ func runOnce(entry registry.Entry, tool Tool, budget Budget, seed int64) Subject
 			Deadline:    budget.Deadline,
 			Workers:     budget.Workers,
 		})
-		res := f.Run()
-		out.Execs = res.Execs
-		out.Valids = res.ValidInputs()
-		out.Coverage = res.Coverage
-		out.Elapsed = res.Elapsed
+		c.job = &campaign.Job{Name: name, Runner: f, Slice: pfSlice}
+		c.collect = func() SubjectResult {
+			r := f.Result()
+			return finalize(r.Execs, r.ValidInputs(), r.Coverage, r.Elapsed)
+		}
 	case AFL:
 		f := afl.New(prog, afl.Config{
 			Seed:     seed,
 			MaxExecs: budget.AFLExecs,
 			Deadline: budget.Deadline,
 		})
-		res := f.Run()
-		out.Execs = res.Execs
-		out.Valids = res.ValidInputs()
-		out.Coverage = res.Coverage
-		out.Elapsed = res.Elapsed
+		// One full-budget step: AFL's mutation stages are not
+		// slice-invariant, and a single step keeps the fleet matrix
+		// bit-identical to the serial one.
+		c.job = &campaign.Job{Name: name, Runner: f, Slice: budget.AFLExecs}
+		c.collect = func() SubjectResult {
+			r := f.Result()
+			return finalize(r.Execs, r.ValidInputs(), r.Coverage, r.Elapsed)
+		}
 	case KLEE:
 		e := klee.New(prog, klee.Config{
 			MaxExecs: budget.KLEEExecs,
 			Deadline: budget.Deadline,
 		})
-		res := e.Run()
-		out.Execs = res.Execs
-		out.Valids = res.ValidInputs()
-		out.Coverage = res.Coverage
-		out.Elapsed = res.Elapsed
-	}
-
-	out.CoveragePct = tokens.Percent(len(out.Coverage), out.Blocks)
-	found := map[string]bool{}
-	for _, in := range out.Valids {
-		for tok := range entry.Tokenize(in) {
-			found[tok] = true
+		c.job = &campaign.Job{Name: name, Runner: e, Slice: budget.KLEEExecs}
+		c.collect = func() SubjectResult {
+			r := e.Result()
+			return finalize(r.Execs, r.ValidInputs(), r.Coverage, r.Elapsed)
 		}
 	}
-	out.TokenCov = tokens.Cover(entry.Inventory, found)
-	return out
+	return c
 }
 
-// Matrix runs every tool on every given subject, reporting progress
-// on stderr.
+// groupCells builds one cell per repetition of a (subject, tool)
+// group.
+func groupCells(entry registry.Entry, tool Tool, budget Budget) []*cell {
+	runs := budget.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	cells := make([]*cell, runs)
+	for r := 0; r < runs; r++ {
+		cells[r] = newCell(entry, tool, budget, r)
+	}
+	return cells
+}
+
+// runCells drives the cells' campaigns to completion over the fleet.
+func runCells(cells []*cell, budget Budget, onProgress func(campaign.Progress)) {
+	jobs := make([]*campaign.Job, len(cells))
+	for i, c := range cells {
+		jobs[i] = c.job
+	}
+	fl := campaign.Fleet{
+		Workers:    budget.Fleet,
+		Slice:      budget.FleetSlice,
+		OnProgress: onProgress,
+	}
+	fl.Run(jobs)
+}
+
+// foldGroup reduces one group's finished repetitions to the best run
+// (repetition order decides full ties, like the serial harness) and
+// the group's summed campaign time.
+func foldGroup(cells []*cell) (SubjectResult, time.Duration) {
+	var best SubjectResult
+	var total time.Duration
+	for i, c := range cells {
+		res := c.collect()
+		total += res.Elapsed
+		if i == 0 || better(res, best) {
+			best = res
+		}
+	}
+	return best, total
+}
+
+// Matrix runs every tool on every given subject and reports progress
+// on stderr. With Budget.Fleet > 1 the whole matrix — every subject,
+// tool and repetition — runs as one fleet over the shared worker
+// pool, with a live progress line; the reported numbers are identical
+// to the serial schedule's.
 func Matrix(entries []registry.Entry, budget Budget) []SubjectResult {
-	var out []SubjectResult
+	line := func(r SubjectResult, d time.Duration) {
+		fmt.Fprintf(os.Stderr, "  %-6s %-8s execs=%-8d valids=%-5d cov=%5.1f%%  (%v)\n",
+			r.Subject, r.Tool, r.Execs, len(r.Valids), r.CoveragePct,
+			d.Round(time.Millisecond))
+	}
+
+	if budget.Fleet <= 1 {
+		// Serial schedule: one (subject, tool) group at a time, its
+		// line printed as it completes — the paper's original pacing.
+		var out []SubjectResult
+		for _, e := range entries {
+			for _, tool := range Tools {
+				cells := groupCells(e, tool, budget)
+				runCells(cells, budget, nil)
+				best, took := foldGroup(cells)
+				line(best, took)
+				out = append(out, best)
+			}
+		}
+		return out
+	}
+
+	// Fleet schedule: every campaign of the matrix in one pool.
+	var all []*cell
 	for _, e := range entries {
 		for _, tool := range Tools {
-			start := time.Now()
-			r := Run(e, tool, budget)
-			fmt.Fprintf(os.Stderr, "  %-6s %-8s execs=%-8d valids=%-5d cov=%5.1f%%  (%v)\n",
-				e.Name, tool, r.Execs, len(r.Valids), r.CoveragePct,
-				time.Since(start).Round(time.Millisecond))
-			out = append(out, r)
+			all = append(all, groupCells(e, tool, budget)...)
+		}
+	}
+	start := time.Now()
+	progress := func(p campaign.Progress) {
+		if p.JobDone {
+			fmt.Fprintf(os.Stderr, "\r  fleet[%d]: %d/%d campaigns done, %d execs, %v   ",
+				budget.Fleet, p.Finished, p.Total, p.Execs,
+				time.Since(start).Round(time.Second))
+		}
+	}
+	runCells(all, budget, progress)
+	fmt.Fprintln(os.Stderr)
+
+	var out []SubjectResult
+	i := 0
+	runs := budget.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	for range entries {
+		for range Tools {
+			best, took := foldGroup(all[i : i+runs])
+			line(best, took)
+			out = append(out, best)
+			i += runs
 		}
 	}
 	return out

@@ -1,0 +1,49 @@
+package eval
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"pfuzzer/internal/registry"
+)
+
+// benchMatrix runs the full default matrix shape (all paper subjects,
+// all four tools, best-of-3) at a reduced budget and reports its
+// wall-clock seconds. The speedup of fleet=4 over fleet=1 is the
+// orchestration-layer acceptance number (EXPERIMENTS.md §7): the
+// fleet must complete the matrix at least 2x faster on 4 cores while
+// producing bit-identical results (TestMatrixFleetMatchesSerial).
+func benchMatrix(b *testing.B, fleet int) {
+	budget := Budget{
+		PFuzzerExecs: 2000,
+		AFLExecs:     20000,
+		KLEEExecs:    2000,
+		Runs:         2,
+		Seed:         1,
+		Fleet:        fleet,
+	}
+	entries := registry.Paper()
+	// Silence the per-cell progress lines; the benchmark output is
+	// the metric.
+	old := os.Stderr
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err == nil {
+		os.Stderr = null
+		defer func() { os.Stderr = old; null.Close() }()
+	}
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		Matrix(entries, budget)
+	}
+	b.ReportMetric(time.Since(start).Seconds()/float64(b.N), "matrix_s")
+}
+
+func BenchmarkMatrixFleet(b *testing.B) {
+	for _, fleet := range []int{1, 4} {
+		b.Run(fmt.Sprintf("fleet=%d", fleet), func(b *testing.B) {
+			benchMatrix(b, fleet)
+		})
+	}
+}

@@ -19,6 +19,7 @@ package klee
 import (
 	"time"
 
+	"pfuzzer/internal/stepclock"
 	"pfuzzer/internal/subject"
 	"pfuzzer/internal/trace"
 )
@@ -33,7 +34,8 @@ type Config struct {
 	// MaxLen bounds input length (0 = 64; KLEE fixes the size of its
 	// symbolic stdin).
 	MaxLen int
-	// Deadline bounds wall-clock time (0 = none).
+	// Deadline bounds active campaign time — time inside Run/Step,
+	// not fleet wait between Steps (0 = none).
 	Deadline time.Duration
 	// OnValid, if non-nil, observes each emitted valid input.
 	OnValid func(input []byte, execs int)
@@ -88,7 +90,9 @@ type Explorer struct {
 	seen     map[string]struct{}
 	vBr      map[uint32]bool
 	res      Result
-	start    time.Time
+	clock    stepclock.Clock // active stepping time (Result.Elapsed, Deadline)
+	began    bool
+	execCap  int // current step's execution bound
 }
 
 // New prepares an explorer for prog.
@@ -103,10 +107,32 @@ func New(prog subject.Program, cfg Config) *Explorer {
 
 // Run executes the campaign.
 func (e *Explorer) Run() *Result {
-	e.start = time.Now()
-	e.res.Coverage = make(map[uint32]bool)
+	for {
+		if _, more := e.Step(e.cfg.MaxExecs); !more {
+			break
+		}
+	}
+	return e.Result()
+}
 
-	e.push([]byte{})
+// Step advances the exploration by up to n executions and reports how
+// many were spent and whether the frontier and budget allow more —
+// the resumable-campaign surface the fleet orchestrator
+// (internal/campaign) multiplexes. The search is breadth-first with
+// no randomness, so stepping in any slicing visits the same states as
+// one blocking Run.
+func (e *Explorer) Step(n int) (spent int, more bool) {
+	e.clock.StepBegin()
+	if !e.began {
+		e.began = true
+		e.res.Coverage = make(map[uint32]bool)
+		e.push([]byte{})
+	}
+	before := e.res.Execs
+	e.execCap = e.res.Execs + n
+	if e.execCap > e.cfg.MaxExecs {
+		e.execCap = e.cfg.MaxExecs
+	}
 	for len(e.frontier) > 0 && !e.done() {
 		// Breadth-first: oldest state first.
 		input := e.frontier[0]
@@ -114,18 +140,38 @@ func (e *Explorer) Run() *Result {
 		e.expand(input)
 	}
 	e.res.Exhausted = len(e.frontier) == 0
-	e.res.Elapsed = time.Since(e.start)
-	return &e.res
+	e.res.Elapsed = e.clock.StepEnd()
+	return e.res.Execs - before, !e.over()
 }
 
-func (e *Explorer) done() bool {
+// Result returns the campaign's live result (final once over).
+func (e *Explorer) Result() *Result { return &e.res }
+
+// over reports whether the whole campaign is finished: frontier dry,
+// budget spent, or deadline hit.
+func (e *Explorer) over() bool {
+	if e.began && e.res.Exhausted {
+		return true
+	}
 	if e.res.Execs >= e.cfg.MaxExecs {
 		return true
 	}
-	if e.cfg.Deadline > 0 && time.Since(e.start) > e.cfg.Deadline {
+	return e.deadlineHit()
+}
+
+// deadlineHit compares the Deadline against active stepping time —
+// completed Steps plus the running one — so fleet queue wait between
+// Steps does not cut the campaign short.
+func (e *Explorer) deadlineHit() bool {
+	return e.clock.Exceeded(e.cfg.Deadline)
+}
+
+// done bounds the current step (see over for the campaign bound).
+func (e *Explorer) done() bool {
+	if e.res.Execs >= e.execCap {
 		return true
 	}
-	return false
+	return e.deadlineHit()
 }
 
 func (e *Explorer) push(input []byte) {

@@ -22,6 +22,7 @@
 package mine
 
 import (
+	"bytes"
 	"math/rand"
 	"sort"
 	"strings"
@@ -323,6 +324,29 @@ func (g *Grammar) GenerateBatch(rng *rand.Rand, maxTokens, n int) [][]byte {
 		}
 	}
 	return out
+}
+
+// Emitted returns every candidate GenerateBatch has handed out, in
+// lexicographic order. Together with the corpus fed through Add/Seed
+// it makes a grammar fully reconstructible: counts replay from the
+// corpus, and MarkEmitted reloads this set — which is generator
+// state, not minable from the corpus — so a restored campaign's
+// batches dedup against exactly what the original already produced.
+func (g *Grammar) Emitted() [][]byte {
+	out := make([][]byte, 0, len(g.emitted))
+	for k := range g.emitted {
+		out = append(out, []byte(k))
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// MarkEmitted marks candidates as already handed out by
+// GenerateBatch (the snapshot-restore path; see Emitted).
+func (g *Grammar) MarkEmitted(cands [][]byte) {
+	for _, c := range cands {
+		g.emitted[string(c)] = true
+	}
 }
 
 // Stats summarizes a mined grammar.

@@ -8,7 +8,10 @@
 // worst entries.
 package pqueue
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // Queue is a max-priority queue of values of type T. The zero value is
 // ready to use.
@@ -107,6 +110,29 @@ func (q *Queue[T]) Reorder(rescore func(T) float64) {
 		q.h[i].score = rescore(q.h[i].value)
 	}
 	heap.Init(&q.h)
+}
+
+// Item is one queued value with its current heap score, as exported
+// by Dump for campaign snapshots.
+type Item[T any] struct {
+	Value T
+	Score float64
+}
+
+// Dump returns every queued value with its current score, ordered by
+// insertion sequence (oldest first). Restoring a queue by Pushing the
+// dumped items back in this order reproduces the original pop order
+// exactly: scores are preserved, and the re-assigned sequence numbers
+// keep the same relative FIFO tie-break. The queue is not modified.
+func (q *Queue[T]) Dump() []Item[T] {
+	entries := make([]entry[T], len(q.h))
+	copy(entries, q.h)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	out := make([]Item[T], len(entries))
+	for i, e := range entries {
+		out[i] = Item[T]{Value: e.value, Score: e.score}
+	}
+	return out
 }
 
 // Prune discards the lowest-scored entries until at most max remain.

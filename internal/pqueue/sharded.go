@@ -106,6 +106,32 @@ func (s *Sharded[T]) Pop() (T, float64, bool) {
 	}
 }
 
+// Dump returns every shard's queued values in insertion order (see
+// Queue.Dump), indexed by shard — the campaign snapshot's view of the
+// queue. It must not race with concurrent pushes or pops; the
+// snapshot path only runs between engine phases, when no executors
+// are live.
+func (s *Sharded[T]) Dump() [][]Item[T] {
+	out := make([][]Item[T], len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out[i] = sh.q.Dump()
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// LoadShard pushes v directly into shard i, bypassing the round-robin
+// spread: the snapshot-restore path rebuilds a saved queue with its
+// shard layout intact.
+func (s *Sharded[T]) LoadShard(i int, v T, score float64) {
+	sh := &s.shards[uint(i)%uint(len(s.shards))]
+	sh.mu.Lock()
+	sh.q.Push(v, score)
+	sh.mu.Unlock()
+}
+
 // Len returns the total number of queued values across all shards.
 func (s *Sharded[T]) Len() int {
 	total := 0

@@ -1,0 +1,55 @@
+// Package stepclock provides the active-time accounting shared by
+// every resumable campaign engine (core, afl, klee): a campaign's
+// Elapsed and Deadline count time spent inside Step — not wall-clock
+// time parked between Steps in a fleet's ready queue, which would cut
+// multiplexed campaigns short and misattribute scheduler wait to the
+// engine.
+package stepclock
+
+import "time"
+
+// Clock accumulates a campaign's active stepping time. The zero value
+// is ready to use: nothing has accrued, so no deadline reads as
+// exceeded before the first step.
+type Clock struct {
+	stepStart time.Time
+	inStep    bool
+	active    time.Duration
+}
+
+// StepBegin marks the start of one Step.
+func (c *Clock) StepBegin() {
+	c.stepStart = time.Now()
+	c.inStep = true
+}
+
+// StepEnd marks the end of the running Step and returns the total
+// active time, the value campaigns stamp into Result.Elapsed.
+func (c *Clock) StepEnd() time.Duration {
+	c.active += time.Since(c.stepStart)
+	c.inStep = false
+	return c.active
+}
+
+// Active returns accumulated active time, including the running
+// Step's share.
+func (c *Clock) Active() time.Duration {
+	d := c.active
+	if c.inStep {
+		d += time.Since(c.stepStart)
+	}
+	return d
+}
+
+// Exceeded reports whether a deadline of active time is spent
+// (deadline <= 0 never is).
+func (c *Clock) Exceeded(deadline time.Duration) bool {
+	return deadline > 0 && c.Active() > deadline
+}
+
+// Load seeds previously accumulated active time — the
+// snapshot-restore path, so a resumed campaign continues its deadline
+// clock instead of restarting it.
+func (c *Clock) Load(active time.Duration) {
+	c.active = active
+}
