@@ -13,7 +13,10 @@
 //	         [-subjects a,b,c] [-mine-execs n] [-out dir] [-table1]
 //	         [-fig2] [-fig3] [-tables] [-summary]
 //
-// Without selector flags everything is produced. -scale multiplies
+// Without selector flags everything is produced. -subjects defaults
+// to the paper's five; pass "all" (or an explicit list) to include
+// the grammar-zoo subjects urlp, sexpr, httpreq and dotg in the
+// matrix — the 11-subject run of EXPERIMENTS.md §8. -scale multiplies
 // the execution budgets (1.0 ≈ one minute; the paper ran 48 hours per
 // tool and subject, so expect shape, not absolute numbers). -workers
 // runs the pFuzzer campaigns on that many parallel executors; keep it
@@ -48,7 +51,7 @@ func main() {
 		workers  = flag.Int("workers", 1, "parallel executors per pFuzzer campaign")
 		parallel = flag.Int("parallel", 1, "campaigns advanced concurrently (fleet mode; results identical to serial)")
 		mineEx   = flag.Int("mine-execs", 0, "pFuzzer+Mine extra mining executions (0 = pFuzzer budget / 4)")
-		subjects = flag.String("subjects", "ini,csv,cjson,tinyc,mjs", "comma-separated subjects")
+		subjects = flag.String("subjects", "ini,csv,cjson,tinyc,mjs", `comma-separated subjects, or "all" for every registered subject`)
 		outDir   = flag.String("out", "", "directory for CSV results (optional)")
 		table1   = flag.Bool("table1", false, "print Table 1 only")
 		fig2     = flag.Bool("fig2", false, "print Figure 2 only")
@@ -61,14 +64,18 @@ func main() {
 	all := !*table1 && !*fig2 && !*fig3 && !*tables && !*summary
 
 	var entries []registry.Entry
-	for _, name := range strings.Split(*subjects, ",") {
-		e, ok := registry.Get(strings.TrimSpace(name))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "evaluate: unknown subject %q (have %s)\n",
-				name, strings.Join(registry.Names(), ", "))
-			os.Exit(2)
+	if strings.TrimSpace(*subjects) == "all" {
+		entries = registry.All()
+	} else {
+		for _, name := range strings.Split(*subjects, ",") {
+			e, ok := registry.Get(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "evaluate: unknown subject %q (have %s or \"all\")\n",
+					name, strings.Join(registry.Names(), ", "))
+				os.Exit(2)
+			}
+			entries = append(entries, e)
 		}
-		entries = append(entries, e)
 	}
 
 	if all || *table1 {

@@ -9,8 +9,9 @@
 //	        [-out file] [-resume file] [-snap-every n] [-mine-from file]
 //	pfuzzer -list
 //
-// Subjects: ini, csv, cjson, tinyc, mjs, expr, paren (-list prints
-// them with block counts and token-inventory sizes).
+// Subjects: ini, csv, cjson, tinyc, mjs, expr, paren, urlp, sexpr,
+// httpreq, dotg (-list prints them with block counts and
+// token-inventory sizes).
 //
 // With -workers 1 (the default) campaigns are deterministic under
 // -seed; more workers run candidate executions in parallel. -mine

@@ -1,0 +1,19 @@
+package conformance
+
+import (
+	"testing"
+
+	"pfuzzer/internal/registry"
+)
+
+// TestConformanceAllSubjects runs the full kit against every
+// registered subject — the matrix smoke CI runs on each push. A new
+// subject gets all of this by registering; nothing else to write.
+func TestConformanceAllSubjects(t *testing.T) {
+	for _, e := range registry.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			Check(t, e)
+		})
+	}
+}

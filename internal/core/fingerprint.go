@@ -1,0 +1,66 @@
+package core
+
+import "sort"
+
+// fnv-1a constants for the 64-bit result fingerprint (the trace
+// package keeps its own pair for path hashes; the two live in
+// different domains, so sharing them would couple unrelated formats).
+const (
+	fpOffset uint64 = 14695981039346656037
+	fpPrime  uint64 = 1099511628211
+)
+
+func fpBytes(h uint64, b []byte) uint64 {
+	h = fpInt(h, uint64(len(b))) // length prefix keeps the encoding injective
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fpPrime
+	}
+	return h
+}
+
+func fpInt(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fpPrime
+		v >>= 8
+	}
+	return h
+}
+
+// Fingerprint condenses the campaign's observable outcome — execution
+// count and the full emission record (inputs, discovery indices,
+// new-block counts) plus the sorted union coverage — into one 64-bit
+// value. Two campaigns with equal fingerprints produced the same
+// corpus in the same order, which is the identity the conformance kit
+// (internal/conformance) and the engine-equivalence tests compare;
+// hashing sidesteps retaining both corpora when only the comparison
+// matters.
+func (r *Result) Fingerprint() uint64 {
+	h := fpOffset
+	h = fpInt(h, uint64(r.Execs))
+	h = fpInt(h, uint64(len(r.Valids)))
+	for i := range r.Valids {
+		v := &r.Valids[i]
+		h = fpBytes(h, v.Input)
+		h = fpInt(h, uint64(v.Exec))
+		h = fpInt(h, uint64(v.NewBlocks))
+	}
+	ids := make([]uint32, 0, len(r.Coverage))
+	for id := range r.Coverage {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		h = fpInt(h, uint64(id))
+	}
+	return h
+}
+
+// Fingerprint is the campaign-level alias of Result.Fingerprint, the
+// conformance hook on the step-driven API: call it between Steps (or
+// after the campaign finishes) to compare two campaigns for
+// corpus-identity without copying their results.
+func (c *Campaign) Fingerprint() uint64 {
+	return c.f.res.Fingerprint()
+}

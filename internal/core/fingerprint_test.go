@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subjects/expr"
+)
+
+// TestFingerprintIdentity: equal campaigns hash equal, and the hash
+// is sensitive to each component of the emission record.
+func TestFingerprintIdentity(t *testing.T) {
+	cfg := Config{Seed: 9, MaxExecs: 2000}
+	a := New(expr.New(), cfg).Run()
+	b := New(expr.New(), cfg).Run()
+	if len(a.Valids) == 0 {
+		t.Fatal("reference campaign emitted nothing")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical campaigns produced different fingerprints")
+	}
+
+	base := a.Fingerprint()
+	perturb := []struct {
+		name string
+		f    func(r Result) Result
+	}{
+		{"execs", func(r Result) Result { r.Execs++; return r }},
+		{"valid input", func(r Result) Result {
+			v := append([]Valid(nil), r.Valids...)
+			v[0].Input = append([]byte("x"), v[0].Input...)
+			r.Valids = v
+			return r
+		}},
+		{"valid exec index", func(r Result) Result {
+			v := append([]Valid(nil), r.Valids...)
+			v[0].Exec++
+			r.Valids = v
+			return r
+		}},
+		{"dropped valid", func(r Result) Result { r.Valids = r.Valids[:len(r.Valids)-1]; return r }},
+		{"coverage", func(r Result) Result {
+			c := map[uint32]bool{1 << 30: true}
+			for id := range r.Coverage {
+				c[id] = true
+			}
+			r.Coverage = c
+			return r
+		}},
+	}
+	for _, p := range perturb {
+		mod := p.f(*a)
+		if mod.Fingerprint() == base {
+			t.Errorf("fingerprint ignored a change to %s", p.name)
+		}
+	}
+}
+
+// TestCampaignFingerprintMatchesResult: the Campaign-level hook reads
+// the same hash as its Result.
+func TestCampaignFingerprintMatchesResult(t *testing.T) {
+	c := NewCampaign(expr.New(), Config{Seed: 9, MaxExecs: 1500})
+	for {
+		if spent, more := c.Step(400); !more || spent == 0 {
+			break
+		}
+	}
+	if c.Fingerprint() != c.Result().Fingerprint() {
+		t.Error("Campaign.Fingerprint disagrees with Result.Fingerprint")
+	}
+}

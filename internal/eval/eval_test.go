@@ -250,3 +250,25 @@ func TestReportsRender(t *testing.T) {
 		t.Errorf("CSV rows = %d, want %d", len(csv), len(results)+1)
 	}
 }
+
+// TestGrammarZooSubjectsProduceValids: the four grammar-zoo subjects
+// run through the same matrix machinery as the paper's five, and the
+// pFuzzer campaign finds valid inputs on each of them at a small
+// budget — the guarantee behind the 11-subject matrix row of
+// EXPERIMENTS.md §8.
+func TestGrammarZooSubjectsProduceValids(t *testing.T) {
+	b := Budget{PFuzzerExecs: 20000, Runs: 1, Seed: 1}
+	for _, name := range []string{"urlp", "sexpr", "httpreq", "dotg"} {
+		e, ok := registry.Get(name)
+		if !ok {
+			t.Fatalf("subject %q not registered", name)
+		}
+		r := Run(e, PFuzzer, b)
+		if len(r.Valids) == 0 {
+			t.Errorf("%s: pFuzzer found no valid inputs in %d execs", name, b.PFuzzerExecs)
+		}
+		if r.TokenCov.FoundCount() == 0 {
+			t.Errorf("%s: no inventory tokens covered", name)
+		}
+	}
+}

@@ -1,18 +1,30 @@
 // Package registry wires every subject to its token inventory and
 // tokenizer, so the evaluation harness, commands and benchmarks can
-// iterate over the paper's Table 1 uniformly.
+// iterate over the paper's Table 1 uniformly. Entries pass through
+// Register, which validates the contract every engine layer assumes
+// (see internal/conformance for the machine-checked half) and rejects
+// duplicates instead of silently shadowing an existing subject; the
+// built-in groups register at package init and an invalid built-in is
+// a panic at startup, not a misbehaving campaign later.
 package registry
 
 import (
+	"fmt"
+	"sync"
+
 	"pfuzzer/internal/mine"
 	"pfuzzer/internal/subject"
 	"pfuzzer/internal/subjects/cjson"
 	"pfuzzer/internal/subjects/csvp"
+	"pfuzzer/internal/subjects/dotg"
 	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/subjects/httpreq"
 	"pfuzzer/internal/subjects/ini"
 	"pfuzzer/internal/subjects/mjs"
 	"pfuzzer/internal/subjects/paren"
+	"pfuzzer/internal/subjects/sexpr"
 	"pfuzzer/internal/subjects/tinyc"
+	"pfuzzer/internal/subjects/urlp"
 	"pfuzzer/internal/tokens"
 )
 
@@ -41,14 +53,97 @@ type Entry struct {
 	Accessed string
 }
 
-// wordNames extracts the keyword-like names (letter-initial, length
-// >= 2) from an inventory, the word set a mining lexer should treat
-// as distinct token classes.
+// registered is the subject table: an insertion-ordered slice (the
+// iteration order of All and the evaluation matrix) plus a name
+// index. The mutex makes Register safe beside concurrent lookups —
+// user code may register subjects lazily while fleet workers resolve
+// entries.
+var (
+	mu         sync.RWMutex
+	registered []Entry
+	byName     = map[string]int{}
+)
+
+// Validate checks the parts of the registry contract a lookup can
+// check: a non-empty name, a constructor whose Program echoes the
+// entry's name and reports instrumented blocks, a non-empty token
+// inventory, a tokenizer, and a mining lexer. The behavioural half of
+// the contract — determinism, prefix rejection, lexer round-trip,
+// engine agreement — is machine-checked by internal/conformance.
+func Validate(e Entry) error {
+	if e.Name == "" {
+		return fmt.Errorf("registry: entry with empty name")
+	}
+	if e.New == nil {
+		return fmt.Errorf("registry: %s: nil constructor", e.Name)
+	}
+	prog := e.New()
+	if prog == nil {
+		return fmt.Errorf("registry: %s: constructor returned nil", e.Name)
+	}
+	if prog.Name() != e.Name {
+		return fmt.Errorf("registry: %s: constructor builds a program named %q", e.Name, prog.Name())
+	}
+	if prog.Blocks() <= 0 {
+		return fmt.Errorf("registry: %s: no instrumented blocks", e.Name)
+	}
+	if e.Inventory.Count() == 0 {
+		return fmt.Errorf("registry: %s: empty token inventory", e.Name)
+	}
+	if e.Tokenize == nil {
+		return fmt.Errorf("registry: %s: nil tokenizer", e.Name)
+	}
+	if e.Lexer == nil {
+		return fmt.Errorf("registry: %s: nil mining lexer", e.Name)
+	}
+	return nil
+}
+
+// Register validates e and adds it to the subject table. A duplicate
+// name is an error — the previous behaviour of silently shadowing an
+// entry hid wiring mistakes until a campaign ran the wrong parser.
+func Register(e Entry) error {
+	if err := Validate(e); err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := byName[e.Name]; dup {
+		return fmt.Errorf("registry: duplicate subject %q", e.Name)
+	}
+	byName[e.Name] = len(registered)
+	registered = append(registered, e)
+	return nil
+}
+
+// MustRegister is Register for init-time wiring: it panics on error.
+func MustRegister(e Entry) {
+	if err := Register(e); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	for _, group := range [][]Entry{Paper(), Extra(), Grammar()} {
+		for _, e := range group {
+			MustRegister(e)
+		}
+	}
+}
+
+// wordNames extracts the keyword names (letter-initial literals of
+// length >= 2) from an inventory, the word set a mining lexer should
+// treat as distinct token classes. Open-class entries (identifier,
+// number, string, …) are excluded — a Lit's Len always equals its
+// spelling length while the Class entries count under a different
+// length — so an input containing the literal word "number" does not
+// collide with the lexer's own number class.
 func wordNames(inv tokens.Inventory) []string {
 	var out []string
 	for _, t := range inv {
-		if len(t.Name) >= 2 && (t.Name[0] >= 'a' && t.Name[0] <= 'z' ||
-			t.Name[0] >= 'A' && t.Name[0] <= 'Z') {
+		if len(t.Name) >= 2 && t.Len == len(t.Name) &&
+			(t.Name[0] >= 'a' && t.Name[0] <= 'z' ||
+				t.Name[0] >= 'A' && t.Name[0] <= 'Z') {
 			out = append(out, t.Name)
 		}
 	}
@@ -94,24 +189,55 @@ func Extra() []Entry {
 	}
 }
 
-// All returns every registered subject.
-func All() []Entry { return append(Paper(), Extra()...) }
+// Grammar returns the grammar-zoo subjects added beyond the paper's
+// evaluation: an RFC-3986-ish URL parser, a Lisp s-expression reader,
+// an HTTP/1.1 request-head parser and a Graphviz DOT subset. They
+// broaden the token vocabularies the engines are exercised against
+// and all pass the internal/conformance kit.
+func Grammar() []Entry {
+	return []Entry{
+		{Name: "urlp", New: func() subject.Program { return urlp.New() },
+			Inventory: urlp.Inventory, Tokenize: urlp.Tokenize,
+			Lexer: mine.SimpleLexer(wordNames(urlp.Inventory))},
+		{Name: "sexpr", New: func() subject.Program { return sexpr.New() },
+			Inventory: sexpr.Inventory, Tokenize: sexpr.Tokenize,
+			Lexer: mine.SimpleLexer(wordNames(sexpr.Inventory))},
+		{Name: "httpreq", New: func() subject.Program { return httpreq.New() },
+			Inventory: httpreq.Inventory, Tokenize: httpreq.Tokenize,
+			Lexer: mine.DelimLexer(" :/?=&\n", "text")},
+		{Name: "dotg", New: func() subject.Program { return dotg.New() },
+			Inventory: dotg.Inventory, Tokenize: dotg.Tokenize,
+			Lexer: mine.SimpleLexer(wordNames(dotg.Inventory))},
+	}
+}
+
+// All returns every registered subject in registration order.
+func All() []Entry {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Entry, len(registered))
+	copy(out, registered)
+	return out
+}
 
 // Get returns the entry with the given name.
 func Get(name string) (Entry, bool) {
-	for _, e := range All() {
-		if e.Name == name {
-			return e, true
-		}
+	mu.RLock()
+	defer mu.RUnlock()
+	i, ok := byName[name]
+	if !ok {
+		return Entry{}, false
 	}
-	return Entry{}, false
+	return registered[i], true
 }
 
 // Names returns the names of all registered subjects.
 func Names() []string {
-	var out []string
-	for _, e := range All() {
-		out = append(out, e.Name)
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, len(registered))
+	for i, e := range registered {
+		out[i] = e.Name
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"strings"
 	"testing"
 
 	"pfuzzer/internal/subject"
@@ -49,6 +50,84 @@ func TestEntriesAreComplete(t *testing.T) {
 		// Every entry must be runnable through the common interface.
 		rec := subject.Execute(prog, []byte("x"), trace.Full())
 		_ = rec
+	}
+}
+
+// TestGrammarSubjectsRegistered pins the grammar-zoo group: the four
+// extra subjects are registered, in order, after the paper and extra
+// groups.
+func TestGrammarSubjectsRegistered(t *testing.T) {
+	names := Names()
+	want := []string{"ini", "csv", "cjson", "tinyc", "mjs", "expr", "paren",
+		"urlp", "sexpr", "httpreq", "dotg"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+// TestRegisterRejectsInvalidEntries: registration validates the
+// lookup half of the subject contract instead of silently accepting
+// a broken entry.
+func TestRegisterRejectsInvalidEntries(t *testing.T) {
+	valid := Extra()[0] // expr, a known-good entry
+	// Validation runs before the duplicate check, so reusing the
+	// valid entry's name still exercises each specific failure; the
+	// name is only changed in the case that tests name agreement
+	// itself.
+	cases := []struct {
+		name   string
+		errHas string
+		mutate func(e Entry) Entry
+	}{
+		{"empty name", "empty name", func(e Entry) Entry { e.Name = ""; return e }},
+		{"nil constructor", "nil constructor", func(e Entry) Entry { e.New = nil; return e }},
+		{"mismatched program name", "program named", func(e Entry) Entry { e.Name = "not-expr"; return e }},
+		{"empty inventory", "inventory", func(e Entry) Entry { e.Inventory = nil; return e }},
+		{"nil tokenizer", "tokenizer", func(e Entry) Entry { e.Tokenize = nil; return e }},
+		{"nil lexer", "lexer", func(e Entry) Entry { e.Lexer = nil; return e }},
+	}
+	before := len(All())
+	for _, c := range cases {
+		e := c.mutate(valid)
+		err := Register(e)
+		if err == nil {
+			t.Errorf("Register accepted entry with %s", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errHas) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.errHas)
+		}
+	}
+	// The invalid attempts must not have leaked into the table.
+	if got := len(All()); got != before {
+		t.Errorf("rejected entries changed the table size: %d -> %d", before, got)
+	}
+}
+
+// TestRegisterRejectsDuplicates: a second entry under an existing
+// name is an error, not a silent overwrite.
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	e := Extra()[0]
+	if err := Register(e); err == nil {
+		t.Fatalf("re-registering %q did not fail", e.Name)
+	}
+	// The original wiring must be intact.
+	got, ok := Get(e.Name)
+	if !ok || got.New().Name() != e.Name {
+		t.Errorf("duplicate rejection disturbed the existing %q entry", e.Name)
+	}
+}
+
+func TestValidateAcceptsAllBuiltins(t *testing.T) {
+	for _, e := range All() {
+		if err := Validate(e); err != nil {
+			t.Errorf("built-in %s fails validation: %v", e.Name, err)
+		}
 	}
 }
 

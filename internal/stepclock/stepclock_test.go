@@ -1,0 +1,101 @@
+package stepclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestZeroValueAccountsNothing: the zero Clock has no accrued time,
+// so no deadline — however small — reads as exceeded before the first
+// step. This is the regression surface of the zero-time deadline bug
+// (a fresh campaign must actually run).
+func TestZeroValueAccountsNothing(t *testing.T) {
+	var c Clock
+	if c.Active() != 0 {
+		t.Errorf("zero clock Active = %v, want 0", c.Active())
+	}
+	if c.Exceeded(time.Nanosecond) {
+		t.Error("zero clock exceeded a 1ns deadline before any step")
+	}
+	if c.Exceeded(time.Hour) {
+		t.Error("zero clock exceeded a 1h deadline before any step")
+	}
+}
+
+// TestZeroDeadlineNeverExceeded: deadline <= 0 means "no deadline",
+// even after time has accrued.
+func TestZeroDeadlineNeverExceeded(t *testing.T) {
+	var c Clock
+	c.Load(time.Hour)
+	if c.Exceeded(0) {
+		t.Error("deadline 0 read as exceeded")
+	}
+	if c.Exceeded(-time.Second) {
+		t.Error("negative deadline read as exceeded")
+	}
+	if !c.Exceeded(time.Minute) {
+		t.Error("1m deadline not exceeded after loading 1h of active time")
+	}
+}
+
+// TestStepAccumulates: active time grows across steps, includes the
+// running step's share, and StepEnd returns the running total.
+func TestStepAccumulates(t *testing.T) {
+	var c Clock
+	c.StepBegin()
+	time.Sleep(time.Millisecond)
+	first := c.StepEnd()
+	if first <= 0 {
+		t.Fatalf("first StepEnd = %v, want > 0", first)
+	}
+	if got := c.Active(); got != first {
+		t.Errorf("Active between steps = %v, want the StepEnd total %v", got, first)
+	}
+
+	c.StepBegin()
+	time.Sleep(time.Millisecond)
+	if got := c.Active(); got <= first {
+		t.Errorf("Active during second step = %v, want > %v (running share counted)", got, first)
+	}
+	second := c.StepEnd()
+	if second <= first {
+		t.Errorf("second StepEnd = %v, want > first total %v", second, first)
+	}
+}
+
+// TestParkedTimeDoesNotCount: a zero-duration step accrues (almost)
+// nothing, and the time parked between StepEnd and the next StepBegin
+// is never charged — the property that keeps fleet queue wait out of
+// campaign deadlines.
+func TestParkedTimeDoesNotCount(t *testing.T) {
+	var c Clock
+	c.StepBegin()
+	base := c.StepEnd() // immediate: an (effectively) zero-duration step
+	time.Sleep(2 * time.Millisecond)
+	if got := c.Active(); got != base {
+		t.Errorf("parked time leaked into Active: %v != %v", got, base)
+	}
+	c.StepBegin()
+	total := c.StepEnd()
+	if park := total - base; park > time.Millisecond {
+		t.Errorf("second zero-duration step charged %v, parked time leaked", park)
+	}
+}
+
+// TestLoadSeedsResumedCampaigns: Load replaces the accrued total (the
+// snapshot-restore path) and subsequent steps extend it.
+func TestLoadSeedsResumedCampaigns(t *testing.T) {
+	var c Clock
+	c.Load(3 * time.Second)
+	if got := c.Active(); got != 3*time.Second {
+		t.Errorf("Active after Load = %v, want 3s", got)
+	}
+	if !c.Exceeded(2 * time.Second) {
+		t.Error("loaded time not counted against the deadline")
+	}
+	c.StepBegin()
+	time.Sleep(time.Millisecond)
+	if got := c.StepEnd(); got <= 3*time.Second {
+		t.Errorf("StepEnd after Load = %v, want > 3s", got)
+	}
+}

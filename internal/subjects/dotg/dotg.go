@@ -1,0 +1,436 @@
+// Package dotg is a Graphviz DOT subset parser subject:
+//
+//	graph   := ["strict"] ("graph" | "digraph") [id] "{" stmt* "}"
+//	stmt    := ("node" | "edge") attrs [";"]
+//	         | id (edgeop id)* [attrs] [";"]
+//	attrs   := "[" [id "=" id {"," id "=" id}] "]"
+//	edgeop  := "->" in a digraph, "--" in a graph
+//	id      := (letter|"_") (letter|digit|"_")* | digit+
+//
+// The lexer runs interleaved with the parser, tinyC-style, and
+// recognizes the five keywords by wrapped strcmp over the accumulated
+// word (§7.2) — which is what exposes "strict", "graph", "digraph",
+// "node" and "edge" to the fuzzer as whole-token substitutions. Using
+// the undirected edge operator in a digraph (or vice versa) is an
+// error, as in real DOT. Parsing aborts with a non-zero exit on the
+// first malformed token (§5.1 setup).
+package dotg
+
+import (
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/taint"
+	"pfuzzer/internal/tokens"
+	"pfuzzer/internal/trace"
+)
+
+const (
+	blkStart = iota
+	blkLexSym
+	blkLexArrow
+	blkLexDash2
+	blkLexNum
+	blkLexWord
+	blkLexID
+	blkKwStrict
+	blkKwGraph
+	blkKwDigraph
+	blkKwNode
+	blkKwEdge
+	blkGraphName
+	blkBody
+	blkNodeStmt
+	blkEdgeHop
+	blkDefaults
+	blkAttrs
+	blkAttrPair
+	blkAttrComma
+	blkAttrsClose
+	blkSemi
+	blkAccept
+	blkRejectTok
+	blkRejectHead
+	blkRejectStmt
+	blkRejectEdgeOp
+	blkRejectAttr
+	blkRejectTrail
+	numBlocks
+)
+
+// Program is the dotg subject.
+type Program struct{}
+
+// New returns the dotg subject.
+func New() *Program { return &Program{} }
+
+// Name implements subject.Program.
+func (*Program) Name() string { return "dotg" }
+
+// Blocks implements subject.Program.
+func (*Program) Blocks() int { return numBlocks }
+
+// Run parses the whole input as one graph.
+func (*Program) Run(t *trace.Tracer) int {
+	p := &parser{t: t}
+	t.Block(blkStart)
+	p.next()
+	if p.tok == tokStrict {
+		t.Block(blkKwStrict)
+		p.next()
+	}
+	directed := false
+	switch p.tok {
+	case tokDigraph:
+		t.Block(blkKwDigraph)
+		directed = true
+		p.next()
+	case tokGraph:
+		t.Block(blkKwGraph)
+		p.next()
+	default:
+		t.Block(blkRejectHead)
+		return subject.ExitReject
+	}
+	if p.tok == tokID || p.tok == tokNum {
+		t.Block(blkGraphName)
+		p.next()
+	}
+	if p.tok != tokLbrace {
+		t.Block(blkRejectHead)
+		return subject.ExitReject
+	}
+	p.next()
+	for p.tok != tokRbrace {
+		if p.tok == tokEOF || p.tok == tokErr {
+			t.Block(blkRejectStmt)
+			return subject.ExitReject
+		}
+		t.Block(blkBody)
+		if !p.stmt(directed) {
+			return subject.ExitReject
+		}
+	}
+	p.next() // consume '}'; at EOF this probes ahead for the fuzzer
+	if p.tok != tokEOF {
+		t.Block(blkRejectTrail)
+		return subject.ExitReject
+	}
+	t.Block(blkAccept)
+	return subject.ExitOK
+}
+
+// Token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokErr
+	tokStrict
+	tokGraph
+	tokDigraph
+	tokNode
+	tokEdge
+	tokID
+	tokNum
+	tokLbrace
+	tokRbrace
+	tokLbracket
+	tokRbracket
+	tokEq
+	tokSemi
+	tokComma
+	tokArrow // ->
+	tokDash2 // --
+)
+
+type parser struct {
+	t   *trace.Tracer
+	pos int
+	tok tokKind
+}
+
+// next is the interleaved lexer.
+func (p *parser) next() {
+	// Skip whitespace (isspace-style table lookup, untracked).
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			p.tok = tokEOF
+			return
+		}
+		if c.B != ' ' && c.B != '\t' && c.B != '\n' && c.B != '\r' {
+			break
+		}
+		p.pos++
+	}
+	c, _ := p.t.At(p.pos)
+	switch {
+	case p.t.CharEq(c, '{'):
+		p.sym(tokLbrace)
+	case p.t.CharEq(c, '}'):
+		p.sym(tokRbrace)
+	case p.t.CharEq(c, '['):
+		p.sym(tokLbracket)
+	case p.t.CharEq(c, ']'):
+		p.sym(tokRbracket)
+	case p.t.CharEq(c, '='):
+		p.sym(tokEq)
+	case p.t.CharEq(c, ';'):
+		p.sym(tokSemi)
+	case p.t.CharEq(c, ','):
+		p.sym(tokComma)
+	case p.t.CharEq(c, '-'):
+		p.pos++
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			p.t.Block(blkRejectTok)
+			p.tok = tokErr
+			return
+		}
+		if p.t.CharEq(c, '>') {
+			p.t.Block(blkLexArrow)
+			p.pos++
+			p.tok = tokArrow
+			return
+		}
+		if p.t.CharEq(c, '-') {
+			p.t.Block(blkLexDash2)
+			p.pos++
+			p.tok = tokDash2
+			return
+		}
+		p.t.Block(blkRejectTok)
+		p.tok = tokErr
+	case p.t.CharRange(c, '0', '9'):
+		p.t.Block(blkLexNum)
+		for {
+			c, ok := p.t.At(p.pos)
+			if !ok || !p.t.CharRange(c, '0', '9') {
+				break
+			}
+			p.pos++
+		}
+		p.tok = tokNum
+	case p.t.CharRange(c, 'a', 'z') || p.t.CharRange(c, 'A', 'Z') || p.t.CharEq(c, '_'):
+		p.t.Block(blkLexWord)
+		var word taint.String
+		word = word.Append(c)
+		p.pos++
+		for {
+			c, ok := p.t.At(p.pos)
+			if !ok {
+				break
+			}
+			if !p.t.CharRange(c, 'a', 'z') && !p.t.CharRange(c, 'A', 'Z') &&
+				!p.t.CharRange(c, '0', '9') && !p.t.CharEq(c, '_') {
+				break
+			}
+			word = word.Append(c)
+			p.pos++
+		}
+		p.word(word)
+	default:
+		p.t.Block(blkRejectTok)
+		p.tok = tokErr
+	}
+}
+
+func (p *parser) sym(k tokKind) {
+	p.t.Block(blkLexSym)
+	p.pos++
+	p.tok = k
+}
+
+// word classifies an accumulated word: keyword via wrapped strcmp
+// (DOT's case-insensitive keyword table, simplified to lowercase),
+// else an identifier.
+func (p *parser) word(w taint.String) {
+	switch {
+	case p.t.StrEq(w, "strict"):
+		p.tok = tokStrict
+	case p.t.StrEq(w, "graph"):
+		p.tok = tokGraph
+	case p.t.StrEq(w, "digraph"):
+		p.tok = tokDigraph
+	case p.t.StrEq(w, "node"):
+		p.tok = tokNode
+	case p.t.StrEq(w, "edge"):
+		p.tok = tokEdge
+	default:
+		p.t.Block(blkLexID)
+		p.tok = tokID
+	}
+}
+
+// stmt parses one statement inside the braces.
+func (p *parser) stmt(directed bool) bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	switch p.tok {
+	case tokNode:
+		p.t.Block(blkKwNode)
+		p.t.Block(blkDefaults)
+		p.next()
+		if !p.attrs() {
+			return false
+		}
+	case tokEdge:
+		p.t.Block(blkKwEdge)
+		p.t.Block(blkDefaults)
+		p.next()
+		if !p.attrs() {
+			return false
+		}
+	case tokID, tokNum:
+		p.t.Block(blkNodeStmt)
+		p.next()
+		for p.tok == tokArrow || p.tok == tokDash2 {
+			if (directed && p.tok != tokArrow) || (!directed && p.tok != tokDash2) {
+				p.t.Block(blkRejectEdgeOp)
+				return false // wrong edge operator for the graph kind
+			}
+			p.t.Block(blkEdgeHop)
+			p.next()
+			if p.tok != tokID && p.tok != tokNum {
+				p.t.Block(blkRejectStmt)
+				return false
+			}
+			p.next()
+		}
+		if p.tok == tokLbracket {
+			if !p.attrs() {
+				return false
+			}
+		}
+	default:
+		p.t.Block(blkRejectStmt)
+		return false
+	}
+	if p.tok == tokSemi {
+		p.t.Block(blkSemi)
+		p.next()
+	}
+	return true
+}
+
+// attrs parses "[" [id "=" id {"," id "=" id}] "]".
+func (p *parser) attrs() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	if p.tok != tokLbracket {
+		p.t.Block(blkRejectAttr)
+		return false
+	}
+	p.t.Block(blkAttrs)
+	p.next()
+	if p.tok == tokRbracket {
+		p.t.Block(blkAttrsClose)
+		p.next()
+		return true
+	}
+	for {
+		if p.tok != tokID && p.tok != tokNum {
+			p.t.Block(blkRejectAttr)
+			return false
+		}
+		p.next()
+		if p.tok != tokEq {
+			p.t.Block(blkRejectAttr)
+			return false
+		}
+		p.next()
+		if p.tok != tokID && p.tok != tokNum {
+			p.t.Block(blkRejectAttr)
+			return false
+		}
+		p.t.Block(blkAttrPair)
+		p.next()
+		if p.tok == tokComma {
+			p.t.Block(blkAttrComma)
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.tok != tokRbracket {
+		p.t.Block(blkRejectAttr)
+		return false
+	}
+	p.t.Block(blkAttrsClose)
+	p.next()
+	return true
+}
+
+// Inventory lists the dotg tokens: five keywords recognized by
+// strcmp, the structural delimiters including the two edge operators,
+// and the open identifier classes.
+var Inventory = tokens.Inventory{
+	tokens.Lit("strict"),
+	tokens.Lit("graph"),
+	tokens.Lit("digraph"),
+	tokens.Lit("node"),
+	tokens.Lit("edge"),
+	tokens.Lit("{"),
+	tokens.Lit("}"),
+	tokens.Lit("["),
+	tokens.Lit("]"),
+	tokens.Lit("="),
+	tokens.Lit(";"),
+	tokens.Lit(","),
+	tokens.Lit("->"),
+	tokens.Lit("--"),
+	tokens.Class("id", 1),
+	tokens.Class("number", 1),
+}
+
+// Tokenize returns the inventory tokens present in input.
+func Tokenize(input []byte) map[string]bool {
+	out := map[string]bool{}
+	kw := map[string]bool{"strict": true, "graph": true, "digraph": true,
+		"node": true, "edge": true}
+	i := 0
+	for i < len(input) {
+		b := input[i]
+		switch {
+		case b == '{' || b == '}' || b == '[' || b == ']' || b == '=' ||
+			b == ';' || b == ',':
+			out[string(b)] = true
+			i++
+		case b == '-':
+			if i+1 < len(input) && input[i+1] == '>' {
+				out["->"] = true
+				i += 2
+			} else if i+1 < len(input) && input[i+1] == '-' {
+				out["--"] = true
+				i += 2
+			} else {
+				i++
+			}
+		case b >= '0' && b <= '9':
+			out["number"] = true
+			for i < len(input) && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+		case isWordByte(b):
+			j := i
+			for j < len(input) && (isWordByte(input[j]) || input[j] >= '0' && input[j] <= '9') {
+				j++
+			}
+			w := string(input[i:j])
+			if kw[w] {
+				out[w] = true
+			} else {
+				out["id"] = true
+			}
+			i = j
+		default:
+			i++
+		}
+	}
+	return out
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b == '_'
+}

@@ -1,0 +1,187 @@
+package dotg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+func run(in string) *trace.Record {
+	return subject.Execute(New(), []byte(in), trace.Full())
+}
+
+func TestNameAndBlocks(t *testing.T) {
+	p := New()
+	if p.Name() != "dotg" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Blocks() <= 0 {
+		t.Errorf("Blocks = %d", p.Blocks())
+	}
+}
+
+func TestAcceptReject(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"graph{}", true},
+		{"digraph{}", true},
+		{"strict graph g {}", true},
+		{"digraph g { a; }", true},
+		{"digraph { a -> b; b -> c }", true},
+		{"graph { a -- b -- c; }", true},
+		{"digraph { n [label=x]; a -> b [w=2] }", true},
+		{"graph g { node [shape=box, color=red]; edge [w=1]; a -- b }", true},
+		{"digraph { 1 -> 2 }", true},
+		{"  graph \n g \t { a } ", true},
+		{"", false},
+		{"graph", false},
+		{"graph {", false},
+		{"blah {}", false},          // unknown head keyword
+		{"graph { a -> b }", false}, // directed edge in an undirected graph
+		{"digraph { a -- b }", false},
+		{"graph {} x", false},        // trailing garbage
+		{"graph { a - b }", false},   // lone dash
+		{"digraph { [x=y] }", false}, // attrs without a subject
+		{"digraph { n [x] }", false}, // attr without '='
+		{"graph g g {}", false},      // two graph names
+	}
+	for _, c := range cases {
+		if got := run(c.in).Accepted(); got != c.ok {
+			t.Errorf("%q accepted=%v, want %v", c.in, got, c.ok)
+		}
+	}
+}
+
+// TestRejectionLeavesEvidence: every rejected input must record a
+// comparison or an EOF access for the fuzzer to act on.
+func TestRejectionLeavesEvidence(t *testing.T) {
+	for _, in := range []string{"", "g", "graph", "graph {", "graph { a -> b }", "#"} {
+		rec := run(in)
+		if rec.Accepted() {
+			t.Errorf("%q unexpectedly accepted", in)
+			continue
+		}
+		if len(rec.Comparisons) == 0 && len(rec.EOFs) == 0 {
+			t.Errorf("rejection of %q recorded no comparisons and no EOF accesses", in)
+		}
+	}
+}
+
+// TestWordComparisonsExposeKeywords: the strcmp wrapping must surface
+// the DOT keywords as substitution candidates.
+func TestWordComparisonsExposeKeywords(t *testing.T) {
+	rec := run("x")
+	var seen []string
+	for _, c := range rec.Comparisons {
+		if c.Kind == trace.CmpStrEq {
+			seen = append(seen, string(c.Expected))
+		}
+	}
+	joined := strings.Join(seen, " ")
+	for _, want := range []string{"strict", "graph", "digraph", "node", "edge"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("keyword %q not exposed by strcmp (saw %q)", want, joined)
+		}
+	}
+}
+
+func genID(rng *rand.Rand) string {
+	if rng.Intn(4) == 0 {
+		return fmt.Sprintf("%d", rng.Intn(100))
+	}
+	return []string{"a", "bb", "n1", "x_y", "Z"}[rng.Intn(5)]
+}
+
+func genGraph(rng *rand.Rand) string {
+	directed := rng.Intn(2) == 0
+	op, kw := " -- ", "graph"
+	if directed {
+		op, kw = " -> ", "digraph"
+	}
+	var sb strings.Builder
+	if rng.Intn(3) == 0 {
+		sb.WriteString("strict ")
+	}
+	sb.WriteString(kw)
+	if rng.Intn(2) == 0 {
+		sb.WriteString(" ")
+		sb.WriteString(genID(rng))
+	}
+	sb.WriteString(" { ")
+	attrs := func() string {
+		n := rng.Intn(3)
+		if n == 0 {
+			return " []"
+		}
+		pairs := make([]string, n)
+		for i := range pairs {
+			pairs[i] = genID(rng) + "=" + genID(rng)
+		}
+		return " [" + strings.Join(pairs, ", ") + "]"
+	}
+	for n := rng.Intn(4); n > 0; n-- {
+		switch rng.Intn(4) {
+		case 0:
+			sb.WriteString([]string{"node", "edge"}[rng.Intn(2)])
+			sb.WriteString(attrs())
+		case 1:
+			sb.WriteString(genID(rng))
+		default:
+			sb.WriteString(genID(rng))
+			for h := 1 + rng.Intn(2); h > 0; h-- {
+				sb.WriteString(op)
+				sb.WriteString(genID(rng))
+			}
+			if rng.Intn(3) == 0 {
+				sb.WriteString(attrs())
+			}
+		}
+		if rng.Intn(2) == 0 {
+			sb.WriteString(";")
+		}
+		sb.WriteString(" ")
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+func TestAcceptsGeneratedGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for i := 0; i < 500; i++ {
+		in := genGraph(rng)
+		if !run(in).Accepted() {
+			t.Fatalf("generated graph rejected: %q", in)
+		}
+	}
+}
+
+// TestTokenizeStaysInInventory: Tokenize must only report inventory
+// names, and must see planted keywords and edge operators.
+func TestTokenizeStaysInInventory(t *testing.T) {
+	names := Inventory.Names()
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 200; i++ {
+		in := genGraph(rng)
+		got := Tokenize([]byte(in))
+		if len(got) == 0 {
+			t.Fatalf("no tokens in %q", in)
+		}
+		for tok := range got {
+			if !names[tok] {
+				t.Fatalf("tokenizer reported %q, not in inventory (input %q)", tok, in)
+			}
+		}
+	}
+	got := Tokenize([]byte("digraph g { a -> b [x=1]; }"))
+	for _, want := range []string{"digraph", "->", "{", "}", "[", "]", "=", ";", "id", "number"} {
+		if !got[want] {
+			t.Errorf("Tokenize missed %q: %v", want, got)
+		}
+	}
+}

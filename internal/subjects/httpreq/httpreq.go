@@ -1,0 +1,377 @@
+// Package httpreq is an HTTP/1.1 request-head parser subject: a
+// request line `METHOD SP origin-form-target SP HTTP-version EOL`
+// followed by zero or more `Name: value EOL` header fields, optionally
+// terminated by a blank line (which must end the input — bodies are
+// out of scope). EOLs are LF with an optional preceding CR. Methods
+// and the HTTP version are recognized by wrapped strcmp over the
+// accumulated word — the comparisons that expose "GET", "DELETE",
+// "OPTIONS" and "HTTP/1.1" to the fuzzer as whole-token substitutions
+// (§6.2); unknown methods and versions are rejected. Parsing aborts
+// with a non-zero exit on the first malformed character (§5.1 setup).
+package httpreq
+
+import (
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/taint"
+	"pfuzzer/internal/tokens"
+	"pfuzzer/internal/trace"
+)
+
+const (
+	blkStart = iota
+	blkMethodChar
+	blkGet
+	blkPost
+	blkPut
+	blkDelete
+	blkHead
+	blkOptions
+	blkSpace1
+	blkTargetSlash
+	blkTargetChar
+	blkSpace2
+	blkVersionChar
+	blkHTTP11
+	blkHTTP10
+	blkEOL
+	blkHeader
+	blkHeaderNameChar
+	blkHeaderColon
+	blkHeaderValueChar
+	blkEnd
+	blkAccept
+	blkRejectEmpty
+	blkRejectMethod
+	blkRejectTarget
+	blkRejectVersion
+	blkRejectEOL
+	blkRejectHeader
+	blkRejectTrail
+	numBlocks
+)
+
+// Program is the httpreq subject.
+type Program struct{}
+
+// New returns the httpreq subject.
+func New() *Program { return &Program{} }
+
+// Name implements subject.Program.
+func (*Program) Name() string { return "httpreq" }
+
+// Blocks implements subject.Program.
+func (*Program) Blocks() int { return numBlocks }
+
+// Run parses the whole input as one request head.
+func (*Program) Run(t *trace.Tracer) int {
+	p := &parser{t: t}
+	t.Block(blkStart)
+	if t.Len() == 0 {
+		// Force an EOF access so the fuzzer learns to append.
+		t.At(0)
+		t.Block(blkRejectEmpty)
+		return subject.ExitReject
+	}
+	if !p.requestLine() {
+		return subject.ExitReject
+	}
+	for {
+		c, ok := t.At(p.pos) // EOF here: head without terminator, extendable
+		if !ok {
+			break
+		}
+		if p.t.CharEq(c, '\r') || p.t.CharEq(c, '\n') {
+			// Blank line: the header block's terminator, which must
+			// end the input (no body support).
+			if !p.eol() {
+				return subject.ExitReject
+			}
+			if _, ok := t.At(p.pos); ok {
+				t.Block(blkRejectTrail)
+				return subject.ExitReject
+			}
+			t.Block(blkEnd)
+			break
+		}
+		if !p.header() {
+			return subject.ExitReject
+		}
+	}
+	t.Block(blkAccept)
+	return subject.ExitOK
+}
+
+type parser struct {
+	t   *trace.Tracer
+	pos int
+}
+
+// requestLine parses `method SP "/" target SP version EOL`.
+func (p *parser) requestLine() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	// Method: a run of uppercase letters, matched against the known
+	// methods by wrapped strcmp.
+	var word taint.String
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			break
+		}
+		if !p.t.CharRange(c, 'A', 'Z') {
+			break
+		}
+		p.t.Block(blkMethodChar)
+		word = word.Append(c)
+		p.pos++
+	}
+	if len(word) == 0 {
+		p.t.Block(blkRejectMethod)
+		return false
+	}
+	switch {
+	case p.t.StrEq(word, "GET"):
+		p.t.Block(blkGet)
+	case p.t.StrEq(word, "POST"):
+		p.t.Block(blkPost)
+	case p.t.StrEq(word, "PUT"):
+		p.t.Block(blkPut)
+	case p.t.StrEq(word, "DELETE"):
+		p.t.Block(blkDelete)
+	case p.t.StrEq(word, "HEAD"):
+		p.t.Block(blkHead)
+	case p.t.StrEq(word, "OPTIONS"):
+		p.t.Block(blkOptions)
+	default:
+		p.t.Block(blkRejectMethod)
+		return false
+	}
+	c, ok := p.t.At(p.pos)
+	if !ok || !p.t.CharEq(c, ' ') {
+		p.t.Block(blkRejectTarget)
+		return false
+	}
+	p.t.Block(blkSpace1)
+	p.pos++
+
+	// Target: origin-form, "/" followed by path and query characters.
+	c, ok = p.t.At(p.pos)
+	if !ok || !p.t.CharEq(c, '/') {
+		p.t.Block(blkRejectTarget)
+		return false
+	}
+	p.t.Block(blkTargetSlash)
+	p.pos++
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			p.t.Block(blkRejectTarget)
+			return false // the version is still missing
+		}
+		if p.t.CharEq(c, ' ') {
+			p.t.Block(blkSpace2)
+			p.pos++
+			break
+		}
+		if p.targetChar(c) {
+			p.t.Block(blkTargetChar)
+			p.pos++
+			continue
+		}
+		p.t.Block(blkRejectTarget)
+		return false
+	}
+
+	// Version: a run up to the EOL, matched by wrapped strcmp.
+	var ver taint.String
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			break
+		}
+		if p.t.CharEq(c, '\r') || p.t.CharEq(c, '\n') {
+			break
+		}
+		if p.verChar(c) {
+			p.t.Block(blkVersionChar)
+			ver = ver.Append(c)
+			p.pos++
+			continue
+		}
+		p.t.Block(blkRejectVersion)
+		return false
+	}
+	switch {
+	case p.t.StrEq(ver, "HTTP/1.1"):
+		p.t.Block(blkHTTP11)
+	case p.t.StrEq(ver, "HTTP/1.0"):
+		p.t.Block(blkHTTP10)
+	default:
+		p.t.Block(blkRejectVersion)
+		return false
+	}
+	return p.eol()
+}
+
+// header parses one `Name: value` field up to and including its EOL
+// (or EOF, so a truncated head stays extendable).
+func (p *parser) header() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	p.t.Block(blkHeader)
+	n := 0
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			p.t.Block(blkRejectHeader)
+			return false // name without ':'
+		}
+		if p.t.CharEq(c, ':') {
+			p.t.Block(blkHeaderColon)
+			p.pos++
+			break
+		}
+		if p.fieldChar(c) {
+			p.t.Block(blkHeaderNameChar)
+			p.pos++
+			n++
+			continue
+		}
+		p.t.Block(blkRejectHeader)
+		return false
+	}
+	if n == 0 {
+		p.t.Block(blkRejectHeader)
+		return false // empty field name
+	}
+	p.skipOWS()
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			return true // value truncated at EOF: extendable
+		}
+		if p.t.CharEq(c, '\r') || p.t.CharEq(c, '\n') {
+			return p.eol()
+		}
+		if p.t.CharRange(c, ' ', '~') || p.t.CharEq(c, '\t') {
+			p.t.Block(blkHeaderValueChar)
+			p.pos++
+			continue
+		}
+		p.t.Block(blkRejectHeader)
+		return false
+	}
+}
+
+// eol consumes LF or CR LF.
+func (p *parser) eol() bool {
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		p.t.Block(blkRejectEOL)
+		return false
+	}
+	if p.t.CharEq(c, '\r') {
+		p.pos++
+		c, ok = p.t.At(p.pos)
+		if !ok {
+			p.t.Block(blkRejectEOL)
+			return false
+		}
+	}
+	if !p.t.CharEq(c, '\n') {
+		p.t.Block(blkRejectEOL)
+		return false
+	}
+	p.t.Block(blkEOL)
+	p.pos++
+	return true
+}
+
+// skipOWS consumes optional spaces and tabs after the header colon
+// without recording comparisons (an isblank() table lookup).
+func (p *parser) skipOWS() {
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok || (c.B != ' ' && c.B != '\t') {
+			return
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) targetChar(c taint.Char) bool {
+	return p.t.CharRange(c, 'a', 'z') || p.t.CharRange(c, 'A', 'Z') ||
+		p.t.CharRange(c, '0', '9') || p.t.CharSet(c, "-._~/?=&%:@+,;!$'()*")
+}
+
+func (p *parser) verChar(c taint.Char) bool {
+	return p.t.CharRange(c, 'A', 'Z') || p.t.CharRange(c, '0', '9') ||
+		p.t.CharSet(c, "/.")
+}
+
+func (p *parser) fieldChar(c taint.Char) bool {
+	return p.t.CharRange(c, 'a', 'z') || p.t.CharRange(c, 'A', 'Z') ||
+		p.t.CharRange(c, '0', '9') || p.t.CharEq(c, '-')
+}
+
+// Inventory lists the httpreq tokens: the methods and versions the
+// parser recognizes by strcmp, the structural delimiters, and the
+// open class for names, paths and values.
+var Inventory = tokens.Inventory{
+	tokens.Lit("GET"),
+	tokens.Lit("POST"),
+	tokens.Lit("PUT"),
+	tokens.Lit("DELETE"),
+	tokens.Lit("HEAD"),
+	tokens.Lit("OPTIONS"),
+	tokens.Lit("HTTP/1.1"),
+	tokens.Lit("HTTP/1.0"),
+	tokens.Lit(":"),
+	tokens.Lit("/"),
+	tokens.Lit("?"),
+	tokens.Lit("="),
+	tokens.Lit("&"),
+	tokens.Class("text", 1),
+}
+
+// Tokenize returns the inventory tokens present in input.
+func Tokenize(input []byte) map[string]bool {
+	out := map[string]bool{}
+	i := 0
+	for i < len(input) {
+		b := input[i]
+		switch {
+		case b >= 'A' && b <= 'Z':
+			j := i
+			for j < len(input) && input[j] >= 'A' && input[j] <= 'Z' {
+				j++
+			}
+			w := string(input[i:j])
+			switch w {
+			case "GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS":
+				out[w] = true
+			case "HTTP":
+				if rest := string(input[j:min(j+4, len(input))]); rest == "/1.1" || rest == "/1.0" {
+					out["HTTP"+rest] = true
+					j += 4
+				} else {
+					out["text"] = true
+				}
+			default:
+				out["text"] = true
+			}
+			i = j
+		case b == ':' || b == '/' || b == '?' || b == '=' || b == '&':
+			out[string(b)] = true
+			i++
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			i++
+		default:
+			out["text"] = true
+			i++
+		}
+	}
+	return out
+}

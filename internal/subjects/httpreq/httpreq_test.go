@@ -1,0 +1,164 @@
+package httpreq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+func run(in string) *trace.Record {
+	return subject.Execute(New(), []byte(in), trace.Full())
+}
+
+func TestNameAndBlocks(t *testing.T) {
+	p := New()
+	if p.Name() != "httpreq" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Blocks() <= 0 {
+		t.Errorf("Blocks = %d", p.Blocks())
+	}
+}
+
+func TestAcceptReject(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"GET / HTTP/1.1\n", true},
+		{"GET / HTTP/1.0\r\n", true},
+		{"POST /a/b?x=1&y=2 HTTP/1.1\nHost: example.com\n", true},
+		{"PUT /up HTTP/1.1\nContent-Type: text/plain\nX-Empty:\n", true},
+		{"DELETE /x HTTP/1.1\r\nHost: h\r\n\r\n", true},
+		{"HEAD / HTTP/1.1\n\n", true},
+		{"OPTIONS /%7Euser HTTP/1.1\n", true},
+		{"GET / HTTP/1.1\nHost: truncated", true}, // value at EOF stays extendable
+		{"", false},
+		{"get / HTTP/1.1\n", false},               // methods are uppercase
+		{"BREW / HTTP/1.1\n", false},              // unknown method
+		{"GET", false},                            // EOF before the target
+		{"GET  / HTTP/1.1\n", false},              // double space
+		{"GET x HTTP/1.1\n", false},               // target must be origin-form
+		{"GET / HTTP/2.0\n", false},               // unknown version
+		{"GET / HTTP/1.1", false},                 // missing EOL
+		{"GET / HTTP/1.1\n: v\n", false},          // empty header name
+		{"GET / HTTP/1.1\nHost example\n", false}, // missing ':'
+		{"GET / HTTP/1.1\n\nbody", false},         // bytes after the blank line
+		{"GET / HTTP/1.1\nA: \x01\n", false},      // control char in value
+	}
+	for _, c := range cases {
+		if got := run(c.in).Accepted(); got != c.ok {
+			t.Errorf("%q accepted=%v, want %v", c.in, got, c.ok)
+		}
+	}
+}
+
+// TestRejectionLeavesEvidence: every rejected input must record a
+// comparison or an EOF access for the fuzzer to act on.
+func TestRejectionLeavesEvidence(t *testing.T) {
+	for _, in := range []string{"", "G", "GET", "GET /", "GET / H", "BREW / HTTP/1.1\n"} {
+		rec := run(in)
+		if rec.Accepted() {
+			t.Errorf("%q unexpectedly accepted", in)
+			continue
+		}
+		if len(rec.Comparisons) == 0 && len(rec.EOFs) == 0 {
+			t.Errorf("rejection of %q recorded no comparisons and no EOF accesses", in)
+		}
+	}
+}
+
+// TestComparisonsExposeLiterals: the strcmp wrapping must surface the
+// methods and versions as substitution candidates.
+func TestComparisonsExposeLiterals(t *testing.T) {
+	collect := func(in string) string {
+		var seen []string
+		for _, c := range run(in).Comparisons {
+			if c.Kind == trace.CmpStrEq {
+				seen = append(seen, string(c.Expected))
+			}
+		}
+		return strings.Join(seen, " ")
+	}
+	methods := collect("X / HTTP/1.1\n")
+	for _, want := range []string{"GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS"} {
+		if !strings.Contains(methods, want) {
+			t.Errorf("method %q not exposed by strcmp (saw %q)", want, methods)
+		}
+	}
+	versions := collect("GET / H\n")
+	for _, want := range []string{"HTTP/1.1", "HTTP/1.0"} {
+		if !strings.Contains(versions, want) {
+			t.Errorf("version %q not exposed by strcmp (saw %q)", want, versions)
+		}
+	}
+}
+
+func genRequest(rng *rand.Rand) string {
+	method := []string{"GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS"}[rng.Intn(6)]
+	version := []string{"HTTP/1.1", "HTTP/1.0"}[rng.Intn(2)]
+	eol := []string{"\n", "\r\n"}[rng.Intn(2)]
+	var sb strings.Builder
+	sb.WriteString(method)
+	sb.WriteString(" /")
+	for n := rng.Intn(3); n > 0; n-- {
+		sb.WriteString([]string{"a", "b2", "c-d", "x.y", "p_q"}[rng.Intn(5)])
+		if n > 1 {
+			sb.WriteString("/")
+		}
+	}
+	if rng.Intn(3) == 0 {
+		sb.WriteString("?k=v&x=1")
+	}
+	sb.WriteString(" ")
+	sb.WriteString(version)
+	sb.WriteString(eol)
+	for n := rng.Intn(3); n > 0; n-- {
+		sb.WriteString([]string{"Host", "Accept", "X-Test-1"}[rng.Intn(3)])
+		sb.WriteString(": ")
+		sb.WriteString([]string{"example.com", "*/*", "a b c"}[rng.Intn(3)])
+		sb.WriteString(eol)
+	}
+	if rng.Intn(2) == 0 {
+		sb.WriteString(eol) // terminating blank line
+	}
+	return sb.String()
+}
+
+func TestAcceptsGeneratedRequests(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 500; i++ {
+		in := genRequest(rng)
+		if !run(in).Accepted() {
+			t.Fatalf("generated request rejected: %q", in)
+		}
+	}
+}
+
+// TestTokenizeStaysInInventory: Tokenize must only report inventory
+// names, and must see the planted method and version.
+func TestTokenizeStaysInInventory(t *testing.T) {
+	names := Inventory.Names()
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 200; i++ {
+		in := genRequest(rng)
+		got := Tokenize([]byte(in))
+		if len(got) == 0 {
+			t.Fatalf("no tokens in %q", in)
+		}
+		for tok := range got {
+			if !names[tok] {
+				t.Fatalf("tokenizer reported %q, not in inventory (input %q)", tok, in)
+			}
+		}
+	}
+	got := Tokenize([]byte("POST /p?a=b HTTP/1.0\nHost: h\n"))
+	for _, want := range []string{"POST", "HTTP/1.0", "/", "?", "=", ":", "text"} {
+		if !got[want] {
+			t.Errorf("Tokenize missed %q: %v", want, got)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package sexpr is a Lisp s-expression reader subject: one or more
+// data separated by whitespace, where a datum is a parenthesized
+// list, a quoted datum ('x), a number, a double-quoted string with
+// backslash escapes, or a symbol. Special-form names are recognized
+// by wrapped strcmp over the accumulated symbol, exposing "define",
+// "lambda", "quote" and "cond" to the fuzzer as whole-token
+// substitutions (§6.2); every symbol stays accepted either way.
+// Parsing aborts with a non-zero exit on the first malformed
+// character (§5.1 setup).
+package sexpr
+
+import (
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/taint"
+	"pfuzzer/internal/tokens"
+	"pfuzzer/internal/trace"
+)
+
+const (
+	blkStart = iota
+	blkDatum
+	blkList
+	blkListItem
+	blkListClose
+	blkQuoteMark
+	blkString
+	blkStringChar
+	blkStringEsc
+	blkStringClose
+	blkNumber
+	blkNumberChar
+	blkSymbol
+	blkSymbolChar
+	blkKwDefine
+	blkKwLambda
+	blkKwQuote
+	blkKwCond
+	blkAccept
+	blkRejectEmpty
+	blkRejectChar
+	blkRejectEOF
+	blkRejectString
+	numBlocks
+)
+
+// Program is the sexpr subject.
+type Program struct{}
+
+// New returns the sexpr subject.
+func New() *Program { return &Program{} }
+
+// Name implements subject.Program.
+func (*Program) Name() string { return "sexpr" }
+
+// Blocks implements subject.Program.
+func (*Program) Blocks() int { return numBlocks }
+
+// Run parses the whole input as a sequence of data.
+func (*Program) Run(t *trace.Tracer) int {
+	p := &parser{t: t}
+	t.Block(blkStart)
+	p.skipWS()
+	if p.pos >= t.Len() {
+		// Force an EOF access so the fuzzer learns to append.
+		t.At(p.pos)
+		t.Block(blkRejectEmpty)
+		return subject.ExitReject
+	}
+	for {
+		if !p.datum() {
+			return subject.ExitReject
+		}
+		p.skipWS()
+		// Probe: EOF here also tells the fuzzer the input may grow.
+		if _, ok := t.At(p.pos); !ok {
+			break
+		}
+	}
+	t.Block(blkAccept)
+	return subject.ExitOK
+}
+
+type parser struct {
+	t   *trace.Tracer
+	pos int
+}
+
+// datum parses one list, quoted datum or atom.
+func (p *parser) datum() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	p.t.Block(blkDatum)
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		p.t.Block(blkRejectEOF)
+		return false
+	}
+	switch {
+	case p.t.CharEq(c, '('):
+		p.t.Block(blkList)
+		p.pos++
+		return p.list()
+	case p.t.CharEq(c, '\''):
+		p.t.Block(blkQuoteMark)
+		p.pos++
+		p.skipWS()
+		return p.datum()
+	case p.t.CharEq(c, '"'):
+		p.t.Block(blkString)
+		p.pos++
+		return p.str()
+	case p.t.CharRange(c, '0', '9'):
+		p.t.Block(blkNumber)
+		p.pos++
+		for {
+			c, ok := p.t.At(p.pos)
+			if !ok || !p.t.CharRange(c, '0', '9') {
+				return true
+			}
+			p.t.Block(blkNumberChar)
+			p.pos++
+		}
+	case p.symInitial(c):
+		p.t.Block(blkSymbol)
+		word := taint.String{}.Append(c)
+		p.pos++
+		for {
+			c, ok := p.t.At(p.pos)
+			if !ok || !p.symSubsequent(c) {
+				break
+			}
+			p.t.Block(blkSymbolChar)
+			word = word.Append(c)
+			p.pos++
+		}
+		p.classify(word)
+		return true
+	default:
+		p.t.Block(blkRejectChar)
+		return false
+	}
+}
+
+// list parses the remainder of "(" ws* (datum ws*)* ")".
+func (p *parser) list() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	for {
+		p.skipWS()
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			p.t.Block(blkRejectEOF)
+			return false // unterminated list
+		}
+		if p.t.CharEq(c, ')') {
+			p.t.Block(blkListClose)
+			p.pos++
+			return true
+		}
+		p.t.Block(blkListItem)
+		if !p.datum() {
+			return false
+		}
+	}
+}
+
+// str parses the remainder of a double-quoted string.
+func (p *parser) str() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			p.t.Block(blkRejectString)
+			return false // unterminated string
+		}
+		switch {
+		case p.t.CharEq(c, '"'):
+			p.t.Block(blkStringClose)
+			p.pos++
+			return true
+		case p.t.CharEq(c, '\\'):
+			p.t.Block(blkStringEsc)
+			p.pos++
+			if _, ok := p.t.At(p.pos); !ok {
+				p.t.Block(blkRejectString)
+				return false // escape at EOF
+			}
+			p.pos++
+		default:
+			p.t.Block(blkStringChar)
+			p.pos++
+		}
+	}
+}
+
+// classify is the wrapped strcmp over the symbol (coverage only;
+// unknown symbols stay accepted).
+func (p *parser) classify(w taint.String) {
+	switch {
+	case p.t.StrEq(w, "define"):
+		p.t.Block(blkKwDefine)
+	case p.t.StrEq(w, "lambda"):
+		p.t.Block(blkKwLambda)
+	case p.t.StrEq(w, "quote"):
+		p.t.Block(blkKwQuote)
+	case p.t.StrEq(w, "cond"):
+		p.t.Block(blkKwCond)
+	}
+}
+
+func (p *parser) symInitial(c taint.Char) bool {
+	return p.t.CharRange(c, 'a', 'z') || p.t.CharRange(c, 'A', 'Z') ||
+		p.t.CharSet(c, "+-*/<>=!?_")
+}
+
+func (p *parser) symSubsequent(c taint.Char) bool {
+	return p.symInitial(c) || p.t.CharRange(c, '0', '9')
+}
+
+// skipWS consumes whitespace without recording comparisons (a
+// typical isspace() table lookup — an implicit flow).
+func (p *parser) skipWS() {
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok || (c.B != ' ' && c.B != '\t' && c.B != '\n' && c.B != '\r') {
+			return
+		}
+		p.pos++
+	}
+}
+
+// Inventory lists the sexpr tokens: the three structural characters,
+// the special-form names the reader recognizes by strcmp, and the
+// open atom classes.
+var Inventory = tokens.Inventory{
+	tokens.Lit("("),
+	tokens.Lit(")"),
+	tokens.Lit("'"),
+	tokens.Lit("define"),
+	tokens.Lit("lambda"),
+	tokens.Lit("quote"),
+	tokens.Lit("cond"),
+	tokens.Class("symbol", 1),
+	tokens.Class("number", 1),
+	tokens.Class("string", 2),
+}
+
+// Tokenize returns the inventory tokens present in input.
+func Tokenize(input []byte) map[string]bool {
+	out := map[string]bool{}
+	i := 0
+	for i < len(input) {
+		b := input[i]
+		switch {
+		case b == '(' || b == ')' || b == '\'':
+			out[string(b)] = true
+			i++
+		case b == '"':
+			j := i + 1
+			for j < len(input) && input[j] != '"' {
+				if input[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j < len(input) {
+				j++
+			}
+			out["string"] = true
+			i = j
+		case b >= '0' && b <= '9':
+			out["number"] = true
+			for i < len(input) && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+		case isSymByte(b):
+			j := i
+			for j < len(input) && (isSymByte(input[j]) || input[j] >= '0' && input[j] <= '9') {
+				j++
+			}
+			switch w := string(input[i:j]); w {
+			case "define", "lambda", "quote", "cond":
+				out[w] = true
+			default:
+				out["symbol"] = true
+			}
+			i = j
+		default:
+			i++
+		}
+	}
+	return out
+}
+
+func isSymByte(b byte) bool {
+	if b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' {
+		return true
+	}
+	switch b {
+	case '+', '-', '*', '/', '<', '>', '=', '!', '?', '_':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+package sexpr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+func run(in string) *trace.Record {
+	return subject.Execute(New(), []byte(in), trace.Full())
+}
+
+func TestNameAndBlocks(t *testing.T) {
+	p := New()
+	if p.Name() != "sexpr" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Blocks() <= 0 {
+		t.Errorf("Blocks = %d", p.Blocks())
+	}
+}
+
+func TestAcceptReject(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"a", true},
+		{"42", true},
+		{"()", true},
+		{"(a b c)", true},
+		{"(define (f x) (+ x 1))", true},
+		{"'(quote a)", true},
+		{"'()", true},
+		{"\"str\"", true},
+		{"\"es\\\"c\"", true},
+		{"(lambda (x) x) (cond (a b))", true},
+		{"  ( a  ( b 1 2 )\n\t\"s\" )  ", true},
+		{"+", true},
+		{"<=>", true},
+		{"", false},
+		{"   ", false},
+		{"(", false},
+		{")", false},
+		{"(a", false},
+		{"(a))", false},
+		{"\"unterminated", false},
+		{"\"esc at eof\\", false},
+		{"#", false},
+		{"(a . b)", false}, // no dotted pairs in this subset
+	}
+	for _, c := range cases {
+		if got := run(c.in).Accepted(); got != c.ok {
+			t.Errorf("%q accepted=%v, want %v", c.in, got, c.ok)
+		}
+	}
+}
+
+// TestRejectionLeavesEvidence: every rejected input must record a
+// comparison or an EOF access for the fuzzer to act on.
+func TestRejectionLeavesEvidence(t *testing.T) {
+	for _, in := range []string{"", "(", "#", "\"x", "(a ."} {
+		rec := run(in)
+		if rec.Accepted() {
+			t.Errorf("%q unexpectedly accepted", in)
+			continue
+		}
+		if len(rec.Comparisons) == 0 && len(rec.EOFs) == 0 {
+			t.Errorf("rejection of %q recorded no comparisons and no EOF accesses", in)
+		}
+	}
+}
+
+// TestSymbolComparisonsExposeKeywords: the strcmp wrapping must
+// surface the special-form names as substitution candidates.
+func TestSymbolComparisonsExposeKeywords(t *testing.T) {
+	rec := run("d")
+	var seen []string
+	for _, c := range rec.Comparisons {
+		if c.Kind == trace.CmpStrEq {
+			seen = append(seen, string(c.Expected))
+		}
+	}
+	joined := strings.Join(seen, " ")
+	for _, want := range []string{"define", "lambda", "quote", "cond"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("keyword %q not exposed by strcmp (saw %q)", want, joined)
+		}
+	}
+}
+
+func genDatum(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return []string{"a", "xyz", "x1", "+", "-", "<=", "f?"}[rng.Intn(7)]
+		case 1:
+			return []string{"0", "7", "42", "1999"}[rng.Intn(4)]
+		case 2:
+			return `"s\"x"`
+		case 3:
+			return []string{"define", "lambda", "quote", "cond"}[rng.Intn(4)]
+		default:
+			return `""`
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		n := rng.Intn(4)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = genDatum(rng, depth-1)
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	case 1:
+		return "'" + genDatum(rng, depth-1)
+	default:
+		return genDatum(rng, 0)
+	}
+}
+
+func TestAcceptsGeneratedSexprs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 500; i++ {
+		in := genDatum(rng, 1+rng.Intn(4))
+		if !run(in).Accepted() {
+			t.Fatalf("generated s-expression rejected: %q", in)
+		}
+	}
+}
+
+// TestTokenizeStaysInInventory: Tokenize must only report inventory
+// names, and must see the planted keyword.
+func TestTokenizeStaysInInventory(t *testing.T) {
+	names := Inventory.Names()
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 200; i++ {
+		in := genDatum(rng, 2)
+		for tok := range Tokenize([]byte(in)) {
+			if !names[tok] {
+				t.Fatalf("tokenizer reported %q, not in inventory (input %q)", tok, in)
+			}
+		}
+	}
+	got := Tokenize([]byte(`(define f "s" 12)`))
+	for _, want := range []string{"(", ")", "define", "symbol", "string", "number"} {
+		if !got[want] {
+			t.Errorf("Tokenize missed %q: %v", want, got)
+		}
+	}
+}

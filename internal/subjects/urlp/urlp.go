@@ -1,0 +1,376 @@
+// Package urlp is an RFC-3986-flavoured URL parser subject: it
+// accepts `scheme ":" hier-part ["?" query] ["#" fragment]`, where
+// hier-part is either "//" authority path or a rootless path. Like
+// every subject it rejects with a non-zero exit on the first
+// malformed character (§5.1 setup). Well-known schemes are recognized
+// by wrapped strcmp over the accumulated scheme word, which is what
+// exposes "http", "https", "ftp" and "file" to the fuzzer as
+// whole-token substitutions (§6.2). Percent-encoding and IP literals
+// are out of scope for this subset.
+package urlp
+
+import (
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/taint"
+	"pfuzzer/internal/tokens"
+	"pfuzzer/internal/trace"
+)
+
+const (
+	blkStart = iota
+	blkSchemeFirst
+	blkSchemeChar
+	blkSchemeHTTP
+	blkSchemeHTTPS
+	blkSchemeFTP
+	blkSchemeFILE
+	blkColon
+	blkAuthority
+	blkUserinfo
+	blkHostChar
+	blkPortColon
+	blkPortDigit
+	blkSlash
+	blkSegChar
+	blkQuery
+	blkQueryChar
+	blkFragment
+	blkFragChar
+	blkAccept
+	blkRejectEmpty
+	blkRejectScheme
+	blkRejectChar
+	numBlocks
+)
+
+// Program is the urlp subject.
+type Program struct{}
+
+// New returns the urlp subject.
+func New() *Program { return &Program{} }
+
+// Name implements subject.Program.
+func (*Program) Name() string { return "urlp" }
+
+// Blocks implements subject.Program.
+func (*Program) Blocks() int { return numBlocks }
+
+// Run parses the whole input as one URL.
+func (*Program) Run(t *trace.Tracer) int {
+	p := &parser{t: t}
+	t.Block(blkStart)
+	if t.Len() == 0 {
+		// Force an EOF access so the fuzzer learns to append.
+		t.At(0)
+		t.Block(blkRejectEmpty)
+		return subject.ExitReject
+	}
+	if !p.url() {
+		return subject.ExitReject
+	}
+	// Probe for more input so the fuzzer knows it may extend the URL.
+	t.At(p.pos)
+	t.Block(blkAccept)
+	return subject.ExitOK
+}
+
+type parser struct {
+	t   *trace.Tracer
+	pos int
+}
+
+// url parses scheme ":" hier-part ["?" query] ["#" fragment].
+func (p *parser) url() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	if !p.scheme() {
+		return false
+	}
+	if c, ok := p.t.At(p.pos); ok && p.t.CharEq(c, '/') {
+		p.t.Block(blkSlash)
+		p.pos++
+		if c2, ok2 := p.t.At(p.pos); ok2 && p.t.CharEq(c2, '/') {
+			p.t.Block(blkAuthority)
+			p.pos++
+			p.authority()
+		}
+		// A single '/' starts a path-absolute hier-part; the slash is
+		// already consumed, path handles the rest either way.
+	}
+	if !p.path() {
+		return false
+	}
+	if c, ok := p.t.At(p.pos); ok {
+		if !p.t.CharEq(c, '?') {
+			return p.fragment()
+		}
+		p.t.Block(blkQuery)
+		p.pos++
+		if !p.query() {
+			return false
+		}
+	}
+	return p.fragment()
+}
+
+// scheme parses ALPHA (ALPHA|DIGIT|"+"|"-"|".")* ":" and records which
+// well-known scheme the accumulated word is.
+func (p *parser) scheme() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		p.t.Block(blkRejectScheme)
+		return false
+	}
+	if !p.t.CharRange(c, 'a', 'z') && !p.t.CharRange(c, 'A', 'Z') {
+		p.t.Block(blkRejectScheme)
+		return false
+	}
+	p.t.Block(blkSchemeFirst)
+	word := taint.String{}.Append(c)
+	p.pos++
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			p.t.Block(blkRejectScheme)
+			return false // a URL needs the ':' after its scheme
+		}
+		if p.t.CharEq(c, ':') {
+			p.classify(word)
+			p.t.Block(blkColon)
+			p.pos++
+			return true
+		}
+		if p.t.CharRange(c, 'a', 'z') || p.t.CharRange(c, 'A', 'Z') ||
+			p.t.CharRange(c, '0', '9') || p.t.CharSet(c, "+-.") {
+			p.t.Block(blkSchemeChar)
+			word = word.Append(c)
+			p.pos++
+			continue
+		}
+		p.t.Block(blkRejectScheme)
+		return false
+	}
+}
+
+// classify is the wrapped strcmp over the scheme word (coverage only;
+// unknown schemes stay accepted).
+func (p *parser) classify(w taint.String) {
+	switch {
+	case p.t.StrEq(w, "http"):
+		p.t.Block(blkSchemeHTTP)
+	case p.t.StrEq(w, "https"):
+		p.t.Block(blkSchemeHTTPS)
+	case p.t.StrEq(w, "ftp"):
+		p.t.Block(blkSchemeFTP)
+	case p.t.StrEq(w, "file"):
+		p.t.Block(blkSchemeFILE)
+	}
+}
+
+// authority parses [userinfo "@"] host [":" port]. It cannot fail:
+// the first character that fits neither part is left for path, which
+// decides whether it is legal.
+func (p *parser) authority() {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	p.regName()
+	if c, ok := p.t.At(p.pos); ok && p.t.CharEq(c, '@') {
+		// What was read so far was userinfo; the host follows.
+		p.t.Block(blkUserinfo)
+		p.pos++
+		p.regName()
+	}
+	if c, ok := p.t.At(p.pos); ok && p.t.CharEq(c, ':') {
+		p.t.Block(blkPortColon)
+		p.pos++
+		for {
+			c, ok := p.t.At(p.pos)
+			if !ok || !p.t.CharRange(c, '0', '9') {
+				return
+			}
+			p.t.Block(blkPortDigit)
+			p.pos++
+		}
+	}
+}
+
+// regName consumes a run of unreserved host/userinfo characters.
+func (p *parser) regName() {
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			return
+		}
+		if p.t.CharRange(c, 'a', 'z') || p.t.CharRange(c, 'A', 'Z') ||
+			p.t.CharRange(c, '0', '9') || p.t.CharSet(c, "-._~") {
+			p.t.Block(blkHostChar)
+			p.pos++
+			continue
+		}
+		return
+	}
+}
+
+// path parses ("/" | pchar)* and stops at '?', '#' or EOF.
+func (p *parser) path() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			return true
+		}
+		switch {
+		case p.t.CharEq(c, '/'):
+			p.t.Block(blkSlash)
+			p.pos++
+		case p.t.CharEq(c, '?') || p.t.CharEq(c, '#'):
+			return true
+		case p.pchar(c):
+			p.t.Block(blkSegChar)
+			p.pos++
+		default:
+			p.t.Block(blkRejectChar)
+			return false
+		}
+	}
+}
+
+// query parses qchar* and stops at '#' or EOF.
+func (p *parser) query() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			return true
+		}
+		if p.t.CharEq(c, '#') {
+			return true
+		}
+		if p.qchar(c) {
+			p.t.Block(blkQueryChar)
+			p.pos++
+			continue
+		}
+		p.t.Block(blkRejectChar)
+		return false
+	}
+}
+
+// fragment parses ["#" qchar*] at the end of the URL.
+func (p *parser) fragment() bool {
+	p.t.Enter()
+	defer p.t.Leave()
+
+	c, ok := p.t.At(p.pos)
+	if !ok {
+		return true
+	}
+	if !p.t.CharEq(c, '#') {
+		p.t.Block(blkRejectChar)
+		return false
+	}
+	p.t.Block(blkFragment)
+	p.pos++
+	for {
+		c, ok := p.t.At(p.pos)
+		if !ok {
+			return true
+		}
+		if p.qchar(c) {
+			p.t.Block(blkFragChar)
+			p.pos++
+			continue
+		}
+		p.t.Block(blkRejectChar)
+		return false
+	}
+}
+
+func (p *parser) pchar(c taint.Char) bool {
+	return p.t.CharRange(c, 'a', 'z') || p.t.CharRange(c, 'A', 'Z') ||
+		p.t.CharRange(c, '0', '9') || p.t.CharSet(c, "-._~!$&'()*+,;=:@")
+}
+
+func (p *parser) qchar(c taint.Char) bool {
+	return p.pchar(c) || p.t.CharSet(c, "/?")
+}
+
+// Inventory lists the urlp tokens: the structural delimiters, the four
+// well-known schemes the parser recognizes by strcmp, and the open
+// classes for everything else.
+var Inventory = tokens.Inventory{
+	tokens.Lit(":"),
+	tokens.Lit("/"),
+	tokens.Lit("//"),
+	tokens.Lit("?"),
+	tokens.Lit("#"),
+	tokens.Lit("@"),
+	tokens.Lit("."),
+	tokens.Lit("="),
+	tokens.Lit("&"),
+	tokens.Lit("http"),
+	tokens.Lit("https"),
+	tokens.Lit("ftp"),
+	tokens.Lit("file"),
+	tokens.Class("text", 1),
+	tokens.Class("number", 1),
+}
+
+// Tokenize returns the inventory tokens present in input.
+func Tokenize(input []byte) map[string]bool {
+	out := map[string]bool{}
+	i := 0
+	for i < len(input) {
+		b := input[i]
+		switch {
+		case b == '/':
+			if i+1 < len(input) && input[i+1] == '/' {
+				out["//"] = true
+				i += 2
+			} else {
+				out["/"] = true
+				i++
+			}
+		case b == ':' || b == '?' || b == '#' || b == '@' || b == '.' ||
+			b == '=' || b == '&':
+			out[string(b)] = true
+			i++
+		case b >= '0' && b <= '9':
+			out["number"] = true
+			for i < len(input) && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+		case isAlpha(b):
+			j := i
+			for j < len(input) && (isAlpha(input[j]) || input[j] >= '0' && input[j] <= '9') {
+				j++
+			}
+			switch w := string(input[i:j]); w {
+			case "http", "https", "ftp", "file":
+				out[w] = true
+			default:
+				out["text"] = true
+			}
+			i = j
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			i++
+		default:
+			out["text"] = true
+			i++
+		}
+	}
+	return out
+}
+
+func isAlpha(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}

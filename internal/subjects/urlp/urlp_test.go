@@ -1,0 +1,173 @@
+package urlp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+func run(in string) *trace.Record {
+	return subject.Execute(New(), []byte(in), trace.Full())
+}
+
+func TestNameAndBlocks(t *testing.T) {
+	p := New()
+	if p.Name() != "urlp" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Blocks() <= 0 {
+		t.Errorf("Blocks = %d", p.Blocks())
+	}
+}
+
+func TestAcceptReject(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"a:", true},
+		{"a:b", true},
+		{"mailto:someone", true},
+		{"http://example.com/", true},
+		{"http://", true},
+		{"https://user@host.example:8080/a/b?x=1&y=2#frag", true},
+		{"ftp://ftp.example.org/pub/file.txt", true},
+		{"file:///etc/passwd", true},
+		{"a+b-c.d:path", true},
+		{"s:?q", true},
+		{"s:#f", true},
+		{"s:/rooted/path", true},
+		{"", false},
+		{"1:b", false},       // scheme must start with a letter
+		{"nocolon", false},   // EOF before ':'
+		{"a:b c", false},     // space is not a pchar
+		{"a:%41", false},     // no percent-encoding in this subset
+		{"a:b#f#g", false},   // '#' inside the fragment
+		{"://x", false},      // empty scheme
+		{"a:\x01", false},    // control character
+		{"a:p#f\x7f", false}, // control character in fragment
+	}
+	for _, c := range cases {
+		if got := run(c.in).Accepted(); got != c.ok {
+			t.Errorf("%q accepted=%v, want %v", c.in, got, c.ok)
+		}
+	}
+}
+
+// TestRejectionLeavesEvidence: every rejected input must record a
+// comparison or an EOF access for the fuzzer to act on.
+func TestRejectionLeavesEvidence(t *testing.T) {
+	for _, in := range []string{"", "1", "a", "a:b c", "a: ", "x:y#z#w"} {
+		rec := run(in)
+		if rec.Accepted() {
+			t.Errorf("%q unexpectedly accepted", in)
+			continue
+		}
+		if len(rec.Comparisons) == 0 && len(rec.EOFs) == 0 {
+			t.Errorf("rejection of %q recorded no comparisons and no EOF accesses", in)
+		}
+	}
+}
+
+// TestSchemeComparisonsExposeLiterals: the strcmp wrapping must
+// surface the well-known schemes as substitution candidates.
+func TestSchemeComparisonsExposeLiterals(t *testing.T) {
+	rec := run("x:")
+	var seen []string
+	for _, c := range rec.Comparisons {
+		if c.Kind == trace.CmpStrEq {
+			seen = append(seen, string(c.Expected))
+		}
+	}
+	joined := strings.Join(seen, " ")
+	for _, want := range []string{"http", "https", "ftp", "file"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("scheme %q not exposed by strcmp (saw %q)", want, joined)
+		}
+	}
+}
+
+func genURL(rng *rand.Rand) string {
+	seg := func() string {
+		return []string{"a", "bb", "c0", "x-y", "p.q", "~u", "z_1"}[rng.Intn(7)]
+	}
+	scheme := []string{"http", "https", "ftp", "file", "a", "x+y", "s.t-u"}[rng.Intn(7)]
+	var sb strings.Builder
+	sb.WriteString(scheme)
+	sb.WriteString(":")
+	if rng.Intn(2) == 0 {
+		sb.WriteString("//")
+		if rng.Intn(3) == 0 {
+			sb.WriteString(seg())
+			sb.WriteString("@")
+		}
+		sb.WriteString(seg())
+		if rng.Intn(3) == 0 {
+			sb.WriteString(".")
+			sb.WriteString(seg())
+		}
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(&sb, ":%d", rng.Intn(65536))
+		}
+	}
+	for n := rng.Intn(3); n > 0; n-- {
+		sb.WriteString("/")
+		sb.WriteString(seg())
+	}
+	if rng.Intn(2) == 0 {
+		sb.WriteString("?")
+		sb.WriteString(seg())
+		sb.WriteString("=")
+		sb.WriteString(seg())
+		if rng.Intn(2) == 0 {
+			sb.WriteString("&")
+			sb.WriteString(seg())
+			sb.WriteString("=")
+			sb.WriteString(seg())
+		}
+	}
+	if rng.Intn(3) == 0 {
+		sb.WriteString("#")
+		sb.WriteString(seg())
+	}
+	return sb.String()
+}
+
+func TestAcceptsGeneratedURLs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 500; i++ {
+		in := genURL(rng)
+		if !run(in).Accepted() {
+			t.Fatalf("generated URL rejected: %q", in)
+		}
+	}
+}
+
+// TestTokenizeStaysInInventory: Tokenize must only report inventory
+// names, and must see at least one token in any non-empty URL.
+func TestTokenizeStaysInInventory(t *testing.T) {
+	names := Inventory.Names()
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 200; i++ {
+		in := genURL(rng)
+		got := Tokenize([]byte(in))
+		if len(in) > 0 && len(got) == 0 {
+			t.Fatalf("no tokens in %q", in)
+		}
+		for tok := range got {
+			if !names[tok] {
+				t.Fatalf("tokenizer reported %q, not in inventory (input %q)", tok, in)
+			}
+		}
+	}
+	got := Tokenize([]byte("https://h/p"))
+	for _, want := range []string{"https", "//", "/", "text"} {
+		if !got[want] {
+			t.Errorf("Tokenize(https://h/p) missed %q: %v", want, got)
+		}
+	}
+}

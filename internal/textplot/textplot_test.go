@@ -64,3 +64,62 @@ func TestTableEmpty(t *testing.T) {
 		t.Errorf("Table with no rows = %q", out)
 	}
 }
+
+func TestBarChartEmptySeries(t *testing.T) {
+	// No groups at all: just the title, no panic.
+	out := BarChart("empty", nil, 20, "%")
+	if !strings.HasPrefix(out, "empty\n") {
+		t.Errorf("empty chart lost its title: %q", out)
+	}
+	// A group with no bars renders its (empty) block without a panic.
+	out = BarChart("t", []Group{{Name: "g"}}, 20, "")
+	if strings.Contains(out, "#") {
+		t.Errorf("bar drawn for a group with no bars: %q", out)
+	}
+}
+
+func TestBarChartNonPositiveWidthDefaults(t *testing.T) {
+	for _, w := range []int{0, -5} {
+		out := BarChart("t", []Group{
+			{Name: "g", Bars: []Bar{{Label: "a", Value: 10}}},
+		}, w, "")
+		if got := strings.Count(out, "#"); got != 40 {
+			t.Errorf("width %d: max bar drew %d marks, want the 40-column default", w, got)
+		}
+	}
+}
+
+func TestBarChartTinyValueStillVisible(t *testing.T) {
+	// A non-zero value that rounds to zero columns must still draw one
+	// mark, or the chart silently hides data.
+	out := BarChart("t", []Group{
+		{Name: "g", Bars: []Bar{{Label: "big", Value: 1000}, {Label: "tiny", Value: 0.01}}},
+	}, 10, "")
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "tiny") && strings.Count(l, "#") != 1 {
+			t.Errorf("tiny value not drawn with one mark: %q", l)
+		}
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	// Rows may have differing column counts; widths adapt, no panic.
+	out := Table("", [][]string{
+		{"a", "b", "c"},
+		{"longer"},
+		{"x", "y", "z", "extra"},
+	})
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "longer") {
+		t.Errorf("ragged rows dropped cells: %q", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	out := Table("", [][]string{{"h"}, {"v"}})
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("untitled table starts with a blank line: %q", out)
+	}
+	if !strings.Contains(out, "h") || !strings.Contains(out, "v") {
+		t.Errorf("table dropped content: %q", out)
+	}
+}
