@@ -39,6 +39,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"pfuzzer/internal/core"
 	"pfuzzer/internal/eval"
 	"pfuzzer/internal/registry"
 )
@@ -49,6 +50,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		runs     = flag.Int("runs", 3, "repetitions per campaign; best run reported")
 		workers  = flag.Int("workers", 1, "parallel executors per pFuzzer campaign")
+		cache    = flag.Bool("cache", true, "pFuzzer execution cache (identical numbers either way; changes wall-clock and the hit-rate column only)")
 		parallel = flag.Int("parallel", 1, "campaigns advanced concurrently (fleet mode; results identical to serial)")
 		mineEx   = flag.Int("mine-execs", 0, "pFuzzer+Mine extra mining executions (0 = pFuzzer budget / 4)")
 		subjects = flag.String("subjects", "ini,csv,cjson,tinyc,mjs", `comma-separated subjects, or "all" for every registered subject`)
@@ -105,6 +107,9 @@ func main() {
 	budget.Workers = *workers
 	budget.Fleet = *parallel
 	budget.MineExecs = *mineEx
+	if !*cache {
+		budget.Cache = core.CacheOff
+	}
 	mode := "serial schedule"
 	if budget.Fleet > 1 {
 		mode = fmt.Sprintf("fleet of %d", budget.Fleet)

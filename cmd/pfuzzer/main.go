@@ -5,8 +5,9 @@
 // Usage:
 //
 //	pfuzzer -subject cjson [-execs 100000] [-seed 1] [-workers 4] [-quiet]
-//	        [-mine] [-mine-budget n] [-mine-tokens n] [-mine-cadence n]
-//	        [-out file] [-resume file] [-snap-every n] [-mine-from file]
+//	        [-cache=false] [-mine] [-mine-budget n] [-mine-tokens n]
+//	        [-mine-cadence n] [-out file] [-resume file] [-snap-every n]
+//	        [-mine-from file]
 //	pfuzzer -list
 //
 // Subjects: ini, csv, cjson, tinyc, mjs, expr, paren, urlp, sexpr,
@@ -50,6 +51,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "RNG seed")
 		maxValids   = flag.Int("valids", 0, "stop after N valid inputs (0 = run out the budget)")
 		workers     = flag.Int("workers", 1, "parallel executors (1 = deterministic serial engine)")
+		cache       = flag.Bool("cache", true, "prefix-decided execution cache (adaptive; identical output either way, see DESIGN.md §10); with -resume an explicitly passed value overrides the snapshot and true forces the cache on, retirement disabled")
 		quiet       = flag.Bool("quiet", false, "print only the summary")
 		list        = flag.Bool("list", false, "list registered subjects and exit")
 		minePhase   = flag.Bool("mine", false, "hybrid campaign: mine a grammar from the valid corpus and validate generated candidates (§7.4)")
@@ -74,10 +76,14 @@ func main() {
 	var run *campaignRun
 	if *resumePath != "" {
 		warnIgnoredOnResume()
-		run = resume(*resumePath, *execs, *maxValids, *quiet)
+		run = resume(*resumePath, *execs, *maxValids, cacheMode(*cache), *quiet)
 	} else {
-		run = fresh(flagConfig(*subjectName, *seed, *execs, *maxValids, *workers,
-			*minePhase, *mineBudget, *mineTokens, *mineCadence, *mineFrom), *subjectName, *outPath, *quiet)
+		cfg := flagConfig(*subjectName, *seed, *execs, *maxValids, *workers,
+			*minePhase, *mineBudget, *mineTokens, *mineCadence, *mineFrom)
+		if !*cache {
+			cfg.Cache = core.CacheOff
+		}
+		run = fresh(cfg, *subjectName, *outPath, *quiet)
 	}
 	if run.store != nil {
 		defer run.store.Close()
@@ -210,12 +216,24 @@ func fresh(cfg core.Config, subjectName, outPath string, quiet bool) *campaignRu
 	return &campaignRun{camp: core.NewCampaign(prog, cfg), store: store, entry: entry, prog: prog}
 }
 
+// cacheMode maps the -cache flag to a Restore override: only an
+// explicitly passed flag overrides the snapshot's saved mode.
+func cacheMode(on bool) core.CacheMode {
+	if !explicit("cache") {
+		return core.CacheAuto // keep what the snapshot says
+	}
+	if on {
+		return core.CacheOn
+	}
+	return core.CacheOff
+}
+
 // resume reopens a journal (recovering a torn tail if the previous
 // run was killed mid-write), restores the engine from its last
-// snapshot, and re-journals into the same file. Explicit -execs and
-// -valids override the saved budget; everything else comes from the
-// snapshot.
-func resume(path string, execs, maxValids int, quiet bool) *campaignRun {
+// snapshot, and re-journals into the same file. Explicit -execs,
+// -valids and -cache override the saved values; everything else comes
+// from the snapshot.
+func resume(path string, execs, maxValids int, cache core.CacheMode, quiet bool) *campaignRun {
 	store, err := corpus.Open(path)
 	if err != nil {
 		fail("%v", err)
@@ -235,6 +253,7 @@ func resume(path string, execs, maxValids int, quiet bool) *campaignRun {
 	over := core.Config{
 		Events:    events(store, quiet),
 		MineLexer: entry.Lexer,
+		Cache:     cache,
 	}
 	if explicit("execs") {
 		over.MaxExecs = execs
@@ -284,6 +303,15 @@ func (r *campaignRun) summarize() {
 	fmt.Printf("\nsubject=%s execs=%d valids=%d coverage=%d/%d (%.1f%%) elapsed=%v\n",
 		entry.Name, res.Execs, len(res.Valids), len(res.Coverage), r.prog.Blocks(),
 		100*float64(len(res.Coverage))/float64(r.prog.Blocks()), res.Elapsed.Round(time.Millisecond))
+	if res.CacheHits+res.CacheMisses > 0 {
+		state := ""
+		if res.CacheRetired {
+			state = " (adaptively retired)"
+		}
+		fmt.Printf("cache: %d hits / %d misses (%.1f%% hit rate)%s, exec layer %v\n",
+			res.CacheHits, res.CacheMisses, 100*res.CacheHitRate(), state,
+			res.ExecElapsed.Round(time.Millisecond))
+	}
 
 	found := map[string]bool{}
 	for _, v := range res.Valids {

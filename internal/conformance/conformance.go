@@ -99,6 +99,7 @@ func CheckWith(t *testing.T, e registry.Entry, o Options) {
 	t.Run("lexer-roundtrip", func(t *testing.T) { checkLexerRoundTrip(t, e, valids) })
 	t.Run("engine-agreement", func(t *testing.T) { checkEngineAgreement(t, e, o) })
 	t.Run("snapshot-resume", func(t *testing.T) { checkSnapshotResume(t, e, o) })
+	t.Run("cache-transparency", func(t *testing.T) { checkCacheTransparency(t, e, o) })
 }
 
 // probeInputs builds the deterministic probe set: campaign valids,
@@ -295,8 +296,12 @@ func checkPrefix(t *testing.T, e registry.Entry, probes [][]byte) {
 		}
 
 		// (c) Rejections without an EOF access are final: the parser
-		// decided on what it read, so no suffix may change the
-		// comparisons or rescue the input.
+		// decided on what it read, so no suffix may change the verdict
+		// or any part of the trace — comparisons, blocks, path hash,
+		// stack depth. Full-record equivalence (not just comparison
+		// equality) is what the prefix-decided execution cache
+		// (core.Config.Cache) relies on when it replays a memoised
+		// rejection for an extended input.
 		if !full.Accepted() && len(full.EOFs) == 0 {
 			for _, suffix := range []string{"0", "}~\n"} {
 				ext := execute(e, append(append([]byte(nil), in...), suffix...))
@@ -304,8 +309,8 @@ func checkPrefix(t *testing.T, e registry.Entry, probes [][]byte) {
 					t.Errorf("input %q: non-EOF rejection was rescued by appending %q", in, suffix)
 					continue
 				}
-				if !compsEqual(full.Comparisons, ext.Comparisons) {
-					t.Errorf("input %q: appending %q after a non-EOF rejection changed the comparison trace", in, suffix)
+				if !recordsEqual(full, ext) {
+					t.Errorf("input %q: appending %q after a non-EOF rejection changed the trace", in, suffix)
 				}
 			}
 		}
@@ -417,6 +422,49 @@ func checkEngineAgreement(t *testing.T, e registry.Entry, o Options) {
 	par.Workers = 4
 	pres := core.New(e.New(), par).Run()
 	checkSound(t, e, pres, "parallel engine")
+}
+
+// checkCacheTransparency: the prefix-decided execution cache
+// (core.Config.Cache) must be invisible in every campaign observable —
+// same corpus, same discovery indices, same coverage, same execution
+// count — with the cache forced on versus off, on the plain serial
+// engine and on the hybrid driver. This is the property that makes
+// the cache's memoised rejections sound for this subject: a hit
+// replays the facts a real execution would have produced, so only
+// wall-clock changes. The counters themselves must account for every
+// execution (hits + misses == execs with the cache on, both zero with
+// it off).
+func checkCacheTransparency(t *testing.T, e registry.Entry, o Options) {
+	plain := core.Config{Seed: o.Seed, MaxExecs: o.EngineExecs, Cache: core.CacheOn}
+	hybrid := plain
+	hybrid.MinePhase = true
+	hybrid.MineLexer = e.Lexer
+	hybrid.MineBudget = o.EngineExecs / 4
+	hybrid.MaxExecs = o.EngineExecs + hybrid.MineBudget
+
+	for _, tc := range []struct {
+		name string
+		cfg  core.Config
+	}{{"plain", plain}, {"hybrid", hybrid}} {
+		t.Run(tc.name, func(t *testing.T) {
+			on := core.New(e.New(), tc.cfg).Run()
+			offCfg := tc.cfg
+			offCfg.Cache = core.CacheOff
+			off := core.New(e.New(), offCfg).Run()
+
+			if on.Fingerprint() != off.Fingerprint() || !validsEqual(on.Valids, off.Valids) || on.Execs != off.Execs {
+				t.Errorf("cache on/off campaigns diverged: %d valids / %d execs vs %d / %d (fingerprints %#x vs %#x)",
+					len(on.Valids), on.Execs, len(off.Valids), off.Execs, on.Fingerprint(), off.Fingerprint())
+			}
+			if on.CacheHits+on.CacheMisses != on.Execs {
+				t.Errorf("cache-on counters do not account for every execution: %d hits + %d misses != %d execs",
+					on.CacheHits, on.CacheMisses, on.Execs)
+			}
+			if off.CacheHits != 0 || off.CacheMisses != 0 {
+				t.Errorf("cache-off campaign reported cache traffic: %d hits, %d misses", off.CacheHits, off.CacheMisses)
+			}
+		})
+	}
 }
 
 // checkSnapshotResume: cut, marshal, restore, finish — the combined

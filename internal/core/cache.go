@@ -1,0 +1,201 @@
+package core
+
+import (
+	"pfuzzer/internal/pcache"
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+// CacheMode selects the prefix-decided execution cache behaviour
+// (Config.Cache).
+type CacheMode int
+
+const (
+	// CacheAuto — the zero value — enables the cache on every engine.
+	CacheAuto CacheMode = iota
+	// CacheOn enables the cache explicitly (it only differs from
+	// CacheAuto as a Restore override, where CacheAuto means "keep
+	// what the snapshot says").
+	CacheOn
+	// CacheOff disables the cache.
+	CacheOff
+)
+
+// cacheEnabled reports whether the campaign should memoise executions.
+func (c *Config) cacheEnabled() bool { return c.Cache != CacheOff }
+
+// Adaptive retirement (CacheAuto): the cache's benefit depends on how
+// often the search re-executes decided inputs, which varies by subject
+// — flat, early-saturating grammars reach near-total hit rates while
+// wide open grammars execute mostly fresh inputs, where lookups and
+// inserts are pure overhead. Because the cache is semantically
+// transparent, the engine is free to drop it mid-campaign: starting at
+// cacheProbation executions (and re-checking a factor of 4 later each
+// time, so a late-blooming campaign still gets re-judged), a hit rate
+// below cacheMinHitPct retires the cache. On the serial engine the
+// decision is a deterministic function of the campaign, and either way
+// the emitted corpus is unchanged; executions after retirement count
+// as misses (they run the subject for real).
+const (
+	cacheProbation  = 8192
+	cacheMinHitPct  = 25
+	cacheCheckScale = 4
+)
+
+// maybeRetireCache applies the adaptive rule at the configured
+// execution milestones. Called from the single goroutine that owns
+// campaign state; executors observe retirement through the cache's own
+// atomic flag.
+func (f *Fuzzer) maybeRetireCache() {
+	if f.cache == nil || f.cfg.Cache == CacheOn || f.cache.Retired() {
+		return
+	}
+	if f.cacheCheckAt == 0 {
+		f.cacheCheckAt = cacheProbation
+	}
+	if f.res.Execs < f.cacheCheckAt {
+		return
+	}
+	f.cacheCheckAt *= cacheCheckScale
+	if f.res.CacheHits*100 < f.res.Execs*cacheMinHitPct {
+		f.cache.Retire()
+		f.res.CacheRetired = true
+	}
+}
+
+// cachedFacts is the memoised outcome of one subject execution,
+// stored by value inside the cache table. Only the scalar verdict is
+// stored eagerly; the derived facts children are built from (trimmed
+// blocks, final-index comparisons, stack average) are materialized
+// lazily, because the most common execution by far — a rejected run —
+// is mostly never derived from, and eagerly retaining comparison
+// slices for every executed input is pure GC ballast. A rejected
+// entry starts slim (derived == nil); the first lookup that needs the
+// derived half re-executes the input once and upgrades the entry in
+// place, so the expensive distillation is paid at most once per entry
+// and only for entries the search actually revisits. Accepted entries
+// are always stored full: every accepted hit needs the block set.
+type cachedFacts struct {
+	accepted bool
+	pathHash uint64
+	derived  *derivedFacts
+}
+
+// derivedFacts is the deriving-run half of the memo: what addChildren
+// and emitValid consume. All slices are owned by the entry (factsOf
+// copies them out of the sink-backed record), so concurrent readers
+// may alias them freely.
+type derivedFacts struct {
+	stack     float64
+	blocks    []uint32
+	trimmed   []uint32
+	lastComps []trace.Comparison
+}
+
+// runFacts materializes the memoised outcome for input, reproducing
+// exactly what a real execution of input would have distilled.
+func (df cachedFacts) runFacts(input []byte) *runFacts {
+	rf := &runFacts{input: input, accepted: df.accepted, pathHash: df.pathHash}
+	if d := df.derived; d != nil {
+		rf.stack = d.stack
+		rf.blocks = d.blocks
+		rf.trimmed = d.trimmed
+		rf.lastComps = d.lastComps
+	}
+	return rf
+}
+
+// derivedOf captures rf's deriving-run half for memoisation.
+func derivedOf(rf *runFacts) *derivedFacts {
+	return &derivedFacts{stack: rf.stack, blocks: rf.blocks, trimmed: rf.trimmed, lastComps: rf.lastComps}
+}
+
+// newCache builds a campaign's execution cache (nil when disabled).
+func newCache(cfg *Config) *pcache.Cache[cachedFacts] {
+	if !cfg.cacheEnabled() {
+		return nil
+	}
+	return pcache.New[cachedFacts](0)
+}
+
+// cachedExec is the one execute-with-memoisation path both engines
+// run: consult the cache, and on a miss execute input through sink and
+// memoise the distilled facts. hit reports whether subject.ExecuteInto
+// was skipped — the executions-per-second win the cache exists for.
+//
+// The cache is semantically transparent: a hit returns facts
+// bit-identical to what the real run would have produced (the
+// conformance kit's cache-transparency property pins this per
+// subject), so campaigns with the cache on or off emit the same corpus
+// at the same execution indices, only faster. A lookup that finds a
+// slim entry when the caller needs derived facts counts as a miss:
+// the input runs for real and the entry upgrades in place.
+// maxDecidedPrefix bounds what the prefix tier admits: a deciding
+// prefix longer than this is effectively input-specific — the odds of
+// a future candidate sharing hundreds of leading bytes but having been
+// generated independently are negligible — so such runs are admitted
+// as exact entries instead, which serves the re-pop hits they do get
+// without growing the per-lookup probe range.
+const maxDecidedPrefix = 64
+
+func cachedExec(cache *pcache.Cache[cachedFacts], prog subject.Program,
+	input []byte, deriving bool, sink *trace.Sink) (rf *runFacts, hit bool) {
+	var slot pcache.Ref
+	upgrade := false
+	if cache != nil {
+		e, ref, ok := cache.Get(input)
+		if ok {
+			if e.derived != nil {
+				return e.runFacts(input), true
+			}
+			if !deriving {
+				// Slim entries are always rejections, whose verdict and
+				// path hash are all a non-deriving caller consumes.
+				return e.runFacts(input), true
+			}
+			upgrade = true
+		}
+		slot = ref
+	}
+	rec := subject.ExecuteInto(prog, input, traceOpts(), sink)
+	if cache == nil {
+		return factsOf(rec, deriving), false
+	}
+	if upgrade {
+		rf = factsOf(rec, true)
+		cache.Set(slot, cachedFacts{accepted: rf.accepted, pathHash: rf.pathHash, derived: derivedOf(rf)})
+		return rf, false
+	}
+	d, decided := rec.DecidedPrefix()
+	decided = decided && d <= maxDecidedPrefix
+	// Distill the derived half eagerly when the caller needs it anyway
+	// (deriving) or when the entry is a deciding prefix: the engine
+	// runs every input's random extension right after the input
+	// itself, so a decided rejection's prefix entry is looked up — by
+	// that extension, with deriving set — within the next call, and
+	// storing it slim would only buy an immediate upgrade
+	// re-execution. Exact-tier rejections from non-deriving runs stay
+	// slim (they serve re-pops, which are non-deriving too) and
+	// upgrade in place on the rare deriving touch.
+	rf = factsOf(rec, deriving || decided)
+	e := cachedFacts{accepted: rf.accepted, pathHash: rf.pathHash}
+	if deriving || decided || rf.accepted {
+		e.derived = derivedOf(rf)
+	}
+	if decided {
+		// Rejected on the prefix alone: every extension of these d
+		// bytes replays this trace, so the entry matches whole families
+		// of future candidates.
+		cache.PutPrefix(rec.Input[:d], e)
+	} else {
+		// Length-dependent outcome (acceptance or EOF rejection, or a
+		// deciding prefix too long to be worth a probe slot): only a
+		// re-execution of the identical input may reuse it. These
+		// recur constantly — every re-pop of a candidate re-runs its
+		// input, and extension runs re-draw earlier extensions — so
+		// all of them are admitted up to the cache's entry bound,
+		// reusing the missed lookup's hash.
+		cache.PutExactAt(slot, e)
+	}
+	return rf, false
+}

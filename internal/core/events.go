@@ -16,6 +16,13 @@ const (
 	// EventPhase reports a hybrid phase-regime switch: Mining is the
 	// new regime, Execs the boundary's execution index.
 	EventPhase
+	// EventCache reports the prefix-decided execution cache's
+	// cumulative counters: Hits, Misses and Execs are set. One report
+	// is emitted at the end of every Step of a cache-enabled campaign,
+	// so the stream is monotone and the final report's Hits+Misses
+	// equals the campaign's execution count. Campaigns with CacheOff
+	// emit none.
+	EventCache
 )
 
 // Event is one typed campaign event. Which fields are meaningful
@@ -30,6 +37,8 @@ type Event struct {
 	Score     float64 // EventPop: the popped candidate's score
 	QueueLen  int     // EventPop: queue length after the pop
 	Mining    bool    // EventPhase: entering (true) or leaving (false) a mining burst
+	Hits      int     // EventCache: cumulative cache hits
+	Misses    int     // EventCache: cumulative cache misses
 }
 
 // emit delivers ev to the configured event sink, if any. With

@@ -4,7 +4,9 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"pfuzzer/internal/pcache"
 	"pfuzzer/internal/pqueue"
 	"pfuzzer/internal/subject"
 	"pfuzzer/internal/trace"
@@ -24,6 +26,9 @@ type outcome struct {
 	primary *runFacts  // the input itself
 	ext     *runFacts  // input + random char; nil if not run
 	execs   int        // executions consumed (1 or 2)
+	hits    int        // executions served from the prefix-decided cache
+	misses  int        // executions that ran the subject (cache enabled)
+	execNS  int64      // wall time spent in the execution layer
 }
 
 // executor is one worker of the concurrent campaign engine. Each
@@ -32,19 +37,21 @@ type outcome struct {
 // with zero shared mutable state; the only cross-goroutine touches
 // are the sharded queue pop and the outcome channel send.
 type executor struct {
-	id   int
-	prog subject.Program
-	cfg  *Config
-	rng  *rand.Rand
-	sink trace.Sink
+	id    int
+	prog  subject.Program
+	cfg   *Config
+	rng   *rand.Rand
+	sink  trace.Sink
+	cache *pcache.Cache[cachedFacts] // campaign-shared; pcache synchronizes internally
 }
 
-func newExecutor(id int, prog subject.Program, cfg *Config) *executor {
+func newExecutor(id int, prog subject.Program, cfg *Config, cache *pcache.Cache[cachedFacts]) *executor {
 	return &executor{
-		id:   id,
-		prog: prog,
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed + int64(id+1)*executorSeedStride)),
+		id:    id,
+		prog:  prog,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed + int64(id+1)*executorSeedStride)),
+		cache: cache,
 	}
 }
 
@@ -52,11 +59,23 @@ func (e *executor) randChar() byte {
 	return e.cfg.Charset[e.rng.Intn(len(e.cfg.Charset))]
 }
 
-// exec runs input once, reusing the executor's sink, and copies the
-// facts out before the sink can be reused; deriving marks runs whose
-// comparisons will seed children.
-func (e *executor) exec(input []byte, deriving bool) *runFacts {
-	return factsOf(subject.ExecuteInto(e.prog, input, traceOpts(), &e.sink), deriving)
+// exec runs input once — or replays its memoised outcome from the
+// campaign-shared prefix-decided cache — reusing the executor's sink,
+// and copies the facts out before the sink can be reused; deriving
+// marks runs whose comparisons will seed children. The hit/miss tally
+// goes into o, whose counts the scheduler folds into the result.
+func (e *executor) exec(input []byte, deriving bool, o *outcome) *runFacts {
+	t0 := time.Now()
+	rf, hit := cachedExec(e.cache, e.prog, input, deriving, &e.sink)
+	o.execNS += time.Since(t0).Nanoseconds()
+	if e.cache != nil {
+		if hit {
+			o.hits++
+		} else {
+			o.misses++
+		}
+	}
+	return rf
 }
 
 // loop pops candidates from the home shard (stealing when it runs
@@ -98,10 +117,11 @@ func (e *executor) loop(q *pqueue.Sharded[*candidate], results chan<- outcome, b
 			cand = nil
 			input = []byte{e.randChar()}
 		}
-		o := outcome{cand: cand, depth: depth, execs: 1, primary: e.exec(input, false)}
+		o := outcome{cand: cand, depth: depth, execs: 1}
+		o.primary = e.exec(input, false, &o)
 		if budget.Add(-1) >= 0 {
 			eInp := append(append(make([]byte, 0, len(input)+1), input...), e.randChar())
-			o.ext = e.exec(eInp, true)
+			o.ext = e.exec(eInp, true, &o)
 			o.execs = 2
 		}
 		select {

@@ -58,15 +58,20 @@ func factsOf(rec *trace.Record, deriving bool) *runFacts {
 	}
 	if deriving || rf.accepted {
 		rf.stack = rec.AvgStackLastTwo()
-		var trimmed map[uint32]bool
+		// Blocks first hit before the final comparison, collected
+		// straight into the slice: the map BlocksBeforeSeq would
+		// allocate per execution buys nothing here, and this runs for
+		// every deriving execution — and, with the cache enabled, for
+		// every miss.
+		cut := int(^uint(0) >> 1)
 		if n := len(rec.Comparisons); n > 0 {
-			trimmed = rec.BlocksBeforeSeq(rec.Comparisons[n-1].Seq + 1)
-		} else {
-			trimmed = rec.CoveredBlocks()
+			cut = rec.Comparisons[n-1].Seq + 1
 		}
-		rf.trimmed = make([]uint32, 0, len(trimmed))
-		for id := range trimmed {
-			rf.trimmed = append(rf.trimmed, id)
+		rf.trimmed = make([]uint32, 0, len(rec.BlockFirst))
+		for id, s := range rec.BlockFirst {
+			if s < cut {
+				rf.trimmed = append(rf.trimmed, id)
+			}
 		}
 		// ComparisonsAt builds a fresh slice of struct copies whose
 		// byte fields point at per-comparison allocations, so it is
@@ -94,11 +99,63 @@ func (f *Fuzzer) pruneIfOvergrown(q pruner) {
 	}
 }
 
+// blockSet is a dense coverage set over block IDs. The score loop
+// probes it once per parent block per candidate per re-scoring pass —
+// the hottest lookup in the whole engine — so membership must be an
+// array index, not a map probe. Subjects number their blocks densely
+// from 0 (registry contract), so the backing slice stays small; a
+// pathological ID beyond the growth cap spills into the overflow map
+// rather than allocating gigabytes.
+type blockSet struct {
+	dense    []bool
+	overflow map[uint32]bool
+}
+
+// blockSetGrowCap bounds the dense tier (4 MiB of bools).
+const blockSetGrowCap = 1 << 22
+
+func (s *blockSet) has(id uint32) bool {
+	if int64(id) < int64(len(s.dense)) {
+		return s.dense[id]
+	}
+	return s.overflow[id]
+}
+
+func (s *blockSet) add(id uint32) {
+	if int64(id) >= int64(len(s.dense)) {
+		if id >= blockSetGrowCap {
+			if s.overflow == nil {
+				s.overflow = make(map[uint32]bool)
+			}
+			s.overflow[id] = true
+			return
+		}
+		grown := make([]bool, id+1)
+		copy(grown, s.dense)
+		s.dense = grown
+	}
+	s.dense[id] = true
+}
+
+// ids returns the member IDs in unspecified order.
+func (s *blockSet) ids() []uint32 {
+	var out []uint32
+	for id, set := range s.dense {
+		if set {
+			out = append(out, uint32(id))
+		}
+	}
+	for id := range s.overflow {
+		out = append(out, id)
+	}
+	return out
+}
+
 // hasNewIDs reports whether any of ids is not yet covered by a valid
 // input.
 func (f *Fuzzer) hasNewIDs(ids []uint32) bool {
 	for _, id := range ids {
-		if !f.vBr[id] {
+		if !f.vBr.has(id) {
 			return true
 		}
 	}
@@ -151,8 +208,9 @@ func (f *Fuzzer) emitValid(rf *runFacts) {
 		f.emit(Event{Kind: EventValid, Input: v.Input, Execs: v.Exec, NewBlocks: v.NewBlocks})
 	}
 	for _, id := range rf.blocks {
-		f.vBr[id] = true
+		f.vBr.add(id)
 	}
+	f.vbrGen++ // parent coverage memos are stale now
 }
 
 // addChildren derives one successor input per comparison made to the
@@ -175,6 +233,10 @@ func (f *Fuzzer) addChildren(rf *runFacts, depth, parentMineGen int, push func(*
 	if parentMineGen > 0 {
 		childGen = parentMineGen + 1
 	}
+	// One shared parentFacts for all of rf's children: siblings score
+	// identically on every parent-derived term, so the score memos
+	// (see parentFacts) amortize across them.
+	pf := &parentFacts{blks: rf.trimmed, stack: rf.stack, path: rf.pathHash}
 	for i := range rf.lastComps {
 		c := &rf.lastComps[i]
 		for _, cand := range f.pick(c) {
@@ -193,9 +255,7 @@ func (f *Fuzzer) addChildren(rf *runFacts, depth, parentMineGen int, push func(*
 			push(&candidate{
 				input:       child,
 				replacement: cand,
-				parentBlks:  rf.trimmed,
-				parentStack: rf.stack,
-				parentPath:  rf.pathHash,
+				parent:      pf,
 				parents:     depth,
 				mineGen:     childGen,
 			})

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"pfuzzer/internal/mine"
+	"pfuzzer/internal/pcache"
 	"pfuzzer/internal/pqueue"
 	"pfuzzer/internal/stepclock"
 	"pfuzzer/internal/subject"
@@ -81,6 +82,24 @@ type Config struct {
 	// scheduler goroutine only, so the sink needs no synchronization
 	// of its own.
 	Events func(Event)
+
+	// Cache controls the prefix-decided execution cache
+	// (internal/pcache, DESIGN.md §10). An execution whose outcome is
+	// already memoised — because the identical input ran before, or a
+	// previous run was rejected on a deciding prefix the input shares
+	// (trace.Record.DecidedPrefix) — skips subject.ExecuteInto and
+	// replays the memoised facts. The cache is semantically
+	// transparent: cached executions still count against the budget
+	// and fire events, so the emitted corpus is bit-identical with the
+	// cache on, off or auto (the conformance kit pins this per
+	// subject); the win is wall-clock. Hit/miss counts surface on
+	// Result and through EventCache.
+	//
+	// The default CacheAuto enables the cache adaptively: campaigns
+	// whose observed hit rate cannot pay for the lookups retire it at
+	// deterministic execution milestones (see maybeRetireCache).
+	// CacheOn keeps it for the whole campaign; CacheOff disables it.
+	Cache CacheMode
 
 	// Workers sets the number of parallel executors. 0 or 1 selects
 	// the serial engine, whose output is bit-for-bit deterministic
@@ -175,6 +194,39 @@ type Result struct {
 	Execs    int
 	Coverage map[uint32]bool // union block coverage of the valid inputs
 	Elapsed  time.Duration
+
+	// ExecElapsed is the cumulative wall time spent inside the
+	// execution layer: subject runs, fact distillation, and — when
+	// enabled — the prefix-decided cache's lookups and inserts. It
+	// isolates the layer Config.Cache optimizes from the engine's
+	// search bookkeeping (queue, scoring, dedup), which cmd/bench
+	// reports as the two throughput levels execs/sec(campaign) and
+	// execs/sec(exec layer). With Workers > 1 it sums the per-executor
+	// times, so it can exceed Elapsed.
+	ExecElapsed time.Duration
+
+	// CacheHits and CacheMisses count executions served from the
+	// prefix-decided cache versus actually run (Config.Cache). With
+	// the cache enabled every execution is one or the other — an
+	// execution after adaptive retirement runs the subject for real,
+	// so it counts as a miss — hence CacheHits + CacheMisses == Execs
+	// at every point of the campaign; with CacheOff both stay 0. They
+	// are diagnostics, not campaign state: Fingerprint ignores them,
+	// and a restored campaign resumes the counters while rebuilding
+	// the cache contents lazily. CacheRetired records that the
+	// CacheAuto rule dropped the cache mid-campaign.
+	CacheHits    int
+	CacheMisses  int
+	CacheRetired bool
+}
+
+// CacheHitRate returns the fraction of executions served from the
+// cache, or 0 before any execution.
+func (r *Result) CacheHitRate() float64 {
+	if r.Execs == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.Execs)
 }
 
 // ValidInputs returns the raw emitted inputs.
@@ -191,28 +243,54 @@ func (r *Result) ValidInputs() [][]byte {
 // re-running the subject (§3.2).
 type candidate struct {
 	input       []byte
-	replacement []byte   // the substituted value ("c" in Algorithm 1)
-	parentBlks  []uint32 // parent's trimmed covered blocks
-	parentStack float64  // parent's avg stack depth at last two comparisons
-	parentPath  uint64   // parent's path hash
-	parents     int      // substitutions on the search path so far
-	retries     int      // times this input was already extended
-	mineGen     int      // mined lineage: 0 = ordinary, 1 = generated from the grammar, k = repair descendant k-1 substitutions later
+	replacement []byte       // the substituted value ("c" in Algorithm 1)
+	parent      *parentFacts // parent-run facts, shared by all siblings (nil: restart or mined input)
+	parents     int          // substitutions on the search path so far
+	retries     int          // times this input was already extended
+	mineGen     int          // mined lineage: 0 = ordinary, 1 = generated from the grammar, k = repair descendant k-1 substitutions later
+}
+
+// parentFacts is the parent-run data every child derived from one
+// execution shares, plus two shortcuts for the score terms that
+// depend only on the parent: a generation-stamped memo of the
+// new-coverage count (constant between emitted valids, stamped with
+// vbrGen) and a direct pointer into the path-frequency table, so the
+// path-novelty penalty is a pointer dereference instead of a map
+// probe. Sharing one struct across siblings turns the engine's
+// hottest loop — re-scoring the whole queue, where every candidate
+// used to re-probe the coverage set and the path table — into one
+// probe pass per parent; the computed values are bit-for-bit the ones
+// the per-candidate recomputation produced, so pop order and the
+// golden sequences are unchanged. The fields are only ever touched by
+// the goroutine that owns campaign state (the serial loop or the
+// scheduler), never by executors.
+type parentFacts struct {
+	blks  []uint32 // parent's trimmed covered blocks
+	stack float64  // parent's avg stack depth at last two comparisons
+	path  uint64   // parent's path hash
+
+	covGen uint64 // vbrGen the coverage memo was computed at
+	covNew int    // memo: blocks in blks not yet covered by valids
+	cnt    *int   // path's live execution counter (lazy; see pathCnt)
 }
 
 // Fuzzer is one parser-directed fuzzing campaign over a subject.
 type Fuzzer struct {
-	cfg  Config
-	prog subject.Program
-	rng  *rand.Rand
-	cs   *countedSource // rng's draw-counting source (snapshot/restore)
-	sink trace.Sink     // serial engine's reusable trace buffers
+	cfg          Config
+	prog         subject.Program
+	rng          *rand.Rand
+	cs           *countedSource             // rng's draw-counting source (snapshot/restore)
+	sink         trace.Sink                 // serial engine's reusable trace buffers
+	cache        *pcache.Cache[cachedFacts] // prefix-decided execution cache (nil = off)
+	cacheCheckAt int                        // next adaptive-retirement milestone (maybeRetireCache)
 
-	vBr       map[uint32]bool // blocks covered by valid inputs
+	vBr    blockSet // blocks covered by valid inputs
+	vbrGen uint64   // bumped on every emitted valid (parentFacts.covGen)
+
 	queue     pqueue.Queue[*candidate]
 	pq        *pqueue.Sharded[*candidate] // parallel engine's queue, created lazily
 	seen      map[string]struct{}         // inputs ever enqueued or run
-	pathSeen  map[uint64]int              // executions per path hash
+	pathSeen  map[uint64]*int             // executions per path hash (pointer-valued so parentFacts can alias the counters)
 	validSeen map[string]struct{}
 
 	res        Result
@@ -254,9 +332,10 @@ func New(prog subject.Program, cfg Config) *Fuzzer {
 		prog:      prog,
 		rng:       rand.New(cs),
 		cs:        cs,
-		vBr:       make(map[uint32]bool),
+		cache:     newCache(&c),
+		vbrGen:    1, // start past the memo zero value
 		seen:      make(map[string]struct{}),
-		pathSeen:  make(map[uint64]int),
+		pathSeen:  make(map[uint64]*int),
 		validSeen: make(map[string]struct{}),
 	}
 }
@@ -317,6 +396,13 @@ func (f *Fuzzer) step(n int) (spent int, more bool) {
 		}
 	}
 	f.res.Elapsed = f.clock.StepEnd()
+	if f.cache != nil {
+		// One cumulative cache report per step: monotone by
+		// construction, and the final report's hits+misses equals the
+		// campaign's execution count (cache_test.go pins both).
+		f.emit(Event{Kind: EventCache, Execs: f.res.Execs,
+			Hits: f.res.CacheHits, Misses: f.res.CacheMisses})
+	}
 	return f.res.Execs - before, !f.campaignOver()
 }
 
@@ -475,6 +561,44 @@ func mineScore(c *candidate) float64 {
 	return base - mineRetryDecay*float64(c.retries) - float64(len(c.input))
 }
 
+// pathCnt returns the live execution counter for path hash h,
+// creating a zero one on first use. Handing the pointer to
+// parentFacts lets score read the current count without a map probe;
+// bumps through bumpPath and reads through the pointer always see the
+// same counter.
+func (f *Fuzzer) pathCnt(h uint64) *int {
+	p := f.pathSeen[h]
+	if p == nil {
+		p = new(int)
+		f.pathSeen[h] = p
+	}
+	return p
+}
+
+// bumpPath counts one execution of path hash h.
+func (f *Fuzzer) bumpPath(h uint64) { *f.pathCnt(h)++ }
+
+// pathPenaltyTab precomputes min(log2(1+n), 8) for small path counts.
+// score calls it once per candidate per re-scoring pass — the single
+// hottest arithmetic in the serial engine's Reorder — and the penalty
+// saturates at 8 from n = 255 on (log2(256) == 8), so a 255-entry
+// table replays math.Log2 bit for bit.
+var pathPenaltyTab = func() [255]float64 {
+	var t [255]float64
+	for n := range t {
+		t[n] = min(math.Log2(1+float64(n)), 8)
+	}
+	return t
+}()
+
+// pathPenalty returns min(log2(1+n), 8) via the precomputed table.
+func pathPenalty(n int) float64 {
+	if n >= 0 && n < len(pathPenaltyTab) {
+		return pathPenaltyTab[n]
+	}
+	return 8
+}
+
 // score computes the queue priority of a candidate (Algorithm 1,
 // heur, with the parent-count sign following the paper's prose: fewer
 // parents rank higher).
@@ -490,11 +614,19 @@ func (f *Fuzzer) score(c *candidate) float64 {
 	if f.cfg.BFS {
 		return -float64(len(c.input))
 	}
+	p := c.parent
 	newBlocks := 0
-	for _, id := range c.parentBlks {
-		if !f.vBr[id] {
-			newBlocks++
+	if p != nil {
+		if p.covGen != f.vbrGen {
+			n := 0
+			for _, id := range p.blks {
+				if !f.vBr.has(id) {
+					n++
+				}
+			}
+			p.covGen, p.covNew = f.vbrGen, n
 		}
+		newBlocks = p.covNew
 	}
 	s := float64(newBlocks)
 	if f.cfg.CoverageOnly {
@@ -506,8 +638,8 @@ func (f *Fuzzer) score(c *candidate) float64 {
 	if !f.cfg.NoReplacementBonus {
 		s += 2 * float64(len(c.replacement))
 	}
-	if !f.cfg.NoStackTerm {
-		s -= c.parentStack
+	if !f.cfg.NoStackTerm && p != nil {
+		s -= p.stack
 	}
 	if !f.cfg.NoParentsTerm {
 		s -= float64(c.parents)
@@ -518,7 +650,17 @@ func (f *Fuzzer) score(c *candidate) float64 {
 		// of novel paths without drowning the replacement bonus that
 		// pulls keyword substitutions forward — children of hot paths
 		// (every identifier run shares one path) must stay reachable.
-		s -= min(math.Log2(1+float64(f.pathSeen[c.parentPath])), 8)
+		if p != nil {
+			if p.cnt == nil {
+				p.cnt = f.pathCnt(p.path)
+			}
+			s -= pathPenalty(*p.cnt)
+		} else if pz := f.pathSeen[0]; pz != nil {
+			// Restart and mined candidates carry no parent path; the
+			// pre-shortcut heuristic looked up hash 0, which no real
+			// path produces, so the penalty is the zero-count one.
+			s -= pathPenalty(*pz)
+		}
 	}
 	s -= 2 * float64(c.retries)
 	return s

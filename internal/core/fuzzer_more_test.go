@@ -3,7 +3,7 @@ package core
 import (
 	"testing"
 
-	"pfuzzer/internal/subject"
+	"pfuzzer/internal/core/coretest"
 	"pfuzzer/internal/subjects/cjson"
 	"pfuzzer/internal/subjects/expr"
 	"pfuzzer/internal/subjects/tinyc"
@@ -132,7 +132,7 @@ func TestAblationsRun(t *testing.T) {
 		cfg.MaxExecs = 2000
 		res := New(tinyc.New(), cfg).Run()
 		for _, v := range res.Valids {
-			rec := subject.Execute(tinyc.New(), v.Input, trace.Full())
+			rec := coretest.ExecFull(tinyc.New(), v.Input)
 			if !rec.Accepted() {
 				t.Errorf("%s: emitted invalid input %q", name, v.Input)
 			}
@@ -147,7 +147,7 @@ func TestCoverageMatchesValids(t *testing.T) {
 	res := f.Run()
 	union := map[uint32]bool{}
 	for _, v := range res.Valids {
-		rec := subject.Execute(expr.New(), v.Input, trace.Full())
+		rec := coretest.ExecFull(expr.New(), v.Input)
 		for id := range rec.BlockFirst {
 			union[id] = true
 		}

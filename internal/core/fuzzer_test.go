@@ -3,10 +3,9 @@ package core
 import (
 	"testing"
 
-	"pfuzzer/internal/subject"
+	"pfuzzer/internal/core/coretest"
 	"pfuzzer/internal/subjects/expr"
 	"pfuzzer/internal/subjects/paren"
-	"pfuzzer/internal/trace"
 )
 
 // TestFuzzExprFindsValidInputs reproduces the §2 walkthrough: starting
@@ -19,7 +18,7 @@ func TestFuzzExprFindsValidInputs(t *testing.T) {
 		t.Fatalf("no valid inputs after %d execs", res.Execs)
 	}
 	for _, v := range res.Valids {
-		rec := subject.Execute(expr.New(), v.Input, trace.Full())
+		rec := coretest.ExecFull(expr.New(), v.Input)
 		if !rec.Accepted() {
 			t.Errorf("emitted input %q is not accepted by the parser", v.Input)
 		}

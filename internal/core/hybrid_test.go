@@ -5,11 +5,11 @@ import (
 	"testing"
 	"time"
 
+	"pfuzzer/internal/core/coretest"
 	"pfuzzer/internal/mine"
 	"pfuzzer/internal/subject"
 	"pfuzzer/internal/subjects/mjs"
 	"pfuzzer/internal/subjects/tinyc"
-	"pfuzzer/internal/trace"
 )
 
 func tinycLexer() mine.Lexer {
@@ -80,7 +80,7 @@ func TestHybridDeterministicSerial(t *testing.T) {
 	// Every emitted input — coverage valids and mined length records
 	// alike — must be accepted by the parser.
 	for _, v := range res1.Valids {
-		rec := subject.Execute(tinyc.New(), v.Input, trace.Options{})
+		rec := coretest.ExecFull(tinyc.New(), v.Input)
 		if !rec.Accepted() {
 			t.Errorf("emitted input %q is not accepted", v.Input)
 		}
@@ -153,7 +153,7 @@ func TestHybridParallelValidatesMined(t *testing.T) {
 			t.Errorf("duplicate valid input %q", v.Input)
 		}
 		seen[string(v.Input)] = true
-		rec := subject.Execute(tinyc.New(), v.Input, trace.Full())
+		rec := coretest.ExecFull(tinyc.New(), v.Input)
 		if !rec.Accepted() {
 			t.Errorf("emitted input %q is not accepted", v.Input)
 		}

@@ -3,10 +3,9 @@ package core
 import (
 	"testing"
 
-	"pfuzzer/internal/subject"
+	"pfuzzer/internal/core/coretest"
 	"pfuzzer/internal/subjects/cjson"
 	"pfuzzer/internal/subjects/expr"
-	"pfuzzer/internal/trace"
 )
 
 // TestParallelFindsValidInputs runs the concurrent engine and checks
@@ -23,7 +22,7 @@ func TestParallelFindsValidInputs(t *testing.T) {
 			t.Fatalf("workers=%d: no valid inputs after %d execs", workers, res.Execs)
 		}
 		for _, v := range res.Valids {
-			rec := subject.Execute(expr.New(), v.Input, trace.Full())
+			rec := coretest.ExecFull(expr.New(), v.Input)
 			if !rec.Accepted() {
 				t.Errorf("workers=%d: emitted input %q is not accepted", workers, v.Input)
 			}
@@ -49,7 +48,7 @@ func TestParallelCoverageIsUnionOfValids(t *testing.T) {
 	res := New(expr.New(), Config{Seed: 3, MaxExecs: 6000, Workers: 3}).Run()
 	union := map[uint32]bool{}
 	for _, v := range res.Valids {
-		rec := subject.Execute(expr.New(), v.Input, trace.Full())
+		rec := coretest.ExecFull(expr.New(), v.Input)
 		for id := range rec.BlockFirst {
 			union[id] = true
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pfuzzer/internal/pqueue"
 )
@@ -62,7 +63,7 @@ func (f *Fuzzer) runParallel() {
 	f.phases++
 	for i := 0; i < nw; i++ {
 		wg.Add(1)
-		go newExecutor(i+(f.phases-1)*nw, f.prog, &f.cfg).loop(q, results, &budget, stop, &wg, i)
+		go newExecutor(i+(f.phases-1)*nw, f.prog, &f.cfg, f.cache).loop(q, results, &budget, stop, &wg, i)
 	}
 	go func() {
 		wg.Wait()
@@ -113,9 +114,15 @@ func (f *Fuzzer) ensureSharded(shards int) *pqueue.Sharded[*candidate] {
 func (f *Fuzzer) applyOutcome(o *outcome, q *pqueue.Sharded[*candidate], dirty *bool) {
 	push := func(cd *candidate) { q.Push(cd, f.score(cd)) }
 	f.res.Execs += o.execs
-	f.pathSeen[o.primary.pathHash]++
+	f.res.CacheHits += o.hits
+	f.res.CacheMisses += o.misses
+	f.res.ExecElapsed += time.Duration(o.execNS)
+	if f.cache != nil {
+		f.maybeRetireCache()
+	}
+	f.bumpPath(o.primary.pathHash)
 	if o.ext != nil {
-		f.pathSeen[o.ext.pathHash]++
+		f.bumpPath(o.ext.pathHash)
 	}
 
 	// Mirror the serial engine's case split exactly. Valid with new

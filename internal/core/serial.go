@@ -1,8 +1,6 @@
 package core
 
-import (
-	"pfuzzer/internal/subject"
-)
+import "time"
 
 // runSerial executes the campaign on a single goroutine, popping one
 // candidate at a time and re-scoring the queue after every valid
@@ -66,14 +64,25 @@ func (f *Fuzzer) runSerial() {
 	}
 }
 
-// execFacts runs input once against the subject, reusing the serial
-// engine's trace sink, and distills the record into run facts;
-// deriving marks runs whose comparisons will seed children.
+// execFacts runs input once against the subject — or replays its
+// memoised outcome when the prefix-decided cache already holds it —
+// reusing the serial engine's trace sink, and distills the record into
+// run facts; deriving marks runs whose comparisons will seed children.
 func (f *Fuzzer) execFacts(input []byte, deriving bool) *runFacts {
 	f.res.Execs++
-	rec := subject.ExecuteInto(f.prog, input, traceOpts(), &f.sink)
-	f.pathSeen[rec.PathHash]++
-	return factsOf(rec, deriving)
+	t0 := time.Now()
+	rf, hit := cachedExec(f.cache, f.prog, input, deriving, &f.sink)
+	f.res.ExecElapsed += time.Since(t0)
+	if f.cache != nil {
+		if hit {
+			f.res.CacheHits++
+		} else {
+			f.res.CacheMisses++
+		}
+		f.maybeRetireCache()
+	}
+	f.bumpPath(rf.pathHash)
+	return rf
 }
 
 // checkRun executes input and, if it is valid and covers new code,

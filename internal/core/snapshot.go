@@ -45,6 +45,7 @@ type SavedConfig struct {
 	MaxQueue      int      `json:"max_queue"`
 	Charset       []byte   `json:"charset"`
 	DeadlineNS    int64    `json:"deadline_ns,omitempty"`
+	Cache         int      `json:"cache,omitempty"`
 	Workers       int      `json:"workers,omitempty"`
 	Shards        int      `json:"shards,omitempty"`
 	Generation    int      `json:"generation,omitempty"`
@@ -67,7 +68,8 @@ func savedConfig(c *Config) SavedConfig {
 	return SavedConfig{
 		Seed: c.Seed, MaxExecs: c.MaxExecs, MaxValids: c.MaxValids,
 		MaxLen: c.MaxLen, MaxQueue: c.MaxQueue, Charset: c.Charset,
-		DeadlineNS: int64(c.Deadline), Workers: c.Workers, Shards: c.Shards,
+		DeadlineNS: int64(c.Deadline), Cache: int(c.Cache),
+		Workers: c.Workers, Shards: c.Shards,
 		Generation: c.Generation, MinePhase: c.MinePhase, MineBudget: c.MineBudget,
 		MineMaxTokens: c.MineMaxTokens, MineCadence: c.MineCadence, MineSeeds: c.MineSeeds,
 		NoLengthTerm: c.NoLengthTerm, NoReplacementBonus: c.NoReplacementBonus,
@@ -80,7 +82,8 @@ func (sc *SavedConfig) config() Config {
 	return Config{
 		Seed: sc.Seed, MaxExecs: sc.MaxExecs, MaxValids: sc.MaxValids,
 		MaxLen: sc.MaxLen, MaxQueue: sc.MaxQueue, Charset: sc.Charset,
-		Deadline: time.Duration(sc.DeadlineNS), Workers: sc.Workers, Shards: sc.Shards,
+		Deadline: time.Duration(sc.DeadlineNS), Cache: CacheMode(sc.Cache),
+		Workers: sc.Workers, Shards: sc.Shards,
 		Generation: sc.Generation, MinePhase: sc.MinePhase, MineBudget: sc.MineBudget,
 		MineMaxTokens: sc.MineMaxTokens, MineCadence: sc.MineCadence, MineSeeds: sc.MineSeeds,
 		NoLengthTerm: sc.NoLengthTerm, NoReplacementBonus: sc.NoReplacementBonus,
@@ -113,20 +116,31 @@ type SnapCandidate struct {
 }
 
 func snapCandidate(cd *candidate, score float64, shard int) SnapCandidate {
-	return SnapCandidate{
-		Input: cd.input, Replacement: cd.replacement, ParentBlks: cd.parentBlks,
-		ParentStack: cd.parentStack, ParentPath: cd.parentPath,
+	sc := SnapCandidate{
+		Input: cd.input, Replacement: cd.replacement,
 		Parents: cd.parents, Retries: cd.retries, MineGen: cd.mineGen,
 		Score: score, Shard: shard,
 	}
+	if cd.parent != nil {
+		sc.ParentBlks = cd.parent.blks
+		sc.ParentStack = cd.parent.stack
+		sc.ParentPath = cd.parent.path
+	}
+	return sc
 }
 
 func (sc *SnapCandidate) candidate() *candidate {
-	return &candidate{
-		input: sc.Input, replacement: sc.Replacement, parentBlks: sc.ParentBlks,
-		parentStack: sc.ParentStack, parentPath: sc.ParentPath,
+	cd := &candidate{
+		input: sc.Input, replacement: sc.Replacement,
 		parents: sc.Parents, retries: sc.Retries, mineGen: sc.MineGen,
 	}
+	if len(sc.ParentBlks) > 0 || sc.ParentStack != 0 || sc.ParentPath != 0 {
+		// The snapshot flattens the shared parentFacts per candidate;
+		// rebuilding them unshared only forfeits memo reuse across
+		// former siblings, never a score value.
+		cd.parent = &parentFacts{blks: sc.ParentBlks, stack: sc.ParentStack, path: sc.ParentPath}
+	}
+	return cd
 }
 
 // PathCount is one path-frequency entry in a Snapshot.
@@ -165,18 +179,23 @@ type Snapshot struct {
 	Version int         `json:"version"`
 	Config  SavedConfig `json:"config"`
 
-	Execs        int         `json:"execs"`
-	ElapsedNS    int64       `json:"elapsed_ns"`
-	RNGDraws     uint64      `json:"rng_draws"`
-	Phases       int         `json:"phases,omitempty"`
-	Began        bool        `json:"began"`
-	LongestValid int         `json:"longest_valid,omitempty"`
-	MiningActive bool        `json:"mining_active,omitempty"`
-	Valids       []SnapValid `json:"valids,omitempty"`
-	Coverage     []uint32    `json:"coverage,omitempty"`
-	VBr          []uint32    `json:"vbr,omitempty"`
-	Seen         [][]byte    `json:"seen,omitempty"`
-	PathSeen     []PathCount `json:"path_seen,omitempty"`
+	Execs         int         `json:"execs"`
+	CacheHits     int         `json:"cache_hits,omitempty"`
+	CacheMisses   int         `json:"cache_misses,omitempty"`
+	CacheRetired  bool        `json:"cache_retired,omitempty"`
+	CacheCheckAt  int         `json:"cache_check_at,omitempty"`
+	ElapsedNS     int64       `json:"elapsed_ns"`
+	ExecElapsedNS int64       `json:"exec_elapsed_ns,omitempty"`
+	RNGDraws      uint64      `json:"rng_draws"`
+	Phases        int         `json:"phases,omitempty"`
+	Began         bool        `json:"began"`
+	LongestValid  int         `json:"longest_valid,omitempty"`
+	MiningActive  bool        `json:"mining_active,omitempty"`
+	Valids        []SnapValid `json:"valids,omitempty"`
+	Coverage      []uint32    `json:"coverage,omitempty"`
+	VBr           []uint32    `json:"vbr,omitempty"`
+	Seen          [][]byte    `json:"seen,omitempty"`
+	PathSeen      []PathCount `json:"path_seen,omitempty"`
 
 	Queue []SnapCandidate `json:"queue,omitempty"`
 
@@ -219,20 +238,25 @@ func sortedIDs(m map[uint32]bool) []uint32 {
 func (c *Campaign) Snapshot() *Snapshot {
 	f := c.f
 	s := &Snapshot{
-		Version:      snapshotVersion,
-		Config:       savedConfig(&f.cfg),
-		Execs:        f.res.Execs,
-		ElapsedNS:    int64(f.clock.Active()),
-		RNGDraws:     f.cs.draws,
-		Phases:       f.phases,
-		Began:        f.began,
-		LongestValid: f.longestValid,
-		MiningActive: f.miningActive,
-		SStarted:     f.sStarted,
-		SInput:       append([]byte(nil), f.sInput...),
-		SExt:         append([]byte(nil), f.sExt...),
-		CurParents:   f.curParents,
-		CurMineGen:   f.curMineGen,
+		Version:       snapshotVersion,
+		Config:        savedConfig(&f.cfg),
+		Execs:         f.res.Execs,
+		CacheHits:     f.res.CacheHits,
+		CacheMisses:   f.res.CacheMisses,
+		CacheRetired:  f.res.CacheRetired,
+		CacheCheckAt:  f.cacheCheckAt,
+		ExecElapsedNS: int64(f.res.ExecElapsed),
+		ElapsedNS:     int64(f.clock.Active()),
+		RNGDraws:      f.cs.draws,
+		Phases:        f.phases,
+		Began:         f.began,
+		LongestValid:  f.longestValid,
+		MiningActive:  f.miningActive,
+		SStarted:      f.sStarted,
+		SInput:        append([]byte(nil), f.sInput...),
+		SExt:          append([]byte(nil), f.sExt...),
+		CurParents:    f.curParents,
+		CurMineGen:    f.curMineGen,
 	}
 	for i := range f.res.Valids {
 		v := &f.res.Valids[i]
@@ -241,13 +265,14 @@ func (c *Campaign) Snapshot() *Snapshot {
 	if f.res.Coverage != nil {
 		s.Coverage = sortedIDs(f.res.Coverage)
 	}
-	s.VBr = sortedIDs(f.vBr)
+	s.VBr = f.vBr.ids()
+	sort.Slice(s.VBr, func(i, j int) bool { return s.VBr[i] < s.VBr[j] })
 	for k := range f.seen {
 		s.Seen = append(s.Seen, []byte(k))
 	}
 	sort.Slice(s.Seen, func(i, j int) bool { return bytes.Compare(s.Seen[i], s.Seen[j]) < 0 })
 	for h, n := range f.pathSeen {
-		s.PathSeen = append(s.PathSeen, PathCount{Hash: h, Count: n})
+		s.PathSeen = append(s.PathSeen, PathCount{Hash: h, Count: *n})
 	}
 	sort.Slice(s.PathSeen, func(i, j int) bool { return s.PathSeen[i].Hash < s.PathSeen[j].Hash })
 	for _, it := range f.queue.Dump() {
@@ -311,6 +336,13 @@ func Restore(prog subject.Program, cfg Config, s *Snapshot) (*Campaign, error) {
 	if cfg.Deadline > 0 {
 		base.Deadline = cfg.Deadline
 	}
+	if cfg.Cache != CacheAuto {
+		// An explicit CacheOn/CacheOff overrides the saved mode — safe
+		// either way, since the cache never changes what a campaign
+		// emits. The contents are not serialized; a resumed campaign
+		// rebuilds them lazily and only the counters carry over.
+		base.Cache = cfg.Cache
+	}
 	f := New(prog, base)
 	f.ran = true
 
@@ -329,19 +361,39 @@ func Restore(prog subject.Program, cfg Config, s *Snapshot) (*Campaign, error) {
 	f.clock.Load(time.Duration(s.ElapsedNS))
 	f.res.Elapsed = time.Duration(s.ElapsedNS)
 	f.res.Execs = s.Execs
+	f.res.CacheHits = s.CacheHits
+	f.res.CacheMisses = s.CacheMisses
+	f.res.CacheRetired = s.CacheRetired
+	f.cacheCheckAt = s.CacheCheckAt
+	if s.CacheRetired {
+		if f.cache != nil && base.Cache == CacheAuto {
+			// The adaptive rule had already dropped the cache;
+			// resurrect the decision, not the storage, so the retired
+			// flag stays truthful and the resumed campaign keeps
+			// counting misses the way the interrupted one would have.
+			f.cache.Retire()
+		} else {
+			// An explicit CacheOn/CacheOff override supersedes the old
+			// adaptive verdict; the flag describes this campaign's
+			// cache, which is live (or absent) again.
+			f.res.CacheRetired = false
+		}
+	}
+	f.res.ExecElapsed = time.Duration(s.ExecElapsedNS)
 	for i := range s.Valids {
 		v := &s.Valids[i]
 		f.res.Valids = append(f.res.Valids, Valid{Input: v.Input, NewBlocks: v.NewBlocks, Exec: v.Exec})
 		f.validSeen[string(v.Input)] = struct{}{}
 	}
 	for _, id := range s.VBr {
-		f.vBr[id] = true
+		f.vBr.add(id)
 	}
 	for _, k := range s.Seen {
 		f.seen[string(k)] = struct{}{}
 	}
 	for _, pc := range s.PathSeen {
-		f.pathSeen[pc.Hash] = pc.Count
+		n := pc.Count
+		f.pathSeen[pc.Hash] = &n
 	}
 	f.phases = s.Phases
 	f.longestValid = s.LongestValid

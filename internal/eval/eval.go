@@ -83,6 +83,12 @@ type Budget struct {
 	// FleetSlice is the per-step execution slice pFuzzer campaigns
 	// are multiplexed at (0 = the fleet default, 4096).
 	FleetSlice int
+	// Cache sets the pFuzzer campaigns' execution-cache mode
+	// (core.Config.Cache). The zero value keeps the adaptive default;
+	// the cache is semantically transparent, so every setting produces
+	// identical numbers — only the campaign wall-clock and the
+	// reported hit rates change.
+	Cache core.CacheMode
 }
 
 // DefaultBudget approximates the paper's effective execution counts:
@@ -130,6 +136,22 @@ type SubjectResult struct {
 	CoveragePct float64 // Figure 2 value
 	TokenCov    tokens.Coverage
 	Elapsed     time.Duration
+
+	// CacheHits / CacheMisses are the pFuzzer engines' execution-cache
+	// counters (zero for the AFL and KLEE baselines, which have no
+	// cache). They are throughput diagnostics: the cache never changes
+	// a campaign's corpus or coverage.
+	CacheHits   int
+	CacheMisses int
+}
+
+// CacheHitRate returns the fraction of executions served from the
+// execution cache.
+func (r *SubjectResult) CacheHitRate() float64 {
+	if r.Execs == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.Execs)
 }
 
 // Run executes one tool on one subject with the given budget and
@@ -196,6 +218,18 @@ func newCell(entry registry.Entry, tool Tool, budget Budget, rep int) *cell {
 		pfSlice = budget.PFuzzerExecs + budget.EffectiveMineExecs()
 	}
 
+	// collectCore distills a pFuzzer-engine campaign, carrying the
+	// execution-cache counters along with the paper metrics.
+	collectCore := func(f *core.Campaign) func() SubjectResult {
+		return func() SubjectResult {
+			r := f.Result()
+			out := finalize(r.Execs, r.ValidInputs(), r.Coverage, r.Elapsed)
+			out.CacheHits = r.CacheHits
+			out.CacheMisses = r.CacheMisses
+			return out
+		}
+	}
+
 	switch tool {
 	case PFuzzer:
 		f := core.NewCampaign(prog, core.Config{
@@ -203,12 +237,10 @@ func newCell(entry registry.Entry, tool Tool, budget Budget, rep int) *cell {
 			MaxExecs: budget.PFuzzerExecs,
 			Deadline: budget.Deadline,
 			Workers:  budget.Workers,
+			Cache:    budget.Cache,
 		})
 		c.job = &campaign.Job{Name: name, Runner: f, Slice: pfSlice}
-		c.collect = func() SubjectResult {
-			r := f.Result()
-			return finalize(r.Execs, r.ValidInputs(), r.Coverage, r.Elapsed)
-		}
+		c.collect = collectCore(f)
 	case PFuzzerMine:
 		mineExecs := budget.EffectiveMineExecs()
 		f := core.NewCampaign(prog, core.Config{
@@ -226,12 +258,10 @@ func newCell(entry registry.Entry, tool Tool, budget Budget, rep int) *cell {
 			MineLexer:   entry.Lexer,
 			Deadline:    budget.Deadline,
 			Workers:     budget.Workers,
+			Cache:       budget.Cache,
 		})
 		c.job = &campaign.Job{Name: name, Runner: f, Slice: pfSlice}
-		c.collect = func() SubjectResult {
-			r := f.Result()
-			return finalize(r.Execs, r.ValidInputs(), r.Coverage, r.Elapsed)
-		}
+		c.collect = collectCore(f)
 	case AFL:
 		f := afl.New(prog, afl.Config{
 			Seed:     seed,

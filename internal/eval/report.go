@@ -128,13 +128,20 @@ func SummaryReport(results []SubjectResult) string {
 
 // ExecsReport renders executions and valid-input counts per campaign,
 // documenting the orders-of-magnitude gap between AFL and pFuzzer.
+// The cache column reports the pFuzzer engines' execution-cache hit
+// rate ("-" for the baselines, which have no cache).
 func ExecsReport(results []SubjectResult) string {
-	rows := [][]string{{"Subject", "Tool", "Execs", "Valid inputs", "Coverage %"}}
+	rows := [][]string{{"Subject", "Tool", "Execs", "Valid inputs", "Coverage %", "Cache hit %"}}
 	for _, r := range results {
+		cache := "-"
+		if r.CacheHits+r.CacheMisses > 0 {
+			cache = fmt.Sprintf("%.1f", 100*r.CacheHitRate())
+		}
 		rows = append(rows, []string{
 			r.Subject, string(r.Tool),
 			strconv.Itoa(r.Execs), strconv.Itoa(len(r.Valids)),
 			fmt.Sprintf("%.1f", r.CoveragePct),
+			cache,
 		})
 	}
 	return textplot.Table("Campaign statistics.", rows)
@@ -143,7 +150,8 @@ func ExecsReport(results []SubjectResult) string {
 // CSV renders the full result matrix as CSV rows (for results/).
 func CSV(results []SubjectResult) [][]string {
 	rows := [][]string{{"subject", "tool", "execs", "valids", "blocks", "covered", "coverage_pct",
-		"tokens_found", "tokens_total", "short_found", "short_total", "long_found", "long_total"}}
+		"tokens_found", "tokens_total", "short_found", "short_total", "long_found", "long_total",
+		"cache_hits", "cache_misses"}}
 	for _, r := range results {
 		sf, st, lf, lt := r.TokenCov.Split(3)
 		rows = append(rows, []string{
@@ -153,6 +161,7 @@ func CSV(results []SubjectResult) [][]string {
 			fmt.Sprintf("%.2f", r.CoveragePct),
 			strconv.Itoa(r.TokenCov.FoundCount()), strconv.Itoa(r.TokenCov.Inventory.Count()),
 			strconv.Itoa(sf), strconv.Itoa(st), strconv.Itoa(lf), strconv.Itoa(lt),
+			strconv.Itoa(r.CacheHits), strconv.Itoa(r.CacheMisses),
 		})
 	}
 	return rows

@@ -1,0 +1,60 @@
+package mine
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets for the mining lexers (go test -fuzz, seed
+// corpora under testdata/fuzz/). These are crash hunts, not semantic
+// oracles: the lexers are fed raw fuzzer output by the hybrid
+// campaign, so arbitrary bytes must never panic or read out of
+// bounds — the trailing-backslash slice-bounds crash fixed in PR 2 is
+// exactly the class they guard against. The one cheap structural
+// invariant asserted is that spellings are non-overlapping input
+// substrings (their total length cannot exceed the input's), which
+// holds for every lexer by construction and costs nothing to check.
+
+// lexInvariants runs one lexer over data and checks the substring
+// invariant; the real assertion is that lex neither panics nor slices
+// out of bounds.
+func lexInvariants(t *testing.T, lex Lexer, data []byte) {
+	total := 0
+	for _, tok := range lex(data) {
+		if tok.Spelling == "" {
+			t.Fatalf("lexer produced an empty spelling (class %q) on %q", tok.Class, data)
+		}
+		total += len(tok.Spelling)
+	}
+	if total > len(data) {
+		t.Fatalf("lexer spellings cover %d bytes of a %d-byte input %q", total, len(data), data)
+	}
+}
+
+func FuzzSimpleLexer(f *testing.F) {
+	f.Add([]byte("while (a < 10) { a = a + 1; }"))
+	f.Add([]byte(`{"key": "va\"lue", "n": [1, 2.5]}`))
+	f.Add([]byte("\"unterminated \\"))
+	f.Add([]byte("_id$ 007 x9"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lex := SimpleLexer([]string{"while", "if", "else", "true", "false", "null"})
+		lexInvariants(t, lex, data)
+		// The miner's growth path must digest arbitrary corpora too.
+		g := NewGrammar(lex)
+		g.Add(data)
+		g.Add(bytes.ToUpper(data))
+	})
+}
+
+func FuzzDelimLexer(f *testing.F) {
+	f.Add([]byte("[section]\nkey = value\n; comment\n"))
+	f.Add([]byte("a,b,\"c,d\"\ne,f,g\n"))
+	f.Add([]byte(",,\n,"))
+	f.Add([]byte("==[ ]=\t\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lexInvariants(t, DelimLexer("[]=;\n", "text"), data)
+		lexInvariants(t, DelimLexer(",\n", "field"), data)
+		g := NewGrammar(DelimLexer("[]=;\n", "text"))
+		g.Add(data)
+	})
+}

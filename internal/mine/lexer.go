@@ -59,7 +59,13 @@ func SimpleLexer(keywords []string) Lexer {
 				out = append(out, Lexeme{Class: "string", Spelling: string(input[i:j])})
 				i = j
 			default:
-				out = append(out, Lexeme{Class: string(b), Spelling: string(b)})
+				// Slice the input rather than converting the byte:
+				// string(b) on a byte is a rune conversion, so 0x80..0xff
+				// would UTF-8-encode into a two-byte spelling that is not
+				// an input substring — found by FuzzSimpleLexer, and
+				// fatal to the Render ∘ lex identity on non-ASCII bytes.
+				s := string(input[i : i+1])
+				out = append(out, Lexeme{Class: s, Spelling: s})
 				i++
 			}
 		}
@@ -88,7 +94,10 @@ func DelimLexer(delims string, text string) Lexer {
 			b := input[i]
 			switch {
 			case isDelim[b]:
-				out = append(out, Lexeme{Class: string(b), Spelling: string(b)})
+				// input[i:i+1], not string(b): see SimpleLexer's default
+				// case — a byte conversion would UTF-8-encode >= 0x80.
+				s := string(input[i : i+1])
+				out = append(out, Lexeme{Class: s, Spelling: s})
 				i++
 			case b == ' ' || b == '\t' || b == '\r':
 				i++

@@ -1,0 +1,289 @@
+// Package pcache is the prefix-decided execution cache behind
+// core.Config.Cache: a memo table over subject executions that lets
+// the campaign engines skip re-running inputs whose outcome is already
+// known. It exploits the structure of parser-directed search — almost
+// every candidate the engine executes shares a long, already-decided
+// prefix with a previously executed input — through two tiers:
+//
+//   - *deciding prefixes*: when an execution was rejected on a prefix
+//     alone (trace.Record.DecidedPrefix), any later input sharing that
+//     prefix is rejected with the identical trace, so the memoised
+//     outcome stands in for a real run;
+//   - exact inputs for everything else (acceptances and EOF-decided
+//     rejections), sound because subjects are deterministic:
+//     re-executing the very same input — which the engines do on every
+//     candidate re-pop — replays the same trace.
+//
+// Both tiers live in one flat table keyed by a 128-bit rolling hash of
+// the bytes, with a bitset recording which prefix lengths hold
+// entries. A lookup is a single arithmetic pass over the input that
+// probes the table at each populated length and once more for the
+// exact tier — no trie to chase and no stored key bytes to compare,
+// which keeps the cache's memory footprint (and the cash-line traffic
+// it steals from the engine's own hot loops) to ~40 bytes per entry.
+// Keys are compared by hash only: with 128 independent bits the odds
+// of any collision over a campaign's worth of entries are far below
+// 1e-20, and the engine-level cache-transparency property
+// (internal/conformance) would surface one as a fingerprint mismatch.
+//
+// The cache is value-generic, safe for concurrent use (the parallel
+// engine's executors share one per campaign), bounded, and
+// deterministic: a full cache stops admitting entries instead of
+// evicting, so a lookup's answer never depends on timing.
+//
+// Contract for Get: a stored deciding prefix of the input wins over an
+// exact entry, and among nested deciding prefixes the shortest wins.
+// In the intended use these can never disagree — a deciding prefix and
+// any executed extension of it carry identical facts by the subject
+// contract — so the order only fixes which equivalent copy is
+// returned.
+package pcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultLimit is the entry bound used when New is given 0.
+const DefaultLimit = 1 << 18
+
+// key is the 128-bit identity of a stored byte string (plus tier tag).
+type key [2]uint64
+
+// Two independent 64-bit rolling hashes: FNV-1a and a
+// multiply-shift-free variant with a splitmix-style odd multiplier.
+// Both consume one byte per step, so prefix probes reuse the running
+// state of a single left-to-right pass.
+const (
+	seed1  = 14695981039346656037
+	prime1 = 1099511628211
+	seed2  = 0x9e3779b97f4a7c15
+	mult2  = 0xff51afd7ed558ccd
+)
+
+// exactTag separates the exact tier's keys from the prefix tier's, so
+// an exact entry can never match a proper extension of its input.
+const exactTag = 0x9ddfea08eb382d69
+
+func step(h1, h2 uint64, b byte) (uint64, uint64) {
+	return (h1 ^ uint64(b)) * prime1, (h2 + uint64(b) + 1) * mult2
+}
+
+// bloomWords sizes the negative filter in front of the table: 64 KiB
+// (2^13 words, 2^19 bits), small enough to stay resident in L2 while
+// the engine hammers it, large enough that even a full cache
+// (DefaultLimit entries, two bits each) answers most absent probes
+// with two loads of hot memory instead of a main-memory map probe.
+// The filter is append-only like the cache itself, so false positives
+// only cost a map probe — never a wrong answer.
+const (
+	bloomWords = 1 << 13
+	bloomMask  = bloomWords*64 - 1
+)
+
+// Cache is a bounded, concurrency-safe prefix/exact memo table.
+type Cache[V any] struct {
+	retired atomic.Bool // Retire was called: all operations are no-ops
+	mu      sync.RWMutex
+	m       map[key]V
+	lens    []uint64 // bitset: prefix lengths with at least one entry
+	bloom   []uint64 // negative filter over stored keys
+	limit   int
+}
+
+// New returns an empty cache bounded to limit stored entries across
+// both tiers (0 = DefaultLimit).
+func New[V any](limit int) *Cache[V] {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Cache[V]{m: make(map[key]V), bloom: make([]uint64, bloomWords), limit: limit}
+}
+
+// bloomBits derives the two filter bit positions of a key from
+// independent halves of its 128 bits.
+func bloomBits(k key) (uint64, uint64) {
+	return k[0] & bloomMask, (k[0]>>32 ^ k[1]) & bloomMask
+}
+
+// mayContain reports whether k could be stored (false = definitely
+// absent).
+func (c *Cache[V]) mayContain(k key) bool {
+	b1, b2 := bloomBits(k)
+	return c.bloom[b1>>6]&(1<<(b1&63)) != 0 && c.bloom[b2>>6]&(1<<(b2&63)) != 0
+}
+
+func (c *Cache[V]) bloomAdd(k key) {
+	b1, b2 := bloomBits(k)
+	c.bloom[b1>>6] |= 1 << (b1 & 63)
+	c.bloom[b2>>6] |= 1 << (b2 & 63)
+}
+
+func (c *Cache[V]) lenBit(n int) bool {
+	w := n >> 6
+	return w < len(c.lens) && c.lens[w]&(1<<(n&63)) != 0
+}
+
+func (c *Cache[V]) setLenBit(n int) {
+	w := n >> 6
+	for w >= len(c.lens) {
+		c.lens = append(c.lens, 0)
+	}
+	c.lens[w] |= 1 << (n & 63)
+}
+
+// Ref identifies an entry slot returned by Get. After a hit it
+// addresses the entry that answered, so a caller holding richer facts
+// for the same bytes can upgrade it in place with Set; after a miss
+// it addresses the input's (absent) exact slot, so PutExactAt can
+// admit the fresh outcome without re-hashing the input. The zero Ref
+// is inert in both.
+type Ref struct {
+	k  key
+	ok bool // an entry exists at k
+}
+
+// Get returns the memoised value for input: the value of the shortest
+// stored deciding prefix of input, or failing that the input's exact
+// entry.
+func (c *Cache[V]) Get(input []byte) (V, Ref, bool) {
+	if c.retired.Load() {
+		var zero V
+		return zero, Ref{}, false
+	}
+	c.mu.RLock()
+	if c.m == nil {
+		// Retire won the race between the flag check above and the
+		// lock: the storage (bloom included) is already gone.
+		c.mu.RUnlock()
+		var zero V
+		return zero, Ref{}, false
+	}
+	h1, h2 := uint64(seed1), uint64(seed2)
+	if c.lenBit(0) {
+		if v, ok := c.m[key{h1, h2}]; ok {
+			c.mu.RUnlock()
+			return v, Ref{k: key{h1, h2}, ok: true}, true
+		}
+	}
+	for i := 0; i < len(input); i++ {
+		h1, h2 = step(h1, h2, input[i])
+		if c.lenBit(i + 1) {
+			if k := (key{h1, h2}); c.mayContain(k) {
+				if v, ok := c.m[k]; ok {
+					c.mu.RUnlock()
+					return v, Ref{k: k, ok: true}, true
+				}
+			}
+		}
+	}
+	k := key{h1, h2 ^ exactTag}
+	if c.mayContain(k) {
+		if v, ok := c.m[k]; ok {
+			c.mu.RUnlock()
+			return v, Ref{k: k, ok: true}, true
+		}
+	}
+	c.mu.RUnlock()
+	var zero V
+	return zero, Ref{k: k}, false
+}
+
+// Set overwrites the entry r addresses (a no-op for the zero Ref or a
+// never-admitted entry). Concurrent Sets of the same entry are safe;
+// in the intended use racing writers carry equivalent values, so
+// either winning is fine.
+func (c *Cache[V]) Set(r Ref, v V) {
+	if !r.ok {
+		return
+	}
+	c.mu.Lock()
+	if _, exists := c.m[r.k]; exists {
+		c.m[r.k] = v
+	}
+	c.mu.Unlock()
+}
+
+// hash runs the rolling pass over all of b.
+func hash(b []byte) (uint64, uint64) {
+	h1, h2 := uint64(seed1), uint64(seed2)
+	for _, c := range b {
+		h1, h2 = step(h1, h2, c)
+	}
+	return h1, h2
+}
+
+// PutPrefix stores v as the outcome decided by prefix: any input
+// starting with these bytes will Get v. It reports whether the entry
+// was stored — false when the cache is full or the prefix already has
+// a value (first write wins; in the intended use a second write could
+// only carry the identical facts).
+func (c *Cache[V]) PutPrefix(prefix []byte, v V) bool {
+	h1, h2 := hash(prefix)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.put(key{h1, h2}, len(prefix), v)
+}
+
+// PutExact stores v as the outcome of exactly input (no extension
+// matches it). It reports whether the entry was stored — false when
+// the cache is full or the input already has an exact entry.
+func (c *Cache[V]) PutExact(input []byte, v V) bool {
+	h1, h2 := hash(input)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.put(key{h1, h2 ^ exactTag}, -1, v)
+}
+
+// PutExactAt is PutExact addressed by the Ref a missing Get returned,
+// sparing the caller a second pass over the input's bytes — the
+// normal way the engines admit a fresh outcome right after a missed
+// lookup.
+func (c *Cache[V]) PutExactAt(r Ref, v V) bool {
+	if r.ok || r.k == (key{}) {
+		return false // a present entry, or the zero Ref
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.put(r.k, -1, v)
+}
+
+func (c *Cache[V]) put(k key, prefixLen int, v V) bool {
+	if c.m == nil || len(c.m) >= c.limit {
+		return false
+	}
+	if _, dup := c.m[k]; dup {
+		return false
+	}
+	c.m[k] = v
+	c.bloomAdd(k)
+	if prefixLen >= 0 {
+		c.setLenBit(prefixLen)
+	}
+	return true
+}
+
+// Len returns the number of stored entries across both tiers.
+func (c *Cache[V]) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Retire permanently idles the cache and releases its storage: every
+// later Get misses in one atomic load and every Put is a no-op. The
+// campaign engines call it when the adaptive mode (core.CacheAuto)
+// observes a hit rate too low to pay for the lookups — safe at any
+// point, from any goroutine, because the cache is semantically
+// transparent: losing it changes wall-clock, never results.
+func (c *Cache[V]) Retire() {
+	c.retired.Store(true)
+	c.mu.Lock()
+	c.m = nil
+	c.lens = nil
+	c.bloom = nil
+	c.mu.Unlock()
+}
+
+// Retired reports whether Retire was called.
+func (c *Cache[V]) Retired() bool { return c.retired.Load() }

@@ -146,6 +146,16 @@ type Tracer struct {
 	depth    int
 	maxDepth int
 	seq      int
+
+	// Deciding-prefix bookkeeping (Record.Decided). maxAccess is the
+	// largest in-bounds offset the subject read through At; eofSeen
+	// marks any out-of-bounds access (tracked independently of the
+	// Comparisons option, which gates only the EOFs event list);
+	// lenUsed marks consultation of Len or Input, after which the
+	// run's behaviour may depend on the input's total length.
+	maxAccess int
+	eofSeen   bool
+	lenUsed   bool
 }
 
 // New returns a Tracer for one execution on input, recording according
@@ -179,13 +189,14 @@ type Sink struct {
 func (s *Sink) New(input []byte, opts Options) *Tracer {
 	t := &s.tracer
 	*t = Tracer{
-		input:    input,
-		opts:     opts,
-		sink:     s,
-		comps:    s.comps[:0],
-		eofs:     s.eofs[:0],
-		blocks:   s.blocks[:0],
-		pathHash: fnvOffset,
+		input:     input,
+		opts:      opts,
+		sink:      s,
+		comps:     s.comps[:0],
+		eofs:      s.eofs[:0],
+		blocks:    s.blocks[:0],
+		pathHash:  fnvOffset,
+		maxAccess: -1,
 	}
 	if opts.Blocks || opts.Comparisons {
 		if s.blockSet == nil {
@@ -209,22 +220,31 @@ func (s *Sink) New(input []byte, opts Options) *Tracer {
 // Full returns recording options suitable for pFuzzer: everything on.
 func Full() Options { return Options{Comparisons: true, Blocks: true, Edges: false} }
 
-// Input returns the raw input under execution.
-func (t *Tracer) Input() []byte { return t.input }
+// Input returns the raw input under execution. Like Len it marks the
+// run length-dependent for the deciding-prefix analysis: the caller
+// saw the whole input at once.
+func (t *Tracer) Input() []byte { t.lenUsed = true; return t.input }
 
-// Len returns the input length.
-func (t *Tracer) Len() int { return len(t.input) }
+// Len returns the input length, marking the run length-dependent for
+// the deciding-prefix analysis (Record.Decided): a parser that has
+// consulted the total length may behave differently on an extended
+// input even when the extension's bytes are never read.
+func (t *Tracer) Len() int { t.lenUsed = true; return len(t.input) }
 
 // At reads the input character at offset i. If i is past the end of
 // the input it records an EOF access and returns ok == false; this is
 // how the fuzzer learns that the parser expected more input.
 func (t *Tracer) At(i int) (taint.Char, bool) {
 	if i >= len(t.input) || i < 0 {
+		t.eofSeen = true
 		if t.opts.Comparisons {
 			t.seq++
 			t.eofs = append(t.eofs, EOFAccess{Index: i, Stack: t.depth, Seq: t.seq})
 		}
 		return taint.Char{B: 0, Origin: taint.NoOrigin}, false
+	}
+	if i > t.maxAccess {
+		t.maxAccess = i
 	}
 	return taint.Char{B: t.input[i], Origin: i}, true
 }
@@ -400,6 +420,12 @@ type Record struct {
 	PathHash    uint64
 	Edges       []byte
 	MaxDepth    int
+
+	// Decided is the length of the input prefix that fully decided
+	// this execution's outcome, or -1 when the run was not
+	// prefix-decided (see DecidedPrefix). It is what the execution
+	// cache (internal/pcache) keys memoised rejections on.
+	Decided int
 }
 
 // Finish seals the tracer into a Record with exit status exit. A
@@ -413,6 +439,20 @@ func (t *Tracer) Finish(exit int) *Record {
 		t.sink.eofs = t.eofs
 		t.sink.blocks = t.blocks
 	}
+	// A rejection is prefix-decided when the parser never probed past
+	// the end of the input (an EOF access means the verdict hinged on
+	// where the input stops, not on what it holds) and either never
+	// consulted the total length, or read every byte through the final
+	// one — in which case the deciding prefix is the whole input and
+	// the subject contract's suffix-proof-rejection property
+	// (internal/conformance, prefix check (c)) guarantees extensions
+	// replay the identical trace. Acceptances are never prefix-decided:
+	// accepting parsers probe for or measure the input's end, so their
+	// verdict is inherently length-dependent.
+	decided := -1
+	if exit != 0 && !t.eofSeen && (!t.lenUsed || t.maxAccess+1 == len(t.input)) {
+		decided = t.maxAccess + 1
+	}
 	return &Record{
 		Input:       t.input,
 		Exit:        exit,
@@ -423,11 +463,26 @@ func (t *Tracer) Finish(exit int) *Record {
 		PathHash:    t.pathHash,
 		Edges:       t.edges,
 		MaxDepth:    t.maxDepth,
+		Decided:     decided,
 	}
 }
 
 // Accepted reports whether the execution accepted the input as valid.
 func (r *Record) Accepted() bool { return r.Exit == 0 }
+
+// DecidedPrefix returns the number of leading input bytes that fully
+// determined this execution's outcome and trace, and whether the run
+// was prefix-decided at all. When it reports (d, true), any input of
+// length >= d sharing those d bytes is rejected with the identical
+// comparisons, blocks and path hash — the property the prefix-decided
+// execution cache rests on, machine-checked per subject by
+// internal/conformance.
+func (r *Record) DecidedPrefix() (int, bool) {
+	if r.Decided < 0 {
+		return 0, false
+	}
+	return r.Decided, true
+}
 
 // CoveredBlocks returns the set of block IDs hit during the run.
 func (r *Record) CoveredBlocks() map[uint32]bool {
