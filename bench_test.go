@@ -248,9 +248,11 @@ func BenchmarkAblation_Paren(b *testing.B) {
 
 // BenchmarkCampaignParallel tracks the concurrent campaign engine's
 // scaling on the cjson subject: executions per second at 1 worker
-// (the deterministic serial engine), 4 workers, and GOMAXPROCS
-// workers. The speedup over workers=1 is the perf-trajectory number
-// the scheduler/executor split is accountable for (DESIGN.md §5).
+// (the plain serial loop), 4 workers, and GOMAXPROCS workers. The
+// speedup over workers=1 is the perf-trajectory number the
+// speculative pipeline is accountable for (DESIGN.md §11); the full
+// per-subject curve lives in BENCH_pr6.json (cmd/bench
+// -workers-sweep). Every worker count emits the identical corpus.
 func BenchmarkCampaignParallel(b *testing.B) {
 	e, ok := registry.Get("cjson")
 	if !ok {

@@ -10,6 +10,17 @@
 //
 //	bench [-quick] [-subjects all] [-execs n] [-reps n] [-seed n]
 //	      [-out BENCH_pr5.json]
+//	bench -workers-sweep 1,2,4,8 [-quick] [-subjects all] [-execs n]
+//	      [-reps n] [-seed n] [-out BENCH_pr6.json]
+//
+// The second form measures the speculative pipeline engine instead of
+// the cache: the same campaign at each listed worker count, recording
+// campaign and exec-layer throughput per count and the speedup over
+// Workers=1 (sweep.go). Workers<=1 points keep the fingerprint-
+// divergence gate; Workers>1 points are gated on valid-corpus
+// set-equivalence with Workers=1; and on a runner with two or more
+// cores the sweep demands a 1.3x campaign speedup at Workers=2 on at
+// least three subjects.
 //
 // For every subject of the matrix the harness runs the same serial
 // campaign under the three cache modes (-reps repetitions, keeping
@@ -99,6 +110,7 @@ func main() {
 		reps     = flag.Int("reps", 3, "repetitions per mode; best wall time kept")
 		seed     = flag.Int64("seed", 1, "campaign RNG seed")
 		outPath  = flag.String("out", "BENCH_pr5.json", "output JSON path")
+		sweep    = flag.String("workers-sweep", "", `worker counts to sweep (e.g. "1,2,4,8"); writes the scaling curve instead of the cache matrix`)
 	)
 	flag.Parse()
 
@@ -113,6 +125,9 @@ func main() {
 	if *reps < 1 {
 		*reps = 1
 	}
+	if *sweep != "" && !explicit("out") {
+		*outPath = "BENCH_pr6.json"
+	}
 
 	var entries []registry.Entry
 	if strings.TrimSpace(*subjects) == "all" {
@@ -126,6 +141,16 @@ func main() {
 			}
 			entries = append(entries, e)
 		}
+	}
+
+	if *sweep != "" {
+		workers, err := parseWorkers(*sweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		runSweep(entries, *seed, *execs, *reps, workers, *quick, *outPath)
+		return
 	}
 
 	rep := Report{

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pfuzzer/internal/core"
+	"pfuzzer/internal/registry"
+)
+
+// The -workers-sweep mode measures the speculative pipeline engine's
+// scaling curve: the same campaign at each requested worker count,
+// reporting campaign and exec-layer throughput per count and the
+// speedup over Workers=1. Correctness gates ride along with the
+// measurement — Workers<=1 points keep the fingerprint-divergence
+// gate against the serial baseline, and Workers>1 points must emit a
+// valid corpus set-equal to Workers=1 (the engine actually delivers
+// bit-identical corpora, which the sweep records per point). On a
+// runner with at least two cores the sweep additionally gates on the
+// scaling result itself: at least minGe13 subjects must reach a 1.3x
+// campaign speedup at Workers=2. On a single-core box the throughput
+// numbers are recorded but the speedup gate does not apply — there is
+// nothing for a second worker to run on.
+const sweepMinGe13Subjects = 3
+
+// WorkerPoint is one worker count's measurement for one subject.
+type WorkerPoint struct {
+	Workers int `json:"workers"`
+	Mode
+	CampaignSpeedup  float64 `json:"campaign_speedup_vs_w1"`
+	ExecLayerSpeedup float64 `json:"exec_layer_speedup_vs_w1"`
+	SetEqual         bool    `json:"corpus_set_equal"`
+	BitIdentical     bool    `json:"fingerprint_match"`
+	SpecExecs        int     `json:"spec_execs"`
+	SpecHits         int     `json:"spec_hits"`
+}
+
+// SweepSubject is one subject's scaling curve.
+type SweepSubject struct {
+	Subject     string        `json:"subject"`
+	Execs       int           `json:"execs"`
+	Valids      int           `json:"valids"`
+	Fingerprint string        `json:"fingerprint"`
+	Points      []WorkerPoint `json:"points"`
+}
+
+// SweepReport is the whole BENCH_pr6.json trajectory file.
+type SweepReport struct {
+	Bench      string         `json:"bench"`
+	Quick      bool           `json:"quick"`
+	Execs      int            `json:"execs"`
+	Reps       int            `json:"reps"`
+	Seed       int64          `json:"seed"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Workers    []int          `json:"workers"`
+	Subjects   []SweepSubject `json:"subjects"`
+
+	// Ge13AtW2 lists the subjects whose Workers=2 campaign reached a
+	// 1.3x speedup over Workers=1; GateApplied records whether the
+	// multicore gate was in force (NumCPU >= 2).
+	Ge13AtW2    []string `json:"campaign_speedup_ge_1.3_at_w2"`
+	GateApplied bool     `json:"speedup_gate_applied"`
+	Diverged    []string `json:"corpus_divergence,omitempty"`
+}
+
+// parseWorkers parses the -workers-sweep list ("1,2,4,8").
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// validSet collapses a result's emission record to the set the
+// Workers>1 equivalence gate compares.
+func validSet(res *core.Result) map[string]bool {
+	m := make(map[string]bool, len(res.Valids))
+	for _, v := range res.Valids {
+		m[string(v.Input)] = true
+	}
+	return m
+}
+
+func setsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// sweepSubject measures one subject across every worker count. Worker
+// counts are interleaved across repetitions, like the cache modes in
+// benchSubject, and each count keeps its best wall time.
+func sweepSubject(e registry.Entry, seed int64, execs, reps int, workers []int) SweepSubject {
+	best := make([]time.Duration, len(workers))
+	bestExec := make([]time.Duration, len(workers))
+	results := make([]*core.Result, len(workers))
+
+	for r := 0; r < reps; r++ {
+		for i, w := range workers {
+			cfg := core.Config{Seed: seed, MaxExecs: execs, Workers: w}
+			res, d := run(e, cfg)
+			if results[i] == nil || d < best[i] {
+				best[i] = d
+				bestExec[i] = res.ExecElapsed
+				results[i] = res
+			}
+		}
+	}
+
+	// The serial campaign is the correctness baseline for every point:
+	// Workers<=1 points must fingerprint-match it, Workers>1 points
+	// must be corpus set-equal to it.
+	baseRes := core.New(e.New(), core.Config{Seed: seed, MaxExecs: execs, Workers: 1}).Run()
+	baseSet := validSet(baseRes)
+	var baseWall, baseExecNS time.Duration
+	for i, w := range workers {
+		if w == 1 {
+			baseWall, baseExecNS = best[i], bestExec[i]
+			break
+		}
+	}
+
+	row := SweepSubject{
+		Subject:     e.Name,
+		Execs:       baseRes.Execs,
+		Valids:      len(baseRes.Valids),
+		Fingerprint: fmt.Sprintf("%#x", baseRes.Fingerprint()),
+	}
+	for i, w := range workers {
+		res := results[i]
+		pt := WorkerPoint{
+			Workers:      w,
+			Mode:         mode(res.Execs, best[i], bestExec[i]),
+			SetEqual:     setsEqual(validSet(res), baseSet),
+			BitIdentical: res.Fingerprint() == baseRes.Fingerprint(),
+			SpecExecs:    res.SpecExecs,
+			SpecHits:     res.SpecHits,
+		}
+		if baseWall > 0 {
+			pt.CampaignSpeedup = ratio(baseWall, best[i])
+			pt.ExecLayerSpeedup = ratio(baseExecNS, bestExec[i])
+		}
+		row.Points = append(row.Points, pt)
+	}
+	return row
+}
+
+// pointOK applies the per-point correctness gate: the fingerprint gate
+// at Workers<=1, set-equivalence at Workers>1.
+func pointOK(pt WorkerPoint) bool {
+	if pt.Workers <= 1 {
+		return pt.BitIdentical
+	}
+	return pt.SetEqual
+}
+
+// runSweep is the -workers-sweep entry point.
+func runSweep(entries []registry.Entry, seed int64, execs, reps int, workers []int, quick bool, outPath string) {
+	rep := SweepReport{
+		Bench:      "pfuzzer speculative pipeline engine: worker sweep",
+		Quick:      quick,
+		Execs:      execs,
+		Reps:       reps,
+		Seed:       seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    workers,
+	}
+	rep.GateApplied = rep.NumCPU >= 2
+
+	for _, e := range entries {
+		row := sweepSubject(e, seed, execs, reps, workers)
+		rep.Subjects = append(rep.Subjects, row)
+		var parts []string
+		for _, pt := range row.Points {
+			if !pointOK(pt) {
+				rep.Diverged = append(rep.Diverged, fmt.Sprintf("%s@w%d", row.Subject, pt.Workers))
+			}
+			if pt.Workers == 2 && pt.CampaignSpeedup >= 1.3 {
+				rep.Ge13AtW2 = append(rep.Ge13AtW2, row.Subject)
+			}
+			parts = append(parts, fmt.Sprintf("w%d %0.2fx", pt.Workers, pt.CampaignSpeedup))
+		}
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", row.Subject, strings.Join(parts, "  "))
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+
+	if len(rep.Diverged) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: CORPUS DIVERGENCE across worker counts on: %s\n",
+			strings.Join(rep.Diverged, ", "))
+		os.Exit(1)
+	}
+	if rep.GateApplied && len(rep.Ge13AtW2) < sweepMinGe13Subjects {
+		fmt.Fprintf(os.Stderr, "bench: only %d subject(s) reached 1.3x at Workers=2 (need %d on a %d-core runner)\n",
+			len(rep.Ge13AtW2), sweepMinGe13Subjects, rep.NumCPU)
+		os.Exit(1)
+	}
+}

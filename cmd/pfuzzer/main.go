@@ -4,18 +4,22 @@
 //
 // Usage:
 //
-//	pfuzzer -subject cjson [-execs 100000] [-seed 1] [-workers 4] [-quiet]
-//	        [-cache=false] [-mine] [-mine-budget n] [-mine-tokens n]
-//	        [-mine-cadence n] [-out file] [-resume file] [-snap-every n]
-//	        [-mine-from file]
+//	pfuzzer -subject cjson [-execs 100000] [-seed 1] [-workers 4]
+//	        [-batch n] [-quiet] [-cache=false] [-mine] [-mine-budget n]
+//	        [-mine-tokens n] [-mine-cadence n] [-out file] [-resume file]
+//	        [-snap-every n] [-mine-from file]
 //	pfuzzer -list
 //
 // Subjects: ini, csv, cjson, tinyc, mjs, expr, paren, urlp, sexpr,
 // httpreq, dotg (-list prints them with block counts and
 // token-inventory sizes).
 //
-// With -workers 1 (the default) campaigns are deterministic under
-// -seed; more workers run candidate executions in parallel. -mine
+// Campaigns are deterministic under -seed at every -workers count:
+// extra workers speculatively prefetch the executions the campaign
+// trajectory is about to need (DESIGN.md §11), which changes
+// wall-clock only, never the corpus. -batch caps how many upcoming
+// executions each trajectory iteration announces to the workers
+// (0 auto-tunes from the observed execution latency). -mine
 // enables the hybrid campaign (paper §7.4): a token grammar is mined
 // from the valid corpus and used to generate longer candidates, which
 // are validated through the same engine and fed back into the miner.
@@ -50,7 +54,8 @@ func main() {
 		execs       = flag.Int("execs", 100000, "execution budget")
 		seed        = flag.Int64("seed", 1, "RNG seed")
 		maxValids   = flag.Int("valids", 0, "stop after N valid inputs (0 = run out the budget)")
-		workers     = flag.Int("workers", 1, "parallel executors (1 = deterministic serial engine)")
+		workers     = flag.Int("workers", 1, "engine concurrency: 1 = serial, more add speculative executors; the corpus is bit-identical at every count")
+		batch       = flag.Int("batch", 0, "speculation batch size per trajectory iteration (0 = auto-tune from execution latency); wall-clock knob only")
 		cache       = flag.Bool("cache", true, "prefix-decided execution cache (adaptive; identical output either way, see DESIGN.md §10); with -resume an explicitly passed value overrides the snapshot and true forces the cache on, retirement disabled")
 		quiet       = flag.Bool("quiet", false, "print only the summary")
 		list        = flag.Bool("list", false, "list registered subjects and exit")
@@ -80,6 +85,7 @@ func main() {
 	} else {
 		cfg := flagConfig(*subjectName, *seed, *execs, *maxValids, *workers,
 			*minePhase, *mineBudget, *mineTokens, *mineCadence, *mineFrom)
+		cfg.BatchSize = *batch
 		if !*cache {
 			cfg.Cache = core.CacheOff
 		}
@@ -124,7 +130,7 @@ func explicit(name string) bool {
 // nothing. -execs and -valids are the supported overrides.
 func warnIgnoredOnResume() {
 	ignored := map[string]bool{
-		"subject": true, "seed": true, "workers": true,
+		"subject": true, "seed": true, "workers": true, "batch": true,
 		"mine": true, "mine-budget": true, "mine-tokens": true,
 		"mine-cadence": true, "mine-from": true,
 	}

@@ -24,6 +24,9 @@
 //     Workers=1 configuration, sliced stepping and the hybrid
 //     campaign's exploration phase all emit the identical corpus, and
 //     every engine only ever emits inputs the subject accepts.
+//   - Parallel agreement: a Workers=4 campaign emits the same valid
+//     corpus as Workers=1 at the same budget — set-equal by contract,
+//     and bit-identical on the speculative pipeline engine.
 //   - Snapshot/resume: a campaign cut mid-run, marshalled, restored
 //     and driven to the same budget reproduces the uninterrupted
 //     corpus bit for bit.
@@ -98,6 +101,7 @@ func CheckWith(t *testing.T, e registry.Entry, o Options) {
 	t.Run("prefix", func(t *testing.T) { checkPrefix(t, e, probes) })
 	t.Run("lexer-roundtrip", func(t *testing.T) { checkLexerRoundTrip(t, e, valids) })
 	t.Run("engine-agreement", func(t *testing.T) { checkEngineAgreement(t, e, o) })
+	t.Run("parallel-agreement", func(t *testing.T) { checkParallelAgreement(t, e, o) })
 	t.Run("snapshot-resume", func(t *testing.T) { checkSnapshotResume(t, e, o) })
 	t.Run("cache-transparency", func(t *testing.T) { checkCacheTransparency(t, e, o) })
 }
@@ -422,6 +426,52 @@ func checkEngineAgreement(t *testing.T, e registry.Entry, o Options) {
 	par.Workers = 4
 	pres := core.New(e.New(), par).Run()
 	checkSound(t, e, pres, "parallel engine")
+}
+
+// checkParallelAgreement: a Workers=4 campaign emits a valid corpus
+// set-equal to the Workers=1 campaign at the same budget. The
+// speculative pipeline engine actually guarantees more — the corpora
+// are bit-identical, same inputs at the same execution indices with
+// the same cache counters — so after establishing the set property
+// the check pins the stronger one too; a subject for which only
+// set-equality held would mean its executions are nondeterministic in
+// a way the trajectory masks, which the earlier determinism property
+// should have caught. Run under -race in CI, this is also the data-race
+// proof for the board/memo hand-off against a real registered subject.
+func checkParallelAgreement(t *testing.T, e registry.Entry, o Options) {
+	base := core.Config{Seed: o.Seed, MaxExecs: o.EngineExecs}
+	w1 := core.New(e.New(), base).Run()
+	par := base
+	par.Workers = 4
+	w4 := core.New(e.New(), par).Run()
+
+	set := func(vs []core.Valid) map[string]bool {
+		m := make(map[string]bool, len(vs))
+		for _, v := range vs {
+			m[string(v.Input)] = true
+		}
+		return m
+	}
+	s1, s4 := set(w1.Valids), set(w4.Valids)
+	for in := range s1 {
+		if !s4[in] {
+			t.Errorf("Workers=1 valid %q missing from the Workers=4 corpus", in)
+		}
+	}
+	for in := range s4 {
+		if !s1[in] {
+			t.Errorf("Workers=4 emitted %q, which the Workers=1 campaign never found", in)
+		}
+	}
+
+	if w4.Fingerprint() != w1.Fingerprint() || !validsEqual(w4.Valids, w1.Valids) {
+		t.Errorf("Workers=4 corpus is set-equal but not bit-identical to Workers=1 (%d vs %d valids, fingerprints %#x vs %#x)",
+			len(w4.Valids), len(w1.Valids), w4.Fingerprint(), w1.Fingerprint())
+	}
+	if w4.CacheHits != w1.CacheHits || w4.CacheMisses != w1.CacheMisses {
+		t.Errorf("Workers=4 cache counters (%d hits, %d misses) diverge from Workers=1 (%d, %d)",
+			w4.CacheHits, w4.CacheMisses, w1.CacheHits, w1.CacheMisses)
+	}
 }
 
 // checkCacheTransparency: the prefix-decided execution cache

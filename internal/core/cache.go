@@ -138,35 +138,66 @@ func newCache(cfg *Config) *pcache.Cache[cachedFacts] {
 // without growing the per-lookup probe range.
 const maxDecidedPrefix = 64
 
+// On the concurrent engine the call additionally consults the
+// speculation memo (spec != nil) on every path that would run the
+// subject: a speculative worker may already have executed the input,
+// in which case its distilled facts — and its DecidedPrefix verdict —
+// stand in for the inline run. A memo-served execution still counts
+// as a cache miss (the serial engine would have run the subject), and
+// the cache inserts below use the same bytes, the same admission
+// order and the same eagerness rule whether the facts came from the
+// memo or an inline run, so the cache's content stays bit-identical
+// to the serial engine's at every execution index. specNS reports the
+// worker wall time a memo hit carried (0 otherwise), which the caller
+// folds into Result.ExecElapsed.
 func cachedExec(cache *pcache.Cache[cachedFacts], prog subject.Program,
-	input []byte, deriving bool, sink *trace.Sink) (rf *runFacts, hit bool) {
+	input []byte, deriving bool, sink *trace.Sink, spec *specPool) (rf *runFacts, hit bool, specNS int64) {
 	var slot pcache.Ref
 	upgrade := false
 	if cache != nil {
 		e, ref, ok := cache.Get(input)
 		if ok {
 			if e.derived != nil {
-				return e.runFacts(input), true
+				return e.runFacts(input), true, 0
 			}
 			if !deriving {
 				// Slim entries are always rejections, whose verdict and
 				// path hash are all a non-deriving caller consumes.
-				return e.runFacts(input), true
+				return e.runFacts(input), true, 0
 			}
 			upgrade = true
 		}
 		slot = ref
 	}
-	rec := subject.ExecuteInto(prog, input, traceOpts(), sink)
+	// The subject must run; consume a speculative run if one exists,
+	// execute inline otherwise. The memo always carries the full
+	// distillation, a superset of any caller's eagerness — the extra
+	// fields on a slim-eligible rejection are simply never read.
+	var rec *trace.Record
+	var d int
+	var decided bool
+	if spec != nil {
+		if se := spec.take(input); se != nil {
+			rf, d, decided, specNS = se.rf, se.d, se.dec, se.execNS
+		}
+	}
+	if rf == nil {
+		rec = subject.ExecuteInto(prog, input, traceOpts(), sink)
+		d, decided = rec.DecidedPrefix()
+	}
 	if cache == nil {
-		return factsOf(rec, deriving), false
+		if rf == nil {
+			rf = factsOf(rec, deriving)
+		}
+		return rf, false, specNS
 	}
 	if upgrade {
-		rf = factsOf(rec, true)
+		if rf == nil {
+			rf = factsOf(rec, true)
+		}
 		cache.Set(slot, cachedFacts{accepted: rf.accepted, pathHash: rf.pathHash, derived: derivedOf(rf)})
-		return rf, false
+		return rf, false, specNS
 	}
-	d, decided := rec.DecidedPrefix()
 	decided = decided && d <= maxDecidedPrefix
 	// Distill the derived half eagerly when the caller needs it anyway
 	// (deriving) or when the entry is a deciding prefix: the engine
@@ -177,7 +208,9 @@ func cachedExec(cache *pcache.Cache[cachedFacts], prog subject.Program,
 	// re-execution. Exact-tier rejections from non-deriving runs stay
 	// slim (they serve re-pops, which are non-deriving too) and
 	// upgrade in place on the rare deriving touch.
-	rf = factsOf(rec, deriving || decided)
+	if rf == nil {
+		rf = factsOf(rec, deriving || decided)
+	}
 	e := cachedFacts{accepted: rf.accepted, pathHash: rf.pathHash}
 	if deriving || decided || rf.accepted {
 		e.derived = derivedOf(rf)
@@ -186,7 +219,7 @@ func cachedExec(cache *pcache.Cache[cachedFacts], prog subject.Program,
 		// Rejected on the prefix alone: every extension of these d
 		// bytes replays this trace, so the entry matches whole families
 		// of future candidates.
-		cache.PutPrefix(rec.Input[:d], e)
+		cache.PutPrefix(input[:d], e)
 	} else {
 		// Length-dependent outcome (acceptance or EOF rejection, or a
 		// deciding prefix too long to be worth a probe slot): only a
@@ -197,5 +230,5 @@ func cachedExec(cache *pcache.Cache[cachedFacts], prog subject.Program,
 		// reusing the missed lookup's hash.
 		cache.PutExactAt(slot, e)
 	}
-	return rf, false
+	return rf, false, specNS
 }

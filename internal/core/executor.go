@@ -1,133 +1,262 @@
 package core
 
 import (
-	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pfuzzer/internal/pcache"
-	"pfuzzer/internal/pqueue"
 	"pfuzzer/internal/subject"
 	"pfuzzer/internal/trace"
 )
 
-// executorSeedStride separates the per-worker RNG streams from the
-// scheduler's (which uses Config.Seed itself) and from each other.
-const executorSeedStride = 2654435761
-
-// outcome is what one executed job sends back to the scheduler: the
-// candidate it came from (nil for queue-empty restarts) and the
-// distilled facts of the run(s). All campaign state mutation happens
-// on the scheduler side; an outcome is immutable once sent.
-type outcome struct {
-	cand    *candidate // popped candidate, nil for a restart input
-	depth   int        // substitution depth of the executed input
-	primary *runFacts  // the input itself
-	ext     *runFacts  // input + random char; nil if not run
-	execs   int        // executions consumed (1 or 2)
-	hits    int        // executions served from the prefix-decided cache
-	misses  int        // executions that ran the subject (cache enabled)
-	execNS  int64      // wall time spent in the execution layer
-}
-
-// executor is one worker of the concurrent campaign engine. Each
-// executor owns a private RNG (for random extensions and restarts)
-// and a private trace sink, so the hot execute-and-distill path runs
-// with zero shared mutable state; the only cross-goroutine touches
-// are the sharded queue pop and the outcome channel send.
-type executor struct {
-	id    int
-	prog  subject.Program
-	cfg   *Config
-	rng   *rand.Rand
-	sink  trace.Sink
-	cache *pcache.Cache[cachedFacts] // campaign-shared; pcache synchronizes internally
-}
-
-func newExecutor(id int, prog subject.Program, cfg *Config, cache *pcache.Cache[cachedFacts]) *executor {
-	return &executor{
-		id:    id,
-		prog:  prog,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed + int64(id+1)*executorSeedStride)),
-		cache: cache,
-	}
-}
-
-func (e *executor) randChar() byte {
-	return e.cfg.Charset[e.rng.Intn(len(e.cfg.Charset))]
-}
-
-// exec runs input once — or replays its memoised outcome from the
-// campaign-shared prefix-decided cache — reusing the executor's sink,
-// and copies the facts out before the sink can be reused; deriving
-// marks runs whose comparisons will seed children. The hit/miss tally
-// goes into o, whose counts the scheduler folds into the result.
-func (e *executor) exec(input []byte, deriving bool, o *outcome) *runFacts {
-	t0 := time.Now()
-	rf, hit := cachedExec(e.cache, e.prog, input, deriving, &e.sink)
-	o.execNS += time.Since(t0).Nanoseconds()
-	if e.cache != nil {
-		if hit {
-			o.hits++
-		} else {
-			o.misses++
-		}
-	}
-	return rf
-}
-
-// loop pops candidates from the home shard (stealing when it runs
-// dry), executes them plus a randomly extended variant, and streams
-// outcomes to the scheduler until the stop signal fires or the shared
-// execution budget runs out. When even stealing finds no work it
-// synthesizes a fresh single-character restart input, the parallel
-// analogue of the serial engine's queue-exhausted restart. home is
-// the worker's shard affinity, passed separately from id because a
-// hybrid campaign rebuilds its executors every phase with fresh
-// (phase-folded) ids but the same shard layout.
+// This file is the execution side of the concurrent engine: a pool of
+// *speculative* workers that run subject executions the scheduler
+// goroutine (the serial trajectory in serial.go) is about to need, and
+// the consume-once memo the trajectory collects them from.
 //
-// The extension always runs (budget permitting), even when the input
-// was accepted: the executor cannot see the coverage set, so it
-// cannot tell an accepted input with new coverage (where the serial
-// engine skips the extension) from an accepted-but-stale one (where
-// the serial engine runs it and derives children from its trace).
-// Running it unconditionally keeps the stale case — the common one,
-// since emitted inputs are deduplicated — on the serial engine's
-// productive path, at the cost of one rarely wasted execution when
-// the input turns out to carry new coverage.
-func (e *executor) loop(q *pqueue.Sharded[*candidate], results chan<- outcome, budget *atomic.Int64, stop <-chan struct{}, wg *sync.WaitGroup, home int) {
-	defer wg.Done()
+// The design inverts the usual scheduler/executor split. Instead of
+// handing authoritative work to executors — which makes the campaign's
+// result depend on completion order — the trajectory goroutine runs
+// the exact serial algorithm, RNG stream and all, and the workers only
+// *prefetch*: they execute inputs the trajectory has announced on its
+// speculation board (the pending random extension, plus the top
+// candidates of the queue) and publish the distilled facts into the
+// memo. When the trajectory reaches one of those inputs it consumes
+// the memo entry instead of running the subject; when speculation
+// guessed wrong, the entry is swept and the trajectory executes
+// inline, exactly as the serial engine would. Either way the campaign
+// state transitions are the serial ones, in the serial order — which
+// is what makes Workers > 1 bit-identical to Workers = 1 (see
+// DESIGN.md §11) — and only wall-clock changes.
+//
+// Workers never touch campaign state: their whole interface is the
+// board (read), the shared prefix-decided cache (read-only probes, to
+// skip speculation the cache already answers), and the memo (write).
+// All cache *inserts* happen on the trajectory, in trajectory order,
+// so the cache's content — and the adaptive-retire milestones computed
+// from its hit counters — stay deterministic too.
+
+// specEntry is one speculative execution result. The claim/fill
+// protocol: the worker inserts the entry under its stripe lock
+// (claiming the input so no other worker repeats the run), executes,
+// then publishes the payload fields with the done flag's release
+// store. A consumer that took the entry before the fill spins on done;
+// claims are always filled — workers only observe stop between tasks —
+// so the wait is bounded by one subject execution.
+type specEntry struct {
+	done   atomic.Bool // payload below is published (release on Store)
+	rf     *runFacts   // full distillation, factsOf(rec, true)
+	d      int         // rec.DecidedPrefix(), uncapped
+	dec    bool
+	execNS int64  // wall time of the subject execution
+	gen    uint64 // board generation at claim time (memo sweeps)
+}
+
+// The memo is striped like the execution cache: stripeOf routes each
+// input to one of specStripes independently locked maps, so workers
+// claiming and the trajectory consuming rarely contend. specMemoCap
+// bounds the whole memo — entries nobody consumed (mispredictions)
+// are swept by generation age, and between sweeps a full stripe just
+// declines new claims.
+const (
+	specStripes  = 16
+	specMemoCap  = 1 << 14
+	specSweepGen = 64 // sweep cadence, in board generations
+)
+
+type specStripe struct {
+	mu sync.Mutex
+	m  map[string]*specEntry
+	_  [104]byte // pad to a 128-byte stride: no false sharing between stripe locks
+}
+
+func stripeOf(input []byte) int {
+	h := uint64(14695981039346656037)
+	for _, b := range input {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return int(h % specStripes)
+}
+
+// specBoard is one batch of announced inputs. Workers claim tasks by
+// atomic cursor — one publish covers BatchSize+1 hand-offs, which is
+// the batched hand-off that replaced per-candidate channel sends — and
+// park on more until the trajectory swaps in the next board.
+type specBoard struct {
+	tasks [][]byte
+	next  atomic.Int64
+	more  chan struct{} // closed when a newer board replaces this one
+}
+
+// specPool is the speculation side of the concurrent engine: the
+// worker goroutines, the current board, and the memo.
+type specPool struct {
+	prog    subject.Program
+	cache   *pcache.Cache[cachedFacts] // campaign-shared; nil = cache off
+	board   atomic.Pointer[specBoard]
+	stripes [specStripes]specStripe
+	gen     atomic.Uint64 // boards published so far
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	nw      int // worker goroutine count (Workers - 1)
+
+	specExecs atomic.Int64 // speculative subject executions run
+	specHits  atomic.Int64 // memo entries the trajectory consumed
+}
+
+func newSpecPool(prog subject.Program, cache *pcache.Cache[cachedFacts], workers int) *specPool {
+	p := &specPool{prog: prog, cache: cache, stop: make(chan struct{}), nw: workers}
+	for i := range p.stripes {
+		p.stripes[i].m = make(map[string]*specEntry)
+	}
+	p.board.Store(&specBoard{more: make(chan struct{})})
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// close stops the workers and waits them out. Entries claimed before
+// the stop are filled before the worker exits, so no consumer can be
+// left spinning on an abandoned claim.
+func (p *specPool) close() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// publish swaps in the next board and wakes parked workers. Tasks from
+// the old board that were never claimed are simply dropped — the new
+// board re-announces whatever is still relevant.
+func (p *specPool) publish(tasks [][]byte) {
+	nb := &specBoard{tasks: tasks, more: make(chan struct{})}
+	old := p.board.Swap(nb)
+	close(old.more)
+	if gen := p.gen.Add(1); gen%specSweepGen == 0 {
+		p.sweep(gen)
+	}
+}
+
+// sweep drops filled memo entries no consumer came for within two
+// generations of their claim — mispredicted speculation, which would
+// otherwise accumulate. Unfilled claims are left alone; their worker
+// still holds the entry pointer mid-fill.
+func (p *specPool) sweep(gen uint64) {
+	for i := range p.stripes {
+		st := &p.stripes[i]
+		st.mu.Lock()
+		for k, e := range st.m {
+			if e.done.Load() && gen-e.gen >= 2 {
+				delete(st.m, k)
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// take consumes the memo entry for input: it removes the entry so the
+// result is observed exactly once, then waits out a claim still being
+// filled. A nil return means nobody speculated this input and the
+// caller must execute it inline.
+func (p *specPool) take(input []byte) *specEntry {
+	st := &p.stripes[stripeOf(input)]
+	st.mu.Lock()
+	e := st.m[string(input)]
+	if e == nil {
+		st.mu.Unlock()
+		return nil
+	}
+	delete(st.m, string(input))
+	st.mu.Unlock()
+	for !e.done.Load() {
+		runtime.Gosched()
+	}
+	p.specHits.Add(1)
+	return e
+}
+
+// worker is one speculative executor: claim a board task, run it,
+// publish the facts, repeat; park when the board is exhausted.
+func (p *specPool) worker() {
+	defer p.wg.Done()
+	var sink trace.Sink
 	for {
-		select {
-		case <-stop:
-			return
-		default:
+		b := p.board.Load()
+		i := b.next.Add(1) - 1
+		if int(i) >= len(b.tasks) {
+			select {
+			case <-p.stop:
+				return
+			case <-b.more:
+				continue
+			}
 		}
-		if budget.Add(-1) < 0 {
-			return
-		}
-		cand, _, ok := q.PopOwn(home)
-		var input []byte
-		depth := 0
-		if ok {
-			input, depth = cand.input, cand.parents
-		} else {
-			cand = nil
-			input = []byte{e.randChar()}
-		}
-		o := outcome{cand: cand, depth: depth, execs: 1}
-		o.primary = e.exec(input, false, &o)
-		if budget.Add(-1) >= 0 {
-			eInp := append(append(make([]byte, 0, len(input)+1), input...), e.randChar())
-			o.ext = e.exec(eInp, true, &o)
-			o.execs = 2
-		}
-		select {
-		case results <- o:
-		case <-stop:
+		p.speculate(b.tasks[i], &sink)
+	}
+}
+
+// speculate executes one announced input into the memo, unless the
+// execution cache already answers it (the trajectory will hit the
+// cache without our help), another worker already claimed it (boards
+// re-announce queue tops that survive several iterations), or the
+// memo stripe is at capacity.
+func (p *specPool) speculate(input []byte, sink *trace.Sink) {
+	if p.cache != nil {
+		if _, _, ok := p.cache.Get(input); ok {
 			return
 		}
 	}
+	st := &p.stripes[stripeOf(input)]
+	e := &specEntry{gen: p.gen.Load()}
+	st.mu.Lock()
+	if _, claimed := st.m[string(input)]; claimed || len(st.m) >= specMemoCap/specStripes {
+		st.mu.Unlock()
+		return
+	}
+	st.m[string(input)] = e
+	st.mu.Unlock()
+
+	t0 := time.Now()
+	rec := subject.ExecuteInto(p.prog, input, traceOpts(), sink)
+	e.execNS = time.Since(t0).Nanoseconds()
+	e.rf = factsOf(rec, true)
+	e.d, e.dec = rec.DecidedPrefix()
+	e.done.Store(true)
+	p.specExecs.Add(1)
+}
+
+// pfor is the pool's parallel-for for queue re-scoring
+// (pqueue.ReorderWith): the score pass partitions across the engine's
+// total concurrency in transient goroutines — the workers themselves
+// stay on speculation — and returns only when every partition is done.
+// Scores are pure per element (the memo fields candidates share are
+// atomics whose racing writers carry identical values), so the result
+// is bit-identical to a sequential pass regardless of chunking. Below
+// specPforMin elements the spawn overhead outweighs the win and the
+// pass runs inline.
+const specPforMin = 2048
+
+func (p *specPool) pfor(n int, each func(lo, hi int)) {
+	chunks := p.nw + 1
+	if n < specPforMin || chunks < 2 {
+		each(0, n)
+		return
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := size; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			each(lo, hi)
+		}(lo, hi)
+	}
+	each(0, size)
+	wg.Wait()
 }

@@ -14,15 +14,16 @@
 // accepted by the parser.
 //
 // The package provides two campaign engines behind one Config knob
-// (see DESIGN.md §5 for the architecture):
+// (see DESIGN.md §5 and §11 for the architecture):
 //
 //   - Workers <= 1 runs the serial engine (serial.go), which is
 //     bit-for-bit deterministic under a fixed Seed and reproduces the
 //     paper's Algorithm 1 exactly.
-//   - Workers > 1 runs the concurrent engine: an executor pool
-//     (executor.go) of goroutines that each own a private RNG and
-//     trace sink, feeding a central scheduler (scheduler.go) that owns
-//     all campaign state and a sharded priority queue.
+//   - Workers > 1 runs the speculative pipeline engine: the same
+//     serial trajectory on one goroutine, with Workers-1 speculative
+//     workers (executor.go) prefetching upcoming executions through a
+//     consume-once memo (scheduler.go). Results are bit-identical to
+//     the serial engine under the same Seed; only wall-clock changes.
 //
 // A third knob, Config.MinePhase, layers the paper's §7.4 proposal on
 // either engine (hybrid.go, DESIGN.md §7): grammar mining over the
@@ -33,6 +34,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"pfuzzer/internal/mine"
@@ -101,19 +103,29 @@ type Config struct {
 	// CacheOn keeps it for the whole campaign; CacheOff disables it.
 	Cache CacheMode
 
-	// Workers sets the number of parallel executors. 0 or 1 selects
-	// the serial engine, whose output is bit-for-bit deterministic
-	// under a fixed Seed; with more workers candidate executions run
-	// concurrently and the emission order becomes nondeterministic.
-	// The subject's Run method must be safe for concurrent calls
-	// (every built-in subject is a stateless value, so it is).
+	// Workers sets the engine's total concurrency. 0 or 1 selects the
+	// serial engine; N > 1 runs the same trajectory plus N-1
+	// speculative workers that prefetch upcoming executions, so the
+	// campaign's result — corpus, execution indices, cache counters,
+	// fingerprint — is bit-for-bit identical to Workers <= 1 under the
+	// same Seed, at lower wall-clock (DESIGN.md §11). The subject's
+	// Run method must be safe for concurrent calls (every built-in
+	// subject is a stateless value, so it is).
 	Workers int
-	// Shards sets the shard count of the parallel engine's priority
-	// queue (0 = Workers). Ignored by the serial engine.
+	// BatchSize sets how many top-of-queue candidates each board
+	// publish announces to the speculative workers, on top of the
+	// always-announced pending extension (0 = auto-tune from the
+	// observed execution latency; see batchSize). It shapes wall-clock
+	// only — results are bit-identical across every value — and is
+	// inert on the serial engine.
+	BatchSize int
+	// Shards is retained for snapshot compatibility with the retired
+	// sharded-queue engine; the speculative engine runs the exact
+	// serial queue and ignores it.
 	Shards int
-	// Generation sets how many executor outcomes the scheduler merges
-	// between batched queue re-scoring passes (0 = 4*Workers).
-	// Ignored by the serial engine.
+	// Generation is retained for snapshot compatibility with the
+	// retired outcome-merging scheduler; the speculative engine
+	// re-scores exactly where the serial engine does and ignores it.
 	Generation int
 
 	// MinePhase enables the hybrid two-phase campaign (DESIGN.md §7,
@@ -218,6 +230,15 @@ type Result struct {
 	CacheHits    int
 	CacheMisses  int
 	CacheRetired bool
+
+	// SpecExecs counts subject executions run by speculative workers
+	// (Workers > 1), SpecHits how many of those the trajectory
+	// actually consumed; the difference is mispredicted speculation.
+	// Pure diagnostics, like the timing fields: they depend on
+	// scheduling, so Fingerprint ignores them and they are not
+	// carried by snapshots.
+	SpecExecs int
+	SpecHits  int
 }
 
 // CacheHitRate returns the fraction of executions served from the
@@ -261,17 +282,25 @@ type candidate struct {
 // used to re-probe the coverage set and the path table — into one
 // probe pass per parent; the computed values are bit-for-bit the ones
 // the per-candidate recomputation produced, so pop order and the
-// golden sequences are unchanged. The fields are only ever touched by
-// the goroutine that owns campaign state (the serial loop or the
-// scheduler), never by executors.
+// golden sequences are unchanged.
+//
+// The memo fields are atomics because the queue re-scoring pass may
+// partition across goroutines (pqueue.ReorderWith): siblings sharing
+// one parentFacts can land in different partitions, whose racing
+// recomputations write byte-identical values — vbrGen, vBr and the
+// path table are all frozen during the pass — so the atomics exist to
+// make those benign races clean under the race detector, not to
+// coordinate anything. covNew is written before covGen, so any
+// goroutine observing the fresh generation stamp reads the fresh
+// count.
 type parentFacts struct {
 	blks  []uint32 // parent's trimmed covered blocks
 	stack float64  // parent's avg stack depth at last two comparisons
 	path  uint64   // parent's path hash
 
-	covGen uint64 // vbrGen the coverage memo was computed at
-	covNew int    // memo: blocks in blks not yet covered by valids
-	cnt    *int   // path's live execution counter (lazy; see pathCnt)
+	covGen atomic.Uint64       // vbrGen the coverage memo was computed at
+	covNew atomic.Int64        // memo: blocks in blks not yet covered by valids
+	cnt    atomic.Pointer[int] // path's live execution counter (lazy; see pathCnt)
 }
 
 // Fuzzer is one parser-directed fuzzing campaign over a subject.
@@ -288,9 +317,10 @@ type Fuzzer struct {
 	vbrGen uint64   // bumped on every emitted valid (parentFacts.covGen)
 
 	queue     pqueue.Queue[*candidate]
-	pq        *pqueue.Sharded[*candidate] // parallel engine's queue, created lazily
-	seen      map[string]struct{}         // inputs ever enqueued or run
-	pathSeen  map[uint64]*int             // executions per path hash (pointer-valued so parentFacts can alias the counters)
+	spec      *specPool           // speculation pool, live only inside a Workers>1 phase
+	execEWMA  float64             // EWMA of real execution latency in ns (batchSize auto-tune)
+	seen      map[string]struct{} // inputs ever enqueued or run
+	pathSeen  map[uint64]*int     // executions per path hash (pointer-valued so parentFacts can alias the counters)
 	validSeen map[string]struct{}
 
 	res        Result
@@ -617,16 +647,17 @@ func (f *Fuzzer) score(c *candidate) float64 {
 	p := c.parent
 	newBlocks := 0
 	if p != nil {
-		if p.covGen != f.vbrGen {
+		if p.covGen.Load() != f.vbrGen {
 			n := 0
 			for _, id := range p.blks {
 				if !f.vBr.has(id) {
 					n++
 				}
 			}
-			p.covGen, p.covNew = f.vbrGen, n
+			p.covNew.Store(int64(n))
+			p.covGen.Store(f.vbrGen)
 		}
-		newBlocks = p.covNew
+		newBlocks = int(p.covNew.Load())
 	}
 	s := float64(newBlocks)
 	if f.cfg.CoverageOnly {
@@ -651,10 +682,16 @@ func (f *Fuzzer) score(c *candidate) float64 {
 		// pulls keyword substitutions forward — children of hot paths
 		// (every identifier run shares one path) must stay reachable.
 		if p != nil {
-			if p.cnt == nil {
-				p.cnt = f.pathCnt(p.path)
+			cp := p.cnt.Load()
+			if cp == nil {
+				// Never a map insert here: a parent's path was always
+				// executed (bumpPath), so pathCnt finds the counter —
+				// which keeps this read-only under a partitioned
+				// re-scoring pass.
+				cp = f.pathCnt(p.path)
+				p.cnt.Store(cp)
 			}
-			s -= pathPenalty(*p.cnt)
+			s -= pathPenalty(*cp)
 		} else if pz := f.pathSeen[0]; pz != nil {
 			// Restart and mined candidates carry no parent path; the
 			// pre-shortcut heuristic looked up hash 0, which no real

@@ -319,10 +319,7 @@ func (f *Fuzzer) setMining(active bool) {
 		return
 	}
 	f.miningActive = active
-	f.queue.Reorder(f.score)
-	if f.pq != nil {
-		f.pq.Reorder(f.score)
-	}
+	f.reorderQueue()
 	f.emit(Event{Kind: EventPhase, Mining: active, Execs: f.res.Execs})
 }
 
@@ -361,15 +358,7 @@ func (f *Fuzzer) enqueueMined(g *mine.Grammar, maxTokens, slice int) int {
 		}
 		f.seen[key] = struct{}{}
 		cd := &candidate{input: gen, mineGen: 1}
-		if f.cfg.Workers > 1 {
-			shards := f.cfg.Shards
-			if shards <= 0 {
-				shards = f.cfg.Workers
-			}
-			f.ensureSharded(shards).Push(cd, f.score(cd))
-		} else {
-			f.queue.Push(cd, f.score(cd))
-		}
+		f.queue.Push(cd, f.score(cd))
 		pushed++
 	}
 	return pushed

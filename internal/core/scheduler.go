@@ -1,163 +1,105 @@
 package core
 
-import (
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"pfuzzer/internal/pqueue"
-)
-
-// runParallel executes the campaign with cfg.Workers executor
-// goroutines feeding a central scheduler (this goroutine). The
-// executors own execution and trace collection; the scheduler owns
-// every piece of campaign state — the sharded priority queue, the
-// valid-coverage set, the dedup and path-frequency maps, and the
-// result — so no state needs locking beyond the queue's own shard
-// locks.
+// runParallel executes one phase of the campaign with the speculative
+// pipeline engine (DESIGN.md §11): this goroutine runs the serial
+// trajectory — the exact Algorithm-1 loop, RNG stream, queue
+// discipline and bookkeeping of runSerial — while Workers-1 worker
+// goroutines (executor.go) prefetch the executions the trajectory is
+// about to need. The trajectory announces likely-next inputs on the
+// speculation board in batches (publishSpec), consumes finished
+// speculative runs from the memo inside the one execute-with-memo
+// path (cachedExec), and re-scores the queue through the pool's
+// parallel-for.
 //
-// Where the serial engine re-scores the whole queue after every valid
-// input (the paper's per-execution re-evaluation), the scheduler
-// batches: coverage from valids merges into vBr as outcomes arrive,
-// but the queue-wide re-scoring pass against the grown coverage runs
-// once per generation of cfg.Generation outcomes. Freshly pushed
-// children always score against current coverage; only already-queued
-// candidates go briefly stale, which the relaxed sharded-queue order
-// tolerates by construction.
+// Because every campaign state transition happens on this goroutine
+// in serial order, the result — the emitted corpus, the execution
+// indices, the cache counters, the final RNG position — is bit-for-bit
+// identical to Workers <= 1 under the same Seed, for any Workers and
+// any BatchSize (golden_test.go and parallel_test.go pin this).
+// Parallelism buys wall-clock only: primary inputs and their random
+// extensions execute concurrently instead of back to back. The
+// speedup ceiling is set by how much of the trajectory is
+// predictable — extensions are announced one iteration ahead and
+// queue tops are a top-biased guess at upcoming pops — not by the
+// worker count; see DESIGN.md §11 for the measured curve.
 //
-// Execution order, and therefore the emitted sequence, is
-// nondeterministic with Workers > 1. The phase's execution bound is
-// enforced exactly via a shared token budget; MaxValids and Deadline
-// may overshoot by the in-flight outcomes, the same way the serial
-// engine can overshoot within one loop iteration.
-//
-// Like the serial engine, runParallel is a resumable phase: the
-// sharded queue and all campaign state live on the Fuzzer, so the
-// hybrid driver can run exploration and mined-candidate validation as
-// successive phases over the same pool architecture. Each phase spins
-// up a fresh set of executor goroutines and drains them before
-// returning.
+// Like the serial engine, runParallel is a resumable phase over state
+// that lives entirely on the Fuzzer; the pool is rebuilt per phase
+// and drained before returning, so between Steps no goroutines are
+// live and a Snapshot is exact — the parallel engine snapshots and
+// restores identically to the serial one.
 func (f *Fuzzer) runParallel() {
-	f.begin()
-
-	nw := f.cfg.Workers
-	shards := f.cfg.Shards
-	if shards <= 0 {
-		shards = nw
-	}
-	gen := f.cfg.Generation
-	if gen <= 0 {
-		gen = 4 * nw
-	}
-	q := f.ensureSharded(shards)
-
-	var budget atomic.Int64
-	budget.Store(int64(f.execCap - f.res.Execs))
-	stop := make(chan struct{})
-	results := make(chan outcome, 4*nw)
-	var wg sync.WaitGroup
-	// Executors are rebuilt per phase; fold the phase counter into
-	// their ids so each phase's private RNG streams differ from the
-	// last — replaying them would re-synthesize the same restart
-	// inputs and extensions every phase of a hybrid campaign.
-	f.phases++
-	for i := 0; i < nw; i++ {
-		wg.Add(1)
-		go newExecutor(i+(f.phases-1)*nw, f.prog, &f.cfg, f.cache).loop(q, results, &budget, stop, &wg, i)
-	}
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-
-	stopped := false
-	halt := func() {
-		if !stopped {
-			stopped = true
-			close(stop)
-		}
-	}
-	pending, dirty := 0, false
-	for o := range results {
-		f.applyOutcome(&o, q, &dirty)
-		if pending++; pending >= gen {
-			pending = 0
-			if dirty {
-				q.Reorder(f.score)
-				dirty = false
-			}
-			f.pruneIfOvergrown(q)
-		}
-		if f.done() {
-			halt()
-		}
-	}
-	halt()
+	pool := newSpecPool(f.prog, f.cache, f.cfg.Workers-1)
+	f.spec = pool
+	f.runSerial()
+	f.spec = nil
+	pool.close()
+	f.res.SpecExecs += int(pool.specExecs.Load())
+	f.res.SpecHits += int(pool.specHits.Load())
 }
 
-// ensureSharded returns the campaign's sharded queue, creating and
-// seeding it with the paper's empty initial input on first use.
-func (f *Fuzzer) ensureSharded(shards int) *pqueue.Sharded[*candidate] {
-	if f.pq == nil {
-		f.pq = pqueue.NewSharded[*candidate](shards)
-		f.seen[""] = struct{}{}
-		f.pq.Push(&candidate{input: []byte{}}, 0)
-	}
-	return f.pq
-}
-
-// applyOutcome folds one executor outcome into the campaign state,
-// mirroring the serial engine's per-iteration bookkeeping: count the
-// executions, bump path frequencies, emit valids, derive children
-// from the run that the serial engine would have derived them from,
-// and re-enqueue the candidate with a retry decay.
-func (f *Fuzzer) applyOutcome(o *outcome, q *pqueue.Sharded[*candidate], dirty *bool) {
-	push := func(cd *candidate) { q.Push(cd, f.score(cd)) }
-	f.res.Execs += o.execs
-	f.res.CacheHits += o.hits
-	f.res.CacheMisses += o.misses
-	f.res.ExecElapsed += time.Duration(o.execNS)
-	if f.cache != nil {
-		f.maybeRetireCache()
-	}
-	f.bumpPath(o.primary.pathHash)
-	if o.ext != nil {
-		f.bumpPath(o.ext.pathHash)
-	}
-
-	// Mirror the serial engine's case split exactly. Valid with new
-	// coverage: emit, derive children from the input's own trace, and
-	// retire the candidate (ignoring the speculative extension the
-	// executor ran — see executor.loop). Anything else — rejected, or
-	// accepted without new coverage — takes the extension path:
-	// children come from the extension's trace (emitting it first if
-	// it happens to be valid with new coverage itself), and the
-	// candidate re-enqueues with a retry decay so a fresh random
-	// extension gets drawn on a later pop.
-	childDepth := o.depth + 1
-	parentGen := 0
-	if o.cand != nil {
-		parentGen = o.cand.mineGen
-	}
-	if o.primary.accepted && f.hasNewIDs(o.primary.blocks) {
-		f.emitValid(o.primary)
-		f.addChildren(o.primary, childDepth, parentGen, push)
-		*dirty = true
+// publishSpec announces the trajectory's likely-next executions on
+// the speculation board: the pending random extension (certain to run
+// if the current input is rejected — the very next execution) plus up
+// to batchSize top-of-queue candidates (a top-biased sample of
+// upcoming pops; see pqueue.PeekN). One publish per loop iteration is
+// the batched hand-off: workers claim tasks from the board by atomic
+// cursor, so the per-candidate channel send-and-wait of the old
+// executor pool disappears entirely. A no-op on the serial engine.
+func (f *Fuzzer) publishSpec() {
+	p := f.spec
+	if p == nil {
 		return
 	}
-	f.recordLength(o.primary, parentGen)
-	if o.ext != nil {
-		if o.ext.accepted && f.hasNewIDs(o.ext.blocks) {
-			f.emitValid(o.ext)
-			f.addChildren(o.ext, childDepth, parentGen, push)
-			*dirty = true
-		} else {
-			f.recordLength(o.ext, parentGen)
-			f.addChildren(o.ext, childDepth, parentGen, push)
-		}
+	b := f.batchSize()
+	tasks := make([][]byte, 0, b+1)
+	tasks = append(tasks, f.sExt)
+	f.queue.PeekN(b, func(cd *candidate) {
+		tasks = append(tasks, cd.input)
+	})
+	p.publish(tasks)
+}
+
+// batchSize resolves Config.BatchSize: an explicit value is used as
+// is; 0 auto-tunes from the observed execution latency so one board
+// covers roughly specTargetPublishNS of worker time — fast subjects
+// get wide boards (publishing is overhead), slow subjects narrow
+// ones (stale announcements waste worker executions) — clamped to
+// [2*(Workers-1), 64]. BatchSize shapes wall-clock only; results are
+// bit-identical across every value (TestBatchSizeInvariant).
+const specTargetPublishNS = 32768.0
+
+func (f *Fuzzer) batchSize() int {
+	if f.cfg.BatchSize > 0 {
+		return f.cfg.BatchSize
 	}
-	if o.cand != nil {
-		o.cand.retries++
-		push(o.cand)
+	lo := 2 * (f.cfg.Workers - 1)
+	if lo < 2 {
+		lo = 2
+	}
+	b := 8
+	if f.execEWMA > 0 {
+		b = int(specTargetPublishNS / f.execEWMA)
+	}
+	if b < lo {
+		b = lo
+	}
+	if b > 64 {
+		b = 64
+	}
+	return b
+}
+
+// reorderQueue re-scores the whole queue against current campaign
+// state — the paper's per-valid re-evaluation pass. With a live
+// speculation pool the score computation partitions across the
+// engine's concurrency; the heapify stays sequential either way, so
+// the queue layout (and every later pop) is bit-identical between
+// engines (pqueue.ReorderWith).
+func (f *Fuzzer) reorderQueue() {
+	if f.spec != nil {
+		f.queue.ReorderWith(f.score, f.spec.pfor)
+	} else {
+		f.queue.Reorder(f.score)
 	}
 }

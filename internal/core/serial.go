@@ -2,13 +2,20 @@ package core
 
 import "time"
 
-// runSerial executes the campaign on a single goroutine, popping one
-// candidate at a time and re-scoring the queue after every valid
-// input, exactly as the paper's Algorithm 1 does. Its behaviour under
-// a fixed Seed is bit-for-bit deterministic (golden_test.go pins the
-// emitted sequence), which keeps the paper-reproduction benchmarks
-// valid; the concurrent engine in scheduler.go trades that strict
-// ordering for throughput.
+// runSerial executes the campaign's trajectory on this goroutine,
+// popping one candidate at a time and re-scoring the queue after
+// every valid input, exactly as the paper's Algorithm 1 does. Its
+// behaviour under a fixed Seed is bit-for-bit deterministic
+// (golden_test.go pins the emitted sequence), which keeps the
+// paper-reproduction benchmarks valid.
+//
+// This same loop is the concurrent engine: with Workers > 1
+// (scheduler.go) the loop body additionally announces upcoming
+// executions on the speculation board (publishSpec, a no-op here
+// otherwise) and execFacts consumes speculative results through the
+// memo — both of which change where executions physically run, never
+// what the trajectory computes, so the two engines share one code
+// path and one behaviour.
 //
 // The loop cursor (sInput, sExt, sCur) lives on the Fuzzer so the
 // engine is resumable: the hybrid phase driver (hybrid.go) runs it in
@@ -28,6 +35,7 @@ func (f *Fuzzer) runSerial() {
 	}
 
 	for !f.done() {
+		f.publishSpec()
 		if _, ok := f.checkRun(f.sInput, false); !ok {
 			if rfE, okE := f.checkRun(f.sExt, true); !okE {
 				f.addChildrenSerial(rfE)
@@ -71,8 +79,25 @@ func (f *Fuzzer) runSerial() {
 func (f *Fuzzer) execFacts(input []byte, deriving bool) *runFacts {
 	f.res.Execs++
 	t0 := time.Now()
-	rf, hit := cachedExec(f.cache, f.prog, input, deriving, &f.sink)
-	f.res.ExecElapsed += time.Since(t0)
+	rf, hit, specNS := cachedExec(f.cache, f.prog, input, deriving, &f.sink, f.spec)
+	el := time.Since(t0)
+	// A speculatively executed input charges the worker's wall time,
+	// so ExecElapsed keeps meaning "time spent executing subjects"
+	// (summed across goroutines) rather than collapsing to the memo
+	// probe. The latency EWMA feeding the BatchSize auto-tune tracks
+	// real executions only — cache hits would drag it toward zero.
+	f.res.ExecElapsed += el + time.Duration(specNS)
+	if !hit {
+		ns := float64(el.Nanoseconds())
+		if specNS > 0 {
+			ns = float64(specNS)
+		}
+		if f.execEWMA == 0 {
+			f.execEWMA = ns
+		} else {
+			f.execEWMA += (ns - f.execEWMA) / 8
+		}
+	}
 	if f.cache != nil {
 		if hit {
 			f.res.CacheHits++
@@ -98,7 +123,7 @@ func (f *Fuzzer) checkRun(input []byte, deriving bool) (*runFacts, bool) {
 		// Re-score the queue against the grown vBr: "all remaining
 		// inputs in the queue have to be re-evaluated in terms of
 		// coverage" (§3.2).
-		f.queue.Reorder(f.score)
+		f.reorderQueue()
 		f.addChildrenSerial(rf)
 		return rf, true
 	}

@@ -9,7 +9,6 @@ import (
 	"sort"
 	"time"
 
-	"pfuzzer/internal/pqueue"
 	"pfuzzer/internal/subject"
 )
 
@@ -47,6 +46,7 @@ type SavedConfig struct {
 	DeadlineNS    int64    `json:"deadline_ns,omitempty"`
 	Cache         int      `json:"cache,omitempty"`
 	Workers       int      `json:"workers,omitempty"`
+	BatchSize     int      `json:"batch_size,omitempty"`
 	Shards        int      `json:"shards,omitempty"`
 	Generation    int      `json:"generation,omitempty"`
 	MinePhase     bool     `json:"mine_phase,omitempty"`
@@ -69,7 +69,7 @@ func savedConfig(c *Config) SavedConfig {
 		Seed: c.Seed, MaxExecs: c.MaxExecs, MaxValids: c.MaxValids,
 		MaxLen: c.MaxLen, MaxQueue: c.MaxQueue, Charset: c.Charset,
 		DeadlineNS: int64(c.Deadline), Cache: int(c.Cache),
-		Workers: c.Workers, Shards: c.Shards,
+		Workers: c.Workers, BatchSize: c.BatchSize, Shards: c.Shards,
 		Generation: c.Generation, MinePhase: c.MinePhase, MineBudget: c.MineBudget,
 		MineMaxTokens: c.MineMaxTokens, MineCadence: c.MineCadence, MineSeeds: c.MineSeeds,
 		NoLengthTerm: c.NoLengthTerm, NoReplacementBonus: c.NoReplacementBonus,
@@ -83,7 +83,7 @@ func (sc *SavedConfig) config() Config {
 		Seed: sc.Seed, MaxExecs: sc.MaxExecs, MaxValids: sc.MaxValids,
 		MaxLen: sc.MaxLen, MaxQueue: sc.MaxQueue, Charset: sc.Charset,
 		Deadline: time.Duration(sc.DeadlineNS), Cache: CacheMode(sc.Cache),
-		Workers: sc.Workers, Shards: sc.Shards,
+		Workers: sc.Workers, BatchSize: sc.BatchSize, Shards: sc.Shards,
 		Generation: sc.Generation, MinePhase: sc.MinePhase, MineBudget: sc.MineBudget,
 		MineMaxTokens: sc.MineMaxTokens, MineCadence: sc.MineCadence, MineSeeds: sc.MineSeeds,
 		NoLengthTerm: sc.NoLengthTerm, NoReplacementBonus: sc.NoReplacementBonus,
@@ -100,8 +100,10 @@ type SnapValid struct {
 }
 
 // SnapCandidate is one queued (or popped) search candidate in a
-// Snapshot. Shard records where the parallel engine's sharded queue
-// held it (-1: the serial engine's exact queue).
+// Snapshot. Shard is always -1 in snapshots this build writes (every
+// engine runs the exact queue); legacy snapshots from the retired
+// sharded-queue engine carry the shard index that held the candidate,
+// which Restore folds back into the exact queue.
 type SnapCandidate struct {
 	Input       []byte   `json:"input"`
 	Replacement []byte   `json:"replacement,omitempty"`
@@ -167,14 +169,13 @@ type SnapHybrid struct {
 	Emitted     [][]byte `json:"emitted,omitempty"` // GenerateBatch's hand-out dedup set
 }
 
-// Snapshot is a serializable image of a campaign between Steps. For
-// the serial engine it is exact: a campaign restored from a snapshot
+// Snapshot is a serializable image of a campaign between Steps, and
+// it is exact on every engine: a campaign restored from a snapshot
 // continues with the same queue, dedup sets, cursor and RNG stream
 // position, so the combined run is bit-identical to an uninterrupted
-// one. For the parallel engine it captures all scheduler-owned state
-// (executor goroutines hold none between Steps); the resumed campaign
-// is execution-equivalent but, like any parallel campaign, its
-// emission order is not reproducible.
+// one. With Workers > 1 the speculative workers hold no campaign
+// state between Steps (the memo and board are rebuilt per phase), so
+// the trajectory state captured here is the whole campaign.
 type Snapshot struct {
 	Version int         `json:"version"`
 	Config  SavedConfig `json:"config"`
@@ -277,13 +278,6 @@ func (c *Campaign) Snapshot() *Snapshot {
 	sort.Slice(s.PathSeen, func(i, j int) bool { return s.PathSeen[i].Hash < s.PathSeen[j].Hash })
 	for _, it := range f.queue.Dump() {
 		s.Queue = append(s.Queue, snapCandidate(it.Value, it.Score, -1))
-	}
-	if f.pq != nil {
-		for shard, items := range f.pq.Dump() {
-			for _, it := range items {
-				s.Queue = append(s.Queue, snapCandidate(it.Value, it.Score, shard))
-			}
-		}
 	}
 	if f.sCur != nil {
 		sc := snapCandidate(f.sCur, 0, -1)
@@ -407,31 +401,14 @@ func Restore(prog subject.Program, cfg Config, s *Snapshot) (*Campaign, error) {
 		f.sCur = s.SCur.candidate()
 	}
 
-	needSharded := false
-	for i := range s.Queue {
-		if s.Queue[i].Shard >= 0 {
-			needSharded = true
-			break
-		}
-	}
-	if needSharded {
-		shards := base.Shards
-		if shards <= 0 {
-			shards = base.Workers
-		}
-		if shards < 1 {
-			shards = 1
-		}
-		f.pq = pqueue.NewSharded[*candidate](shards)
-	}
+	// Every candidate restores into the exact queue in snapshot order.
+	// Legacy snapshots from the retired sharded-queue engine carry
+	// Shard >= 0 entries; folding them into the one queue preserves
+	// their scores and relative order, which is all that engine
+	// guaranteed anyway.
 	for i := range s.Queue {
 		e := &s.Queue[i]
-		cd := e.candidate()
-		if e.Shard < 0 {
-			f.queue.Push(cd, e.Score)
-		} else {
-			f.pq.LoadShard(e.Shard, cd, e.Score)
-		}
+		f.queue.Push(e.candidate(), e.Score)
 	}
 
 	if s.Hybrid != nil {

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subjects/cjson"
+	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/subjects/paren"
+)
+
+// TestParallelMatchesSerial pins the speculative engine's core
+// contract: for any worker count, the campaign result is bit-for-bit
+// the serial engine's — same corpus at the same execution indices,
+// same coverage, same fingerprint — because the trajectory goroutine
+// runs the exact serial algorithm and workers only prefetch
+// executions. This is strictly stronger than the corpus
+// set-equivalence the bench gate checks.
+func TestParallelMatchesSerial(t *testing.T) {
+	subjects := []struct {
+		name string
+		run  func(workers int) *Result
+	}{
+		{"expr", func(w int) *Result {
+			return New(expr.New(), Config{Seed: 42, MaxExecs: 3000, Workers: w}).Run()
+		}},
+		{"cjson", func(w int) *Result {
+			return New(cjson.New(), Config{Seed: 7, MaxExecs: 4000, Workers: w}).Run()
+		}},
+		{"paren-nocache", func(w int) *Result {
+			return New(paren.New(), Config{Seed: 3, MaxExecs: 3000, Workers: w, Cache: CacheOff}).Run()
+		}},
+	}
+	for _, s := range subjects {
+		t.Run(s.name, func(t *testing.T) {
+			serial := s.run(1)
+			for _, w := range []int{2, 4} {
+				par := s.run(w)
+				if got, want := par.Fingerprint(), serial.Fingerprint(); got != want {
+					t.Errorf("workers=%d fingerprint %#x, serial %#x (execs %d vs %d, valids %d vs %d)",
+						w, got, want, par.Execs, serial.Execs, len(par.Valids), len(serial.Valids))
+				}
+				if par.CacheHits != serial.CacheHits || par.CacheMisses != serial.CacheMisses {
+					t.Errorf("workers=%d cache counters (%d hits, %d misses), serial (%d, %d)",
+						w, par.CacheHits, par.CacheMisses, serial.CacheHits, serial.CacheMisses)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchSizeInvariant pins the batched hand-off's determinism knob:
+// BatchSize shapes only how much speculation each board publish
+// announces, never the trajectory, so results are bit-identical
+// across batch sizes — on the serial engine (where the knob is inert)
+// and on the concurrent engine alike.
+func TestBatchSizeInvariant(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var want uint64
+		for i, batch := range []int{0, 1, 4, 64} {
+			res := New(expr.New(), Config{Seed: 42, MaxExecs: 3000, Workers: workers, BatchSize: batch}).Run()
+			if i == 0 {
+				want = res.Fingerprint()
+				continue
+			}
+			if got := res.Fingerprint(); got != want {
+				t.Errorf("workers=%d batch=%d fingerprint %#x, want %#x", workers, batch, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelRetireMilestonesDeterministic pins the adaptive cache
+// retirement under concurrency: hit/miss counters — and therefore the
+// CacheAuto milestones and the retire decision — are trajectory state,
+// computed in trajectory order no matter how many workers speculate,
+// so they must be equal across worker counts at every budget. expr's
+// hit rate sits under the retire threshold (BENCH_pr5: 13%), so the
+// budget below crosses the first milestone and actually retires.
+func TestParallelRetireMilestonesDeterministic(t *testing.T) {
+	run := func(w int) *Result {
+		return New(expr.New(), Config{Seed: 9, MaxExecs: 12000, Workers: w, Cache: CacheAuto}).Run()
+	}
+	serial := run(1)
+	if !serial.CacheRetired {
+		t.Fatalf("serial campaign did not retire the cache (hit rate %.2f); the test needs a retiring workload",
+			serial.CacheHitRate())
+	}
+	for _, w := range []int{2, 4} {
+		par := run(w)
+		if par.CacheRetired != serial.CacheRetired ||
+			par.CacheHits != serial.CacheHits || par.CacheMisses != serial.CacheMisses {
+			t.Errorf("workers=%d: retired=%v hits=%d misses=%d, serial retired=%v hits=%d misses=%d",
+				w, par.CacheRetired, par.CacheHits, par.CacheMisses,
+				serial.CacheRetired, serial.CacheHits, serial.CacheMisses)
+		}
+		if par.Fingerprint() != serial.Fingerprint() {
+			t.Errorf("workers=%d fingerprint diverged across the retire milestone", w)
+		}
+	}
+}
+
+// TestSpecDiagnostics sanity-checks the speculation counters: a
+// Workers>1 campaign on a subject with a consumable pipeline should
+// both run and consume speculative executions, and consumed entries
+// can never exceed run ones.
+func TestSpecDiagnostics(t *testing.T) {
+	res := New(expr.New(), Config{Seed: 42, MaxExecs: 3000, Workers: 2}).Run()
+	if res.SpecExecs == 0 {
+		t.Error("Workers=2 campaign ran no speculative executions")
+	}
+	if res.SpecHits > res.SpecExecs {
+		t.Errorf("SpecHits %d exceeds SpecExecs %d", res.SpecHits, res.SpecExecs)
+	}
+	serial := New(expr.New(), Config{Seed: 42, MaxExecs: 3000, Workers: 1}).Run()
+	if serial.SpecExecs != 0 || serial.SpecHits != 0 {
+		t.Errorf("serial campaign reports speculation (%d execs, %d hits)", serial.SpecExecs, serial.SpecHits)
+	}
+}

@@ -14,22 +14,34 @@
 //     re-executing the very same input — which the engines do on every
 //     candidate re-pop — replays the same trace.
 //
-// Both tiers live in one flat table keyed by a 128-bit rolling hash of
-// the bytes, with a bitset recording which prefix lengths hold
-// entries. A lookup is a single arithmetic pass over the input that
-// probes the table at each populated length and once more for the
-// exact tier — no trie to chase and no stored key bytes to compare,
-// which keeps the cache's memory footprint (and the cash-line traffic
-// it steals from the engine's own hot loops) to ~40 bytes per entry.
-// Keys are compared by hash only: with 128 independent bits the odds
-// of any collision over a campaign's worth of entries are far below
-// 1e-20, and the engine-level cache-transparency property
+// Both tiers live in one table keyed by a 128-bit rolling hash of the
+// bytes, with a bitset recording which prefix lengths hold entries. A
+// lookup is a single arithmetic pass over the input that probes the
+// table at each populated length and once more for the exact tier —
+// no trie to chase and no stored key bytes to compare, which keeps the
+// cache's memory footprint (and the cash-line traffic it steals from
+// the engine's own hot loops) to ~40 bytes per entry. Keys are
+// compared by hash only: with 128 independent bits the odds of any
+// collision over a campaign's worth of entries are far below 1e-20,
+// and the engine-level cache-transparency property
 // (internal/conformance) would surface one as a fingerprint mismatch.
 //
-// The cache is value-generic, safe for concurrent use (the parallel
-// engine's executors share one per campaign), bounded, and
+// The table is striped: entries spread over independently RW-locked
+// segments selected by key hash, so the parallel engine's speculative
+// workers and its scheduler probe and fill the shared cache without
+// contending on one global lock. The routing structures in front of
+// the segments — the prefix-length bitset and the negative bloom
+// filter — are read lock-free with atomic word loads; writers publish
+// bits with CAS (the filters are append-only, so a racing reader can
+// at worst miss a just-added entry and fall back to a real execution,
+// never return a wrong value).
+//
+// The cache is value-generic, safe for concurrent use, bounded, and
 // deterministic: a full cache stops admitting entries instead of
-// evicting, so a lookup's answer never depends on timing.
+// evicting, so a lookup's answer never depends on timing. Used from a
+// single goroutine its observable behaviour — every admission bool,
+// every lookup, Len, the retire point — is bit-identical to the
+// pre-striping global-lock implementation.
 //
 // Contract for Get: a stored deciding prefix of the input wins over an
 // exact entry, and among nested deciding prefixes the shortest wins.
@@ -81,14 +93,77 @@ const (
 	bloomMask  = bloomWords*64 - 1
 )
 
+// stripeBits fixes the segment count at 16: enough that a scheduler
+// plus a handful of speculative workers rarely collide on a segment
+// lock, few enough that the per-segment maps stay dense. Segments are
+// selected by the top hash bits, disjoint from the low bits the bloom
+// filter consumes.
+const (
+	stripeBits  = 4
+	stripeCount = 1 << stripeBits
+)
+
+// segment is one independently locked slice of the table. The live
+// fields are padded to a 128-byte stride so two segments' locks never
+// share a cache line.
+type segment[V any] struct {
+	mu sync.RWMutex
+	m  map[key]V
+	_  [96]byte
+}
+
+func segIdx(k key) int { return int(k[0] >> (64 - stripeBits)) }
+
+// lenBits is the prefix-length bitset, read lock-free: the word slice
+// hangs off an atomic pointer (it grows as longer prefixes appear) and
+// individual words are loaded atomically. Writers serialise on mu and
+// publish with atomic stores, so a racing reader sees either the bit
+// or a benign false negative — never a torn word.
+type lenBits struct {
+	mu    sync.Mutex
+	words atomic.Pointer[[]uint64]
+}
+
+func (b *lenBits) test(n int) bool {
+	wp := b.words.Load()
+	if wp == nil {
+		return false
+	}
+	w := *wp
+	i := n >> 6
+	return i < len(w) && atomic.LoadUint64(&w[i])&(1<<(n&63)) != 0
+}
+
+func (b *lenBits) set(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	i := n >> 6
+	var w []uint64
+	if wp := b.words.Load(); wp != nil {
+		w = *wp
+	}
+	if i >= len(w) {
+		grown := make([]uint64, i+1)
+		for j := range w {
+			// Writers are serialised on mu, so plain reads of the old
+			// words cannot race with another setter; readers only load.
+			grown[j] = w[j]
+		}
+		grown[i] |= 1 << (n & 63)
+		b.words.Store(&grown)
+		return
+	}
+	atomic.StoreUint64(&w[i], atomic.LoadUint64(&w[i])|1<<(n&63))
+}
+
 // Cache is a bounded, concurrency-safe prefix/exact memo table.
 type Cache[V any] struct {
-	retired atomic.Bool // Retire was called: all operations are no-ops
-	mu      sync.RWMutex
-	m       map[key]V
-	lens    []uint64 // bitset: prefix lengths with at least one entry
-	bloom   []uint64 // negative filter over stored keys
-	limit   int
+	retired atomic.Bool  // Retire was called: all operations are no-ops
+	size    atomic.Int64 // admitted entries across all segments
+	limit   int64
+	lens    lenBits
+	bloom   []uint64 // negative filter over stored keys; atomic words
+	segs    []segment[V]
 }
 
 // New returns an empty cache bounded to limit stored entries across
@@ -97,7 +172,15 @@ func New[V any](limit int) *Cache[V] {
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
-	return &Cache[V]{m: make(map[key]V), bloom: make([]uint64, bloomWords), limit: limit}
+	c := &Cache[V]{
+		limit: int64(limit),
+		bloom: make([]uint64, bloomWords),
+		segs:  make([]segment[V], stripeCount),
+	}
+	for i := range c.segs {
+		c.segs[i].m = make(map[key]V)
+	}
+	return c
 }
 
 // bloomBits derives the two filter bit positions of a key from
@@ -110,26 +193,37 @@ func bloomBits(k key) (uint64, uint64) {
 // absent).
 func (c *Cache[V]) mayContain(k key) bool {
 	b1, b2 := bloomBits(k)
-	return c.bloom[b1>>6]&(1<<(b1&63)) != 0 && c.bloom[b2>>6]&(1<<(b2&63)) != 0
+	return atomic.LoadUint64(&c.bloom[b1>>6])&(1<<(b1&63)) != 0 &&
+		atomic.LoadUint64(&c.bloom[b2>>6])&(1<<(b2&63)) != 0
+}
+
+// orWord sets bit in *w with a CAS loop; concurrent setters under
+// different segment locks make a plain RMW a race.
+func orWord(w *uint64, bit uint64) {
+	for {
+		old := atomic.LoadUint64(w)
+		if old&bit == bit {
+			return
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|bit) {
+			return
+		}
+	}
 }
 
 func (c *Cache[V]) bloomAdd(k key) {
 	b1, b2 := bloomBits(k)
-	c.bloom[b1>>6] |= 1 << (b1 & 63)
-	c.bloom[b2>>6] |= 1 << (b2 & 63)
+	orWord(&c.bloom[b1>>6], 1<<(b1&63))
+	orWord(&c.bloom[b2>>6], 1<<(b2&63))
 }
 
-func (c *Cache[V]) lenBit(n int) bool {
-	w := n >> 6
-	return w < len(c.lens) && c.lens[w]&(1<<(n&63)) != 0
-}
-
-func (c *Cache[V]) setLenBit(n int) {
-	w := n >> 6
-	for w >= len(c.lens) {
-		c.lens = append(c.lens, 0)
-	}
-	c.lens[w] |= 1 << (n & 63)
+// lookup probes k's segment under its read lock.
+func (c *Cache[V]) lookup(k key) (V, bool) {
+	seg := &c.segs[segIdx(k)]
+	seg.mu.RLock()
+	v, ok := seg.m[k] // reading a nil (retired) map is a clean miss
+	seg.mu.RUnlock()
+	return v, ok
 }
 
 // Ref identifies an entry slot returned by Get. After a hit it
@@ -145,33 +239,25 @@ type Ref struct {
 
 // Get returns the memoised value for input: the value of the shortest
 // stored deciding prefix of input, or failing that the input's exact
-// entry.
+// entry. The rolling pass touches only the lock-free routing bits;
+// a segment lock is taken per surviving probe, so concurrent lookups
+// of unrelated inputs rarely share a lock.
 func (c *Cache[V]) Get(input []byte) (V, Ref, bool) {
 	if c.retired.Load() {
 		var zero V
 		return zero, Ref{}, false
 	}
-	c.mu.RLock()
-	if c.m == nil {
-		// Retire won the race between the flag check above and the
-		// lock: the storage (bloom included) is already gone.
-		c.mu.RUnlock()
-		var zero V
-		return zero, Ref{}, false
-	}
 	h1, h2 := uint64(seed1), uint64(seed2)
-	if c.lenBit(0) {
-		if v, ok := c.m[key{h1, h2}]; ok {
-			c.mu.RUnlock()
+	if c.lens.test(0) {
+		if v, ok := c.lookup(key{h1, h2}); ok {
 			return v, Ref{k: key{h1, h2}, ok: true}, true
 		}
 	}
 	for i := 0; i < len(input); i++ {
 		h1, h2 = step(h1, h2, input[i])
-		if c.lenBit(i + 1) {
+		if c.lens.test(i + 1) {
 			if k := (key{h1, h2}); c.mayContain(k) {
-				if v, ok := c.m[k]; ok {
-					c.mu.RUnlock()
+				if v, ok := c.lookup(k); ok {
 					return v, Ref{k: k, ok: true}, true
 				}
 			}
@@ -179,12 +265,10 @@ func (c *Cache[V]) Get(input []byte) (V, Ref, bool) {
 	}
 	k := key{h1, h2 ^ exactTag}
 	if c.mayContain(k) {
-		if v, ok := c.m[k]; ok {
-			c.mu.RUnlock()
+		if v, ok := c.lookup(k); ok {
 			return v, Ref{k: k, ok: true}, true
 		}
 	}
-	c.mu.RUnlock()
 	var zero V
 	return zero, Ref{k: k}, false
 }
@@ -197,11 +281,12 @@ func (c *Cache[V]) Set(r Ref, v V) {
 	if !r.ok {
 		return
 	}
-	c.mu.Lock()
-	if _, exists := c.m[r.k]; exists {
-		c.m[r.k] = v
+	seg := &c.segs[segIdx(r.k)]
+	seg.mu.Lock()
+	if _, exists := seg.m[r.k]; exists {
+		seg.m[r.k] = v
 	}
-	c.mu.Unlock()
+	seg.mu.Unlock()
 }
 
 // hash runs the rolling pass over all of b.
@@ -220,8 +305,6 @@ func hash(b []byte) (uint64, uint64) {
 // only carry the identical facts).
 func (c *Cache[V]) PutPrefix(prefix []byte, v V) bool {
 	h1, h2 := hash(prefix)
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.put(key{h1, h2}, len(prefix), v)
 }
 
@@ -230,8 +313,6 @@ func (c *Cache[V]) PutPrefix(prefix []byte, v V) bool {
 // the cache is full or the input already has an exact entry.
 func (c *Cache[V]) PutExact(input []byte, v V) bool {
 	h1, h2 := hash(input)
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.put(key{h1, h2 ^ exactTag}, -1, v)
 }
 
@@ -243,46 +324,60 @@ func (c *Cache[V]) PutExactAt(r Ref, v V) bool {
 	if r.ok || r.k == (key{}) {
 		return false // a present entry, or the zero Ref
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.put(r.k, -1, v)
 }
 
 func (c *Cache[V]) put(k key, prefixLen int, v V) bool {
-	if c.m == nil || len(c.m) >= c.limit {
+	seg := &c.segs[segIdx(k)]
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	if seg.m == nil || c.size.Load() >= c.limit {
 		return false
 	}
-	if _, dup := c.m[k]; dup {
+	if _, dup := seg.m[k]; dup {
 		return false
 	}
-	c.m[k] = v
+	// Reserve a slot against the shared bound; under concurrent puts
+	// the pre-check above can pass in several segments at once, so the
+	// reservation is what actually enforces the limit.
+	if c.size.Add(1) > c.limit {
+		c.size.Add(-1)
+		return false
+	}
+	seg.m[k] = v
 	c.bloomAdd(k)
 	if prefixLen >= 0 {
-		c.setLenBit(prefixLen)
+		c.lens.set(prefixLen)
 	}
 	return true
 }
 
 // Len returns the number of stored entries across both tiers.
 func (c *Cache[V]) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	if c.retired.Load() {
+		return 0
+	}
+	return int(c.size.Load())
 }
 
-// Retire permanently idles the cache and releases its storage: every
-// later Get misses in one atomic load and every Put is a no-op. The
-// campaign engines call it when the adaptive mode (core.CacheAuto)
-// observes a hit rate too low to pay for the lookups — safe at any
-// point, from any goroutine, because the cache is semantically
-// transparent: losing it changes wall-clock, never results.
+// Retire permanently idles the cache and releases the entry storage:
+// every later Get misses in one atomic load and every Put is a no-op.
+// The routing bits (length bitset, bloom filter) stay allocated — a
+// fixed ~64 KiB — so lock-free readers racing with Retire never
+// observe freed storage; only the per-segment maps, which carry the
+// real footprint, are dropped under their locks. The campaign engines
+// call Retire when the adaptive mode (core.CacheAuto) observes a hit
+// rate too low to pay for the lookups — safe at any point, from any
+// goroutine, because the cache is semantically transparent: losing it
+// changes wall-clock, never results.
 func (c *Cache[V]) Retire() {
 	c.retired.Store(true)
-	c.mu.Lock()
-	c.m = nil
-	c.lens = nil
-	c.bloom = nil
-	c.mu.Unlock()
+	for i := range c.segs {
+		seg := &c.segs[i]
+		seg.mu.Lock()
+		seg.m = nil
+		seg.mu.Unlock()
+	}
 }
 
 // Retired reports whether Retire was called.

@@ -29,11 +29,18 @@ type Sharded[T any] struct {
 type shard[T any] struct {
 	mu sync.Mutex
 	q  Queue[T]
-	// Pad the 40 bytes of live fields to a 128-byte stride: whatever
-	// the slice's base alignment, two shards' live bytes then sit at
-	// least 88 bytes apart, so they can never share a 64-byte cache
-	// line and the per-shard locks do not false-share.
-	_ [88]byte
+	// size is a lock-free length hint maintained under mu after every
+	// mutation. The steal path reads it to skip shards that look
+	// empty without taking their lock; it is only ever a *hint* — the
+	// authoritative emptiness check is the Pop under the lock (see
+	// PopOwn), so a stale hint can cost a wasted lock acquisition or
+	// a skipped-but-just-filled shard, never a wrong pop.
+	size atomic.Int64
+	// Pad the live fields to a 128-byte stride: whatever the slice's
+	// base alignment, two shards' live bytes then sit at least 80
+	// bytes apart, so they can never share a 64-byte cache line and
+	// the per-shard locks do not false-share.
+	_ [80]byte
 }
 
 // NewSharded returns a queue with n shards (n < 1 is treated as 1).
@@ -53,21 +60,56 @@ func (s *Sharded[T]) Push(v T, score float64) {
 	sh := &s.shards[s.pushes.Add(1)%uint64(len(s.shards))]
 	sh.mu.Lock()
 	sh.q.Push(v, score)
+	sh.size.Store(int64(sh.q.Len()))
 	sh.mu.Unlock()
+}
+
+// popShard pops sh's best value under its lock and refreshes the size
+// hint. The emptiness decision is made by Pop while the lock is held —
+// the size hint that may have routed the caller here is advisory only,
+// so the hint-then-lock window (a classic TOCTOU shape) can never turn
+// a concurrent drain into a wrong value, only into ok == false.
+func popShard[T any](sh *shard[T]) (T, float64, bool) {
+	sh.mu.Lock()
+	v, score, ok := sh.q.Pop()
+	if ok {
+		sh.size.Store(int64(sh.q.Len()))
+	}
+	sh.mu.Unlock()
+	return v, score, ok
 }
 
 // PopOwn removes and returns the best value of worker w's home shard;
 // when that shard is empty it steals from the other shards in ring
-// order. It returns ok == false only when every shard was observed
-// empty.
+// order. The steal pass consults each victim's size hint first and
+// skips shards that look empty without locking them; because the hint
+// can be stale in both directions, a shard that passes the hint check
+// is re-checked under its lock (popShard), and a full no-hint pass
+// runs before giving up so a push that landed between hint reads is
+// not missed. ok == false therefore still means every shard was
+// observed empty under its own lock, in one pass.
 func (s *Sharded[T]) PopOwn(w int) (T, float64, bool) {
 	n := len(s.shards)
-	for i := 0; i < n; i++ {
+	// Home shard: always check under the lock; it is this worker's
+	// primary queue and the hint would mostly be hot anyway.
+	if v, score, ok := popShard(&s.shards[uint(w)%uint(n)]); ok {
+		return v, score, true
+	}
+	// Steal pass: size hints route around observably empty victims.
+	for i := 1; i < n; i++ {
 		sh := &s.shards[(uint(w)+uint(i))%uint(n)]
-		sh.mu.Lock()
-		v, score, ok := sh.q.Pop()
-		sh.mu.Unlock()
-		if ok {
+		if sh.size.Load() == 0 {
+			continue
+		}
+		if v, score, ok := popShard(sh); ok {
+			return v, score, true
+		}
+	}
+	// Confirmation pass without hints: every shard is checked under
+	// its lock, so a false "all empty" can only be claimed when it
+	// was momentarily true.
+	for i := 1; i < n; i++ {
+		if v, score, ok := popShard(&s.shards[(uint(w)+uint(i))%uint(n)]); ok {
 			return v, score, true
 		}
 	}
@@ -95,11 +137,7 @@ func (s *Sharded[T]) Pop() (T, float64, bool) {
 			var zero T
 			return zero, 0, false
 		}
-		sh := &s.shards[best]
-		sh.mu.Lock()
-		v, score, ok := sh.q.Pop()
-		sh.mu.Unlock()
-		if ok {
+		if v, score, ok := popShard(&s.shards[best]); ok {
 			return v, score, true
 		}
 		// The shard was drained between peek and pop; rescan.
@@ -129,6 +167,7 @@ func (s *Sharded[T]) LoadShard(i int, v T, score float64) {
 	sh := &s.shards[uint(i)%uint(len(s.shards))]
 	sh.mu.Lock()
 	sh.q.Push(v, score)
+	sh.size.Store(int64(sh.q.Len()))
 	sh.mu.Unlock()
 }
 
@@ -223,6 +262,7 @@ func (s *Sharded[T]) Prune(max int) {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		sh.q.Prune(quota[i])
+		sh.size.Store(int64(sh.q.Len()))
 		sh.mu.Unlock()
 	}
 }

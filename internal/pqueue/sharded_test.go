@@ -208,3 +208,96 @@ func TestShardedConcurrentStress(t *testing.T) {
 		t.Fatalf("Len = %d, want %d pushed - %d popped", got, workers*perW, total)
 	}
 }
+
+// TestShardedStealRecheckUnderLock targets the steal path's
+// size-hint/lock window: pushers fill remote shards while stealers
+// whose home shard stays empty drain everything through PopOwn. Every
+// pushed value must be popped exactly once — a steal that trusted a
+// stale hint instead of re-checking under the lock would lose values,
+// and a double-pop would duplicate them. Run with -race this is the
+// targeted proof for the hint's TOCTOU window.
+func TestShardedStealRecheckUnderLock(t *testing.T) {
+	const (
+		shards  = 8
+		pushers = 4
+		perP    = 5000
+	)
+	s := NewSharded[int](shards)
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				s.Push(p*perP+i, float64(i%17))
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	got := make(map[int]int, pushers*perP)
+	var sg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		sg.Add(1)
+		go func(w int) {
+			defer sg.Done()
+			mine := make([]int, 0, perP)
+			for {
+				v, _, ok := s.PopOwn(w)
+				if !ok {
+					select {
+					case <-done:
+						// Pushers finished and the queue read empty
+						// under every shard lock: drain truly over.
+						if v, _, ok := s.PopOwn(w); ok {
+							mine = append(mine, v)
+							continue
+						}
+						mu.Lock()
+						for _, v := range mine {
+							got[v]++
+						}
+						mu.Unlock()
+						return
+					default:
+						continue
+					}
+				}
+				mine = append(mine, v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	sg.Wait()
+	if len(got) != pushers*perP {
+		t.Fatalf("popped %d distinct values, want %d", len(got), pushers*perP)
+	}
+	for v, n := range got {
+		if n != 1 {
+			t.Fatalf("value %d popped %d times", v, n)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after full drain", s.Len())
+	}
+}
+
+// TestShardedPopOwnObservesLatePush pins the confirmation pass: a
+// value pushed into any shard before PopOwn starts must be found even
+// though every size hint could read stale, because the final pass
+// checks every shard under its lock.
+func TestShardedPopOwnObservesLatePush(t *testing.T) {
+	s := NewSharded[string](4)
+	for i := 0; i < 4; i++ {
+		s.Push("v", 1)
+		// Pop from a worker whose home shard is someone else's: the
+		// value must be reachable from every home.
+		if _, _, ok := s.PopOwn(3 - i); !ok {
+			t.Fatalf("PopOwn(%d) missed the only value", 3-i)
+		}
+	}
+	if _, _, ok := s.PopOwn(0); ok {
+		t.Fatalf("PopOwn on an empty queue returned a value")
+	}
+}
