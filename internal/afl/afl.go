@@ -115,8 +115,9 @@ type Fuzzer struct {
 func New(prog subject.Program, cfg Config) *Fuzzer {
 	c := cfg.withDefaults()
 	return &Fuzzer{
-		cfg:       c,
-		prog:      prog,
+		cfg:  c,
+		prog: prog,
+		//pdlint:ignore enginerand -- the baseline AFL engine is not snapshot-resumable; its per-campaign seeded RNG needs no draw counting
 		rng:       rand.New(rand.NewSource(c.Seed)),
 		virgin:    make([]byte, trace.EdgeMapSize),
 		seenValid: make(map[string]struct{}),
@@ -234,6 +235,7 @@ func (f *Fuzzer) recordValid(input []byte) {
 	f.seenValid[key] = struct{}{}
 	f.res.Execs++
 	rec := subject.Execute(f.prog, input, trace.Options{Blocks: true})
+	//pdlint:ordered -- set union; every visit order yields the same coverage map
 	for id := range rec.BlockFirst {
 		f.res.Coverage[id] = true
 	}

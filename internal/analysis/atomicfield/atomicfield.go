@@ -1,0 +1,279 @@
+// Package atomicfield flags memory that is accessed both through
+// sync/atomic package functions and by plain reads or writes — the
+// mixed-access bug class where a refactor quietly turns a lock-free
+// reader into a data race. Two granularities are tracked:
+//
+//   - struct fields: a field whose address (or element address) feeds
+//     a sync/atomic call anywhere in the package must not be read or
+//     written plainly anywhere else in the package;
+//   - function-local slices: within one function, a slice whose
+//     elements are atomically accessed must not have elements
+//     accessed plainly.
+//
+// For element-granular targets (slices), whole-value assignments like
+// `c.words = make([]uint64, n)` are not flagged: the atomic unit is
+// the element, and replacing the whole slice is the publish pattern
+// that goes through its own atomic.Pointer. Struct-literal
+// initialization is likewise exempt — construction precedes
+// publication. Typed atomics (atomic.Int64, atomic.Pointer) make this
+// analyzer structurally unnecessary; it exists for the word-array
+// cases (bloom filters, bitsets) where typed atomics cannot express
+// the layout.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"pfuzzer/internal/analysis/pdlint"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &pdlint.Analyzer{
+	Name: "atomicfield",
+	Doc: "flags struct fields and local slices accessed both via sync/atomic " +
+		"and by plain read/write",
+	Run: run,
+}
+
+// target records how one object is atomically accessed.
+type target struct {
+	obj  types.Object
+	elem bool        // atomic ops address elements (obj[i]), not obj itself
+	fn   *types.Func // non-nil: a function-local var, checked only within fn
+}
+
+func run(pass *pdlint.Pass) error {
+	targets := collectTargets(pass)
+	if len(targets) == 0 {
+		return nil
+	}
+	reportPlainAccesses(pass, targets)
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic
+// package-level function.
+func isAtomicCall(pass *pdlint.Pass, call *ast.CallExpr) bool {
+	callee := pdlint.CalleeOf(pass.Info, call)
+	return callee != nil && callee.Pkg() != nil &&
+		callee.Pkg().Path() == "sync/atomic" &&
+		callee.Type().(*types.Signature).Recv() == nil
+}
+
+// collectTargets finds every object whose address reaches a
+// sync/atomic call: directly as &x.f / &x.f[i] / &w[i], or through a
+// single-assignment pointer local (w := &c.words[i]; atomic.Load(w)).
+func collectTargets(pass *pdlint.Pass) map[types.Object]*target {
+	targets := map[types.Object]*target{}
+	add := func(expr ast.Expr, fn *types.Func) {
+		switch x := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			if obj := fieldObj(pass, x); obj != nil {
+				mergeTarget(targets, &target{obj: obj})
+			}
+		case *ast.IndexExpr:
+			switch base := ast.Unparen(x.X).(type) {
+			case *ast.SelectorExpr:
+				if obj := fieldObj(pass, base); obj != nil {
+					mergeTarget(targets, &target{obj: obj, elem: true})
+				}
+			case *ast.Ident:
+				if obj := pass.Info.ObjectOf(base); obj != nil {
+					if _, isVar := obj.(*types.Var); isVar {
+						mergeTarget(targets, &target{obj: obj, elem: true, fn: fn})
+					}
+				}
+			}
+		}
+	}
+	forEachFunc(pass, func(fn *types.Func, body *ast.BlockStmt) {
+		// Pointer locals bound once to an address-of expression.
+		ptrTo := map[types.Object]ast.Expr{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(as.Rhs) {
+					continue
+				}
+				if un, ok := ast.Unparen(as.Rhs[i]).(*ast.UnaryExpr); ok && un.Op.String() == "&" {
+					ptrTo[pass.Info.ObjectOf(id)] = un.X
+				}
+			}
+			return true
+		})
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			switch arg := ast.Unparen(call.Args[0]).(type) {
+			case *ast.UnaryExpr:
+				if arg.Op.String() == "&" {
+					add(arg.X, fn)
+				}
+			case *ast.Ident:
+				if pointee, ok := ptrTo[pass.Info.ObjectOf(arg)]; ok {
+					add(pointee, fn)
+				}
+			}
+			return true
+		})
+	})
+	return targets
+}
+
+// mergeTarget records t, widening an existing record: element-level
+// and object-level atomic access to the same object leaves the
+// stricter object-level record.
+func mergeTarget(targets map[types.Object]*target, t *target) {
+	if prev, ok := targets[t.obj]; ok {
+		prev.elem = prev.elem && t.elem
+		return
+	}
+	targets[t.obj] = t
+}
+
+// reportPlainAccesses walks every function and flags non-atomic
+// accesses to the collected targets.
+func reportPlainAccesses(pass *pdlint.Pass, targets map[types.Object]*target) {
+	forEachFunc(pass, func(fn *types.Func, body *ast.BlockStmt) {
+		var stack []ast.Node
+		ast.Inspect(body, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			var obj types.Object
+			var node ast.Node
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				obj, node = fieldObj(pass, x), x
+			case *ast.Ident:
+				o := pass.Info.ObjectOf(x)
+				if t, ok := targets[o]; ok && t.fn != nil {
+					obj, node = o, x
+				}
+			}
+			if obj == nil {
+				return true
+			}
+			t, ok := targets[obj]
+			if !ok || (t.fn != nil && t.fn != fn) {
+				return true
+			}
+			if insideAtomicArg(pass, stack) || insideAddrOf(stack) {
+				return true
+			}
+			if t.elem && !isElementAccess(stack) {
+				return true // len/cap/range/whole-value replacement
+			}
+			if inCompositeLit(stack) {
+				return true // construction precedes publication
+			}
+			pass.Reportf(node.Pos(),
+				"%s is accessed via sync/atomic elsewhere in this package; this plain "+
+					"%s is a data race with the atomic readers — use atomic access here too",
+				accessName(pass, t), accessKind(t))
+			return true
+		})
+	})
+}
+
+// isElementAccess reports whether the innermost expression (top of
+// stack) is the operand of an index expression.
+func isElementAccess(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	idx, ok := stack[len(stack)-2].(*ast.IndexExpr)
+	return ok && idx.X == stack[len(stack)-1]
+}
+
+// insideAddrOf reports whether the node sits under an address-of
+// operator: taking the address is not a read or write — what matters
+// is how the resulting pointer is used, and pointer uses that reach
+// sync/atomic are collected as targets separately.
+func insideAddrOf(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if un, ok := stack[i].(*ast.UnaryExpr); ok && un.Op.String() == "&" {
+			return true
+		}
+	}
+	return false
+}
+
+// insideAtomicArg reports whether the node at the top of the stack
+// sits inside the arguments of a sync/atomic call.
+func insideAtomicArg(pass *pdlint.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if call, ok := stack[i].(*ast.CallExpr); ok && isAtomicCall(pass, call) {
+			return true
+		}
+	}
+	return false
+}
+
+// inCompositeLit reports whether the node sits inside a composite
+// literal (struct construction).
+func inCompositeLit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.CompositeLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldObj resolves sel to a struct field object, or nil.
+func fieldObj(pass *pdlint.Pass, sel *ast.SelectorExpr) types.Object {
+	if s, ok := pass.Info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// forEachFunc visits every declared function body.
+func forEachFunc(pass *pdlint.Pass, visit func(*types.Func, *ast.BlockStmt)) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			visit(fn, fd.Body)
+		}
+	}
+}
+
+// accessName renders the target for the message.
+func accessName(pass *pdlint.Pass, t *target) string {
+	name := t.obj.Name()
+	if v, ok := t.obj.(*types.Var); ok && v.IsField() {
+		name = "field " + name
+	} else {
+		name = "local " + name
+	}
+	if t.elem {
+		name += " (elements)"
+	}
+	return name
+}
+
+// accessKind names the flagged operation.
+func accessKind(t *target) string {
+	if t.elem {
+		return "element access"
+	}
+	return "read/write"
+}

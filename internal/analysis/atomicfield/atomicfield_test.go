@@ -1,0 +1,16 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"pfuzzer/internal/analysis/atomicfield"
+	"pfuzzer/internal/analysis/pdtest"
+)
+
+func TestBad(t *testing.T) {
+	pdtest.Run(t, atomicfield.Analyzer, "testdata/bad")
+}
+
+func TestClean(t *testing.T) {
+	pdtest.Run(t, atomicfield.Analyzer, "testdata/clean")
+}

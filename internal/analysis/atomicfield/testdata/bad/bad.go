@@ -1,0 +1,37 @@
+// Package bad exercises atomicfield's mixed-access shapes.
+package bad
+
+import "sync/atomic"
+
+type counter struct {
+	n     uint64
+	words []uint64
+}
+
+// inc establishes n as an atomically accessed field.
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// read races with inc: plain read of an atomic field.
+func (c *counter) read() uint64 {
+	return c.n // want `field n`
+}
+
+// mark establishes words as element-atomic.
+func (c *counter) mark(i int) {
+	atomic.AddUint64(&c.words[i], 1)
+}
+
+// clear races with mark: plain element write.
+func (c *counter) clear(i int) {
+	c.words[i] = 0 // want `field words`
+}
+
+// Flip mixes atomic and plain element access to a local slice within
+// one function, through a pointer local.
+func Flip(words []uint64) {
+	w := &words[0]
+	atomic.AddUint64(w, 1)
+	words[1] = 2 // want `local words`
+}

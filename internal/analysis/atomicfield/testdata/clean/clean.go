@@ -1,0 +1,34 @@
+// Package clean exercises the access patterns atomicfield accepts:
+// uniformly atomic access, whole-value replacement of element-atomic
+// slices, and composite-literal construction.
+package clean
+
+import "sync/atomic"
+
+type gauge struct {
+	n     uint64
+	words []uint64
+}
+
+func (g *gauge) inc() {
+	atomic.AddUint64(&g.n, 1)
+}
+
+func (g *gauge) read() uint64 {
+	return atomic.LoadUint64(&g.n)
+}
+
+func (g *gauge) mark(i int) {
+	atomic.AddUint64(&g.words[i], 1)
+}
+
+// grow replaces the whole slice: the atomic unit is the element, and
+// swapping the backing array is the publish pattern.
+func (g *gauge) grow(n int) {
+	g.words = make([]uint64, n)
+}
+
+// newGauge constructs before publication.
+func newGauge(n int) *gauge {
+	return &gauge{words: make([]uint64, n)}
+}

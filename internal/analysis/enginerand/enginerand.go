@@ -1,0 +1,184 @@
+// Package enginerand enforces the counted-RNG invariant behind
+// snapshot/resume (DESIGN.md §8): every random draw a campaign makes
+// must pass through the draw-counting source (core's countedSource),
+// or a restored campaign fast-forwards to the wrong stream position
+// and silently diverges from the original run.
+//
+// Flagged shapes:
+//   - calls to math/rand package-level functions (the global RNG:
+//     draws nobody counts, shared across goroutines);
+//   - rand.New with a source that is not the counted source;
+//   - rand.NewSource outside countedSource initialization;
+//   - direct Int63/Uint64/Seed calls on a rand.Source value outside
+//     the counted source's own methods (bypassing the counter).
+//
+// Threading a *rand.Rand built over the counted source — or passing
+// one as a parameter, as the mining generator does — is always clean:
+// the invariant is about construction, not use.
+package enginerand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pfuzzer/internal/analysis/pdlint"
+)
+
+// countedSourceName is the canonical draw-counting source type. The
+// analyzer recognizes it by name so its testdata (and a future second
+// engine) can declare its own.
+const countedSourceName = "countedSource"
+
+// Analyzer is the enginerand check.
+var Analyzer = &pdlint.Analyzer{
+	Name: "enginerand",
+	Doc: "flags math/rand global functions and RNG plumbing that bypasses the " +
+		"draw-counting source the snapshot/resume invariant depends on",
+	Run: run,
+}
+
+// globalFns are the math/rand package-level functions that draw from
+// the shared global RNG.
+var globalFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func run(pass *pdlint.Pass) error {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *pdlint.Pass, call *ast.CallExpr, stack []ast.Node) {
+	callee := pdlint.CalleeOf(pass.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	switch callee.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+	default:
+		return
+	}
+	switch name := callee.Name(); {
+	case globalFns[name] && callee.Type().(*types.Signature).Recv() == nil:
+		pass.Reportf(call.Pos(),
+			"rand.%s draws from the global math/rand RNG; campaign draws must go "+
+				"through the draw-counting source (core's countedSource) so "+
+				"snapshot/resume can replay the stream", name)
+	case name == "New":
+		if len(call.Args) == 1 && isCountedSource(pass.Info.TypeOf(call.Args[0])) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"rand.New over an uncounted source; wrap it in the draw-counting "+
+				"countedSource so snapshot/resume can replay the stream")
+	case name == "NewSource":
+		if initializesCountedSource(pass, stack) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"rand.NewSource outside countedSource initialization; draws from this "+
+				"source are not counted and break snapshot/resume")
+	default:
+		// Constructors like NewZipf take an explicit *rand.Rand, and
+		// method calls on a threaded *rand.Rand are the clean pattern.
+	}
+	if callee.Type().(*types.Signature).Recv() != nil {
+		checkSourceMethod(pass, call, callee, stack)
+	}
+}
+
+// checkSourceMethod flags Int63/Uint64/Seed invoked directly on a
+// rand.Source-typed value outside countedSource's own methods.
+func checkSourceMethod(pass *pdlint.Pass, call *ast.CallExpr, callee *types.Func, stack []ast.Node) {
+	recv := callee.Type().(*types.Signature).Recv()
+	named, ok := recv.Type().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	p := named.Obj().Pkg().Path()
+	if (p != "math/rand" && p != "math/rand/v2") ||
+		(named.Obj().Name() != "Source" && named.Obj().Name() != "Source64") {
+		return
+	}
+	if fn := enclosingFunc(pass, stack); fn != nil && isCountedSourceMethod(fn) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"draws from a rand.Source directly, bypassing the countedSource draw "+
+			"counter; snapshot/resume will replay the wrong stream position")
+}
+
+// initializesCountedSource reports whether the innermost enclosing
+// expression places the call's result into a countedSource: a
+// composite-literal field, or an assignment to a countedSource's src
+// field.
+func initializesCountedSource(pass *pdlint.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.KeyValueExpr:
+			continue // the composite literal is one level up
+		case *ast.CompositeLit:
+			return isCountedSource(pass.Info.TypeOf(n))
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && isCountedSource(pass.Info.TypeOf(sel.X)) {
+					return true
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			return false // an argument to some other call (e.g. rand.New)
+		}
+	}
+	return false
+}
+
+// enclosingFunc returns the declared function the innermost node lives
+// in, from the traversal stack.
+func enclosingFunc(pass *pdlint.Pass, stack []ast.Node) *types.Func {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// isCountedSourceMethod reports whether fn is a method of the counted
+// source type.
+func isCountedSourceMethod(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && isCountedSource(recv.Type())
+}
+
+// isCountedSource reports whether t is (a pointer to) the canonical
+// counted source type.
+func isCountedSource(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == countedSourceName
+}

@@ -1,0 +1,16 @@
+package enginerand_test
+
+import (
+	"testing"
+
+	"pfuzzer/internal/analysis/enginerand"
+	"pfuzzer/internal/analysis/pdtest"
+)
+
+func TestBad(t *testing.T) {
+	pdtest.Run(t, enginerand.Analyzer, "testdata/bad")
+}
+
+func TestClean(t *testing.T) {
+	pdtest.Run(t, enginerand.Analyzer, "testdata/clean")
+}

@@ -1,0 +1,20 @@
+// Package bad exercises enginerand's flagged shapes: RNG draws that
+// bypass the draw-counting source.
+package bad
+
+import "math/rand"
+
+// Pick draws from the shared global RNG: nobody counts those draws.
+func Pick(n int) int {
+	return rand.Intn(n) // want `global math/rand RNG`
+}
+
+// NewRNG builds an engine RNG over an uncounted source.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `uncounted source` `not counted`
+}
+
+// Drain reads a source directly, bypassing any counting wrapper.
+func Drain(src rand.Source) int64 {
+	return src.Int63() // want `bypassing the countedSource draw counter`
+}

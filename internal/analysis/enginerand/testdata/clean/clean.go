@@ -1,0 +1,37 @@
+// Package clean mirrors core's countedSource plumbing: the one RNG
+// construction pattern enginerand accepts.
+package clean
+
+import "math/rand"
+
+// countedSource mirrors the engine's draw-counting source: every draw
+// increments the counter snapshot/resume replays.
+type countedSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func newCounted(seed int64) *countedSource {
+	return &countedSource{src: rand.NewSource(seed)}
+}
+
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Seed(seed int64) {
+	c.draws = 0
+	c.src.Seed(seed)
+}
+
+// reseed exercises the assignment form of countedSource initialization.
+func (c *countedSource) reseed(seed int64) {
+	c.draws = 0
+	c.src = rand.NewSource(seed)
+}
+
+// New threads the counted source into rand.New: the clean pattern.
+func New(seed int64) *rand.Rand {
+	return rand.New(newCounted(seed))
+}

@@ -1,0 +1,352 @@
+// Package maprange flags `for range` statements over maps in
+// result-affecting packages. Go randomizes map iteration order, so any
+// map range whose effects depend on visit order is a nondeterminism
+// bug — the exact class behind snapshot drift and fingerprint
+// divergence. Two shapes are recognized as clean:
+//
+//   - collect-then-sort: the loop body only appends to slices that
+//     are later passed to a sort call in the same function (the
+//     repo's pervasive snapshot idiom);
+//   - a justified //pdlint:ordered directive on or above the loop,
+//     for iterations that are provably order-insensitive (commutative
+//     reductions, unordered deletes).
+//
+// For flagged loops over plain map variables the analyzer offers the
+// sort-keys rewrite as a suggested fix (cmd/pdlint -fix).
+package maprange
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+
+	"pfuzzer/internal/analysis/pdlint"
+)
+
+// Analyzer is the maprange check.
+var Analyzer = &pdlint.Analyzer{
+	Name: "maprange",
+	Doc: "flags map iteration whose order can leak into results; " +
+		"clean shapes: collect-keys-then-sort, or //pdlint:ordered -- <reason>",
+	Run: run,
+}
+
+func run(pass *pdlint.Pass) error {
+	src := map[string][]byte{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv := pass.Info.TypeOf(rs.X)
+				if tv == nil {
+					return true
+				}
+				if _, isMap := tv.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if collectThenSort(pass, fd, rs) {
+					return true
+				}
+				d := pdlint.Diagnostic{
+					Pos: rs.Pos(),
+					Message: "iterates over a map; visit order is randomized — collect and sort " +
+						"the keys before use, or justify with //pdlint:ordered -- <reason>",
+				}
+				if fix, ok := sortKeysFix(pass, file, rs, src); ok {
+					d.Fixes = []pdlint.SuggestedFix{fix}
+				}
+				pass.Report(d)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// refKey identifies an append/sort target: a plain identifier, or a
+// field selector over one (the snapshot idiom appends to s.Seen). The
+// two-object key keeps x.f distinct from y.f.
+func refKey(pass *pdlint.Pass, e ast.Expr) ([2]types.Object, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.Info.ObjectOf(x); obj != nil {
+			return [2]types.Object{obj, nil}, true
+		}
+	case *ast.SelectorExpr:
+		base, ok := ast.Unparen(x.X).(*ast.Ident)
+		if !ok {
+			break
+		}
+		bo, fo := pass.Info.ObjectOf(base), pass.Info.ObjectOf(x.Sel)
+		if bo != nil && fo != nil {
+			return [2]types.Object{bo, fo}, true
+		}
+	}
+	return [2]types.Object{}, false
+}
+
+// collectThenSort reports whether rs is the clean snapshot idiom: a
+// body that only appends to slices, each of which reaches a recognized
+// sort call later in the same function.
+func collectThenSort(pass *pdlint.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	targets := map[[2]types.Object]bool{}
+	if !onlyAppends(pass, rs.Body.List, targets) || len(targets) == 0 {
+		return false
+	}
+	for key := range targets {
+		if !sortedAfter(pass, fd, rs, key) {
+			return false
+		}
+	}
+	return true
+}
+
+// onlyAppends reports whether stmts consist solely of
+// `s = append(s, ...)` assignments (optionally guarded by if
+// statements and interleaved with counters), collecting the append
+// targets.
+func onlyAppends(pass *pdlint.Pass, stmts []ast.Stmt, targets map[[2]types.Object]bool) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 || s.Tok != token.ASSIGN {
+				return false
+			}
+			lhsKey, ok := refKey(pass, s.Lhs[0])
+			if !ok {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return false
+			}
+			if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+				return false
+			}
+			arg0Key, ok := refKey(pass, call.Args[0])
+			if !ok || arg0Key != lhsKey {
+				return false
+			}
+			targets[lhsKey] = true
+		case *ast.IfStmt:
+			if s.Init != nil || s.Else != nil {
+				return false
+			}
+			if !onlyAppends(pass, s.Body.List, targets) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			// Counters are commutative.
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortCalls maps recognized sorting functions (package path, name).
+var sortCalls = map[[2]string]bool{
+	{"sort", "Slice"}:            true,
+	{"sort", "SliceStable"}:      true,
+	{"sort", "Sort"}:             true,
+	{"sort", "Stable"}:           true,
+	{"sort", "Strings"}:          true,
+	{"sort", "Ints"}:             true,
+	{"sort", "Float64s"}:         true,
+	{"slices", "Sort"}:           true,
+	{"slices", "SortFunc"}:       true,
+	{"slices", "SortStableFunc"}: true,
+}
+
+// sortedAfter reports whether obj is the first argument of a
+// recognized sort call after rs within fd (a conversion wrapper like
+// sort.Sort(bySeq(s)) counts).
+func sortedAfter(pass *pdlint.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, key [2]types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found || len(call.Args) == 0 {
+			return true
+		}
+		callee := pdlint.CalleeOf(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if !sortCalls[[2]string{callee.Pkg().Path(), callee.Name()}] {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			arg = ast.Unparen(conv.Args[0])
+		}
+		if k, ok := refKey(pass, arg); ok && k == key {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// sortKeysFix builds the sort-keys rewrite for a flagged range over a
+// plain map expression:
+//
+//	for k, v := range m { body }
+//
+// becomes
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)            // or a sort.Slice for ordered kinds
+//	for _, k := range keys {
+//		v := m[k]
+//		body
+//	}
+//
+// plus a `"sort"` import when missing. Offered only when the shape is
+// safe to rewrite: the map is an identifier or field selector (so
+// evaluating it twice is effect-free), the key is a named identifier,
+// and the key type is a string or ordered numeric kind.
+func sortKeysFix(pass *pdlint.Pass, file *ast.File, rs *ast.RangeStmt, srcCache map[string][]byte) (pdlint.SuggestedFix, bool) {
+	var none pdlint.SuggestedFix
+	switch ast.Unparen(rs.X).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return none, false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Tok != token.DEFINE {
+		return none, false
+	}
+	mt, ok := pass.Info.TypeOf(rs.X).Underlying().(*types.Map)
+	if !ok {
+		return none, false
+	}
+	sortStmt, ok := sortStmtFor(pass, mt.Key())
+	if !ok {
+		return none, false
+	}
+
+	pos := pass.Fset.Position(rs.Pos())
+	src := srcCache[pos.Filename]
+	if src == nil {
+		b, err := os.ReadFile(pos.Filename)
+		if err != nil {
+			return none, false
+		}
+		srcCache[pos.Filename] = b
+		src = b
+	}
+	text := func(n ast.Node) string {
+		s, e := pass.Fset.Position(n.Pos()).Offset, pass.Fset.Position(n.End()).Offset
+		if s < 0 || e > len(src) || s > e {
+			return ""
+		}
+		return string(src[s:e])
+	}
+	mExpr, bodyText := text(rs.X), text(rs.Body)
+	if mExpr == "" || bodyText == "" {
+		return none, false
+	}
+
+	keys := freshName(pass, rs, "keys")
+	indent := strings.Repeat("\t", pos.Column-1)
+	keyType := types.TypeString(mt.Key(), types.RelativeTo(pass.Pkg))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s := make([]%s, 0, len(%s))\n", keys, keyType, mExpr)
+	fmt.Fprintf(&b, "%sfor %s := range %s {\n", indent, key.Name, mExpr)
+	fmt.Fprintf(&b, "%s\t%s = append(%s, %s)\n%s}\n", indent, keys, keys, key.Name, indent)
+	fmt.Fprintf(&b, "%s%s\n", indent, fmt.Sprintf(sortStmt, keys))
+	fmt.Fprintf(&b, "%sfor _, %s := range %s ", indent, key.Name, keys)
+	if val, ok := rs.Value.(*ast.Ident); ok && val.Name != "_" {
+		// Re-bind the value inside the rewritten body.
+		inner := strings.TrimPrefix(bodyText, "{")
+		fmt.Fprintf(&b, "{\n%s\t%s := %s[%s]%s", indent, val.Name, mExpr, key.Name, inner)
+	} else {
+		b.WriteString(bodyText)
+	}
+
+	fix := pdlint.SuggestedFix{
+		Message:   "collect the keys into a sorted slice and iterate that",
+		TextEdits: []pdlint.TextEdit{{Pos: rs.Pos(), End: rs.End(), NewText: []byte(b.String())}},
+	}
+	if imp, ok := importEdit(pass, file, "sort"); ok {
+		fix.TextEdits = append(fix.TextEdits, imp)
+	}
+	return fix, true
+}
+
+// sortStmtFor returns a format string (one %s: the keys slice) that
+// sorts a slice of the given key type, or ok=false for unordered key
+// types.
+func sortStmtFor(pass *pdlint.Pass, key types.Type) (string, bool) {
+	basic, ok := key.Underlying().(*types.Basic)
+	if !ok {
+		return "", false
+	}
+	switch {
+	case basic.Info()&types.IsString != 0:
+		if basic.Kind() == types.String && key == key.Underlying() {
+			return "sort.Strings(%s)", true
+		}
+		return "sort.Slice(%[1]s, func(i, j int) bool { return %[1]s[i] < %[1]s[j] })", true
+	case basic.Info()&(types.IsInteger|types.IsFloat) != 0:
+		return "sort.Slice(%[1]s, func(i, j int) bool { return %[1]s[i] < %[1]s[j] })", true
+	}
+	return "", false
+}
+
+// freshName returns base, suffixed if anything of that name is in
+// scope at rs.
+func freshName(pass *pdlint.Pass, rs *ast.RangeStmt, base string) string {
+	scope := pass.Pkg.Scope().Innermost(rs.Pos())
+	name := base
+	for i := 2; ; i++ {
+		if scope == nil {
+			return name
+		}
+		if _, obj := scope.LookupParent(name, rs.Pos()); obj == nil {
+			return name
+		}
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+}
+
+// importEdit returns an edit adding the named import to file, or
+// ok=false when it is already imported.
+func importEdit(pass *pdlint.Pass, file *ast.File, path string) (pdlint.TextEdit, bool) {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return pdlint.TextEdit{}, false
+		}
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Rparen.IsValid() {
+			// Insert before the closing paren of the import block.
+			return pdlint.TextEdit{Pos: gd.Rparen, End: gd.Rparen,
+				NewText: []byte(fmt.Sprintf("\t%q\n", path))}, true
+		}
+		// Single unparenthesized import: add another import line.
+		return pdlint.TextEdit{Pos: gd.End(), End: gd.End(),
+			NewText: []byte(fmt.Sprintf("\nimport %q", path))}, true
+	}
+	// No imports at all: after the package clause.
+	return pdlint.TextEdit{Pos: file.Name.End(), End: file.Name.End(),
+		NewText: []byte(fmt.Sprintf("\n\nimport %q", path))}, true
+}

@@ -1,0 +1,75 @@
+package maprange_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"testing"
+
+	"pfuzzer/internal/analysis/maprange"
+	"pfuzzer/internal/analysis/pdlint"
+	"pfuzzer/internal/analysis/pdtest"
+)
+
+func TestBad(t *testing.T) {
+	pdtest.Run(t, maprange.Analyzer, "testdata/bad")
+}
+
+func TestClean(t *testing.T) {
+	pdtest.Run(t, maprange.Analyzer, "testdata/clean")
+}
+
+// TestFixCompiles applies the sort-keys suggested fix to the bad
+// testdata and type-checks the result: the -fix output must be valid,
+// compilable Go.
+func TestFixCompiles(t *testing.T) {
+	pkg, findings := pdtest.Findings(t, maprange.Analyzer, "testdata/bad")
+
+	fixable := 0
+	for _, f := range findings {
+		if !f.Suppressed && len(f.Fixes) > 0 {
+			fixable++
+		}
+	}
+	if fixable == 0 {
+		t.Fatal("no fixable findings in testdata/bad; the sort-keys fix never triggered")
+	}
+
+	fixed, err := pdlint.ApplyFixes(pkg.Fset, findings)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if len(fixed) == 0 {
+		t.Fatal("ApplyFixes rewrote no files")
+	}
+
+	// Re-parse the rewritten package and type-check it against export
+	// data for its imports (the fix adds "sort").
+	exports, err := pdlint.ExportData("testdata/bad", "sort")
+	if err != nil {
+		t.Fatalf("compiling sort for export data: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, path := range pkg.GoFiles {
+		src, ok := fixed[path]
+		if !ok {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src = b
+		}
+		file, err := parser.ParseFile(fset, path, src, 0)
+		if err != nil {
+			t.Fatalf("fixed source does not parse: %v\n%s", err, src)
+		}
+		files = append(files, file)
+	}
+	conf := types.Config{Importer: pdlint.NewImporter(fset, exports)}
+	if _, err := conf.Check(pkg.PkgPath, fset, files, nil); err != nil {
+		t.Fatalf("fixed source does not type-check: %v", err)
+	}
+}

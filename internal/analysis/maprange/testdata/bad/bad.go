@@ -1,0 +1,34 @@
+// Package bad exercises the maprange analyzer's flagged shapes.
+package bad
+
+// Keys collects map keys without sorting them: the classic snapshot
+// drift shape. Fix-eligible (string key, plain map identifier).
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `iterates over a map`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Join folds keys into a string: order leaks straight into the result.
+func Join(m map[string]int) string {
+	s := ""
+	for k, v := range m { // want `iterates over a map`
+		if v > 0 {
+			s += k
+		}
+	}
+	return s
+}
+
+// Count is order-insensitive and says so; the suppressed finding does
+// not surface.
+func Count(m map[string]int) int {
+	n := 0
+	//pdlint:ordered -- commutative count; every visit order yields the same n
+	for range m {
+		n++
+	}
+	return n
+}

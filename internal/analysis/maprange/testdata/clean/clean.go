@@ -1,0 +1,52 @@
+// Package clean exercises the shapes maprange accepts without a
+// directive.
+package clean
+
+import "sort"
+
+// Keys is the repo's snapshot idiom: collect, then sort.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IDs collects conditionally (guarded appends and counters are fine)
+// and sorts with sort.Slice.
+func IDs(m map[uint32]bool) []uint32 {
+	var ids []uint32
+	n := 0
+	for id, ok := range m {
+		if ok {
+			ids = append(ids, id)
+		}
+		n++
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Snapshot is the struct-field form of the idiom: the append target
+// is a field selector, sorted before the snapshot is returned.
+type Snapshot struct{ Seen []string }
+
+func Snap(m map[string]bool) Snapshot {
+	var s Snapshot
+	for k := range m {
+		s.Seen = append(s.Seen, k)
+	}
+	sort.Strings(s.Seen)
+	return s
+}
+
+// Sum ranges over a slice, which is ordered; no map involved.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

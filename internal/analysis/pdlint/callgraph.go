@@ -1,0 +1,122 @@
+package pdlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is a static, package-local call graph: edges are direct
+// calls whose callee resolves statically (plain functions, methods on
+// concrete receivers, qualified identifiers). Calls through interface
+// values, function values and method values are not resolved — for
+// the reachability questions the analyzers ask (is this helper on an
+// engine step path? does this subject helper run under Run?) the
+// static graph is the conservative-enough answer, and the repo's
+// engine and subjects call their helpers directly.
+//
+// Calls made inside a function literal are attributed to the enclosing
+// declared function: reachability is about code that executes on a
+// path, not about closure identity.
+type CallGraph struct {
+	calls map[*types.Func][]*types.Func
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// BuildCallGraph builds the call graph of pass's package.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		calls: map[*types.Func][]*types.Func{},
+		decls: map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			caller, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[caller] = fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := CalleeOf(pass.Info, call); callee != nil {
+					g.calls[caller] = append(g.calls[caller], callee)
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// CalleeOf resolves the statically known callee of call, or nil.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// No selection: a qualified identifier (pkg.Func).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// Decl returns the declaration of fn within the analyzed package, or
+// nil for imported or body-less functions.
+func (g *CallGraph) Decl(fn *types.Func) *ast.FuncDecl { return g.decls[fn] }
+
+// Funcs returns every declared function in the package, in file order.
+func (g *CallGraph) Funcs() []*types.Func {
+	out := make([]*types.Func, 0, len(g.decls))
+	for fn := range g.decls {
+		out = append(out, fn)
+	}
+	// Deterministic order for deterministic diagnostics.
+	sortFuncs(out)
+	return out
+}
+
+func sortFuncs(fns []*types.Func) {
+	for i := 1; i < len(fns); i++ {
+		for j := i; j > 0 && fns[j].Pos() < fns[j-1].Pos(); j-- {
+			fns[j], fns[j-1] = fns[j-1], fns[j]
+		}
+	}
+}
+
+// Reachable returns the set of declared functions reachable from roots
+// (roots included, when declared in the package).
+func (g *CallGraph) Reachable(roots []*types.Func) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if fn == nil || seen[fn] {
+			return
+		}
+		seen[fn] = true
+		for _, callee := range g.calls[fn] {
+			if _, declared := g.decls[callee]; declared {
+				visit(callee)
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}

@@ -1,0 +1,149 @@
+package pdlint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// Suppression-directive grammar (DESIGN.md §12):
+//
+//	//pdlint:ignore <analyzer>[,<analyzer>...] -- <justification>
+//	//pdlint:ordered -- <justification>
+//
+// The justification is mandatory: a suppression without a reason is
+// itself a finding. //pdlint:ordered is shorthand for
+// //pdlint:ignore maprange, matching the analyzer's own vocabulary
+// ("this iteration is order-insensitive, and here is why").
+//
+// A directive placed at the end of a code line suppresses findings on
+// that line; a directive alone on its line suppresses findings on the
+// next line. Directives must start the comment exactly ("//pdlint:",
+// no space), like //go:build.
+
+const directivePrefix = "//pdlint:"
+
+type directive struct {
+	analyzers     map[string]bool
+	justification string
+	file          string
+	lines         [2]int // the lines this directive covers (0 = unused)
+}
+
+type directiveSet struct {
+	dirs []directive
+}
+
+// suppresses reports whether a directive covers a finding of the named
+// analyzer at pos, returning its justification.
+func (s *directiveSet) suppresses(name string, pos token.Position) (string, bool) {
+	for i := range s.dirs {
+		d := &s.dirs[i]
+		if d.file != pos.Filename || !d.analyzers[name] {
+			continue
+		}
+		if d.lines[0] == pos.Line || d.lines[1] == pos.Line {
+			return d.justification, true
+		}
+	}
+	return "", false
+}
+
+// scanDirectives parses every //pdlint: directive in pkg, reporting
+// malformed ones (unknown verb, unknown analyzer, missing
+// justification) through report. known lists the analyzer names
+// directives may reference.
+func scanDirectives(pkg *Package, known map[string]bool, report func(token.Pos, string)) *directiveSet {
+	set := &directiveSet{}
+	for _, file := range pkg.Syntax {
+		tf := pkg.Fset.File(file.Pos())
+		if tf == nil {
+			continue
+		}
+		src, err := os.ReadFile(tf.Name())
+		if err != nil {
+			src = nil // fall back to treating every directive as trailing
+		}
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d, msg := parseDirective(strings.TrimPrefix(c.Text, directivePrefix), known)
+				if msg != "" {
+					report(c.Pos(), msg)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d.file = pos.Filename
+				d.lines[0] = pos.Line
+				if standsAlone(src, tf, c.Pos()) {
+					d.lines[1] = pos.Line + 1
+				}
+				set.dirs = append(set.dirs, d)
+			}
+		}
+	}
+	return set
+}
+
+// standsAlone reports whether only whitespace precedes the comment on
+// its line.
+func standsAlone(src []byte, tf *token.File, pos token.Pos) bool {
+	if src == nil {
+		return false
+	}
+	off := tf.Offset(pos)
+	start := tf.Offset(tf.LineStart(tf.Line(pos)))
+	if start < 0 || off > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:off])) == ""
+}
+
+// parseDirective parses the directive body after "//pdlint:". It
+// returns either a directive or a problem message.
+func parseDirective(body string, known map[string]bool) (directive, string) {
+	verb := body
+	rest := ""
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		verb, rest = body[:i], strings.TrimSpace(body[i:])
+	}
+	args, justification, hasReason := splitReason(rest)
+	d := directive{analyzers: map[string]bool{}, justification: justification}
+
+	switch verb {
+	case "ordered":
+		if args != "" {
+			return d, fmt.Sprintf("pdlint:ordered takes no analyzer list (got %q); write //pdlint:ordered -- <reason>", args)
+		}
+		d.analyzers["maprange"] = true
+	case "ignore":
+		if args == "" {
+			return d, "pdlint:ignore needs an analyzer list: //pdlint:ignore <analyzer>[,...] -- <reason>"
+		}
+		for _, name := range strings.Split(args, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				return d, fmt.Sprintf("pdlint:ignore names unknown analyzer %q", name)
+			}
+			d.analyzers[name] = true
+		}
+	default:
+		return d, fmt.Sprintf("unknown pdlint directive %q (want ignore or ordered)", verb)
+	}
+	if !hasReason || justification == "" {
+		return d, fmt.Sprintf("pdlint:%s requires a justification: //pdlint:%s ... -- <reason>", verb, verb)
+	}
+	return d, ""
+}
+
+// splitReason splits "args -- reason", reporting whether the " -- "
+// separator was present at all.
+func splitReason(s string) (args, reason string, ok bool) {
+	if i := strings.Index(s, "--"); i >= 0 {
+		return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+2:]), true
+	}
+	return strings.TrimSpace(s), "", false
+}

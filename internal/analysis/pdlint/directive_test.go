@@ -1,0 +1,71 @@
+package pdlint_test
+
+import (
+	"strings"
+	"testing"
+
+	"pfuzzer/internal/analysis/maprange"
+	"pfuzzer/internal/analysis/pdlint"
+)
+
+// TestMalformedDirectivesAreFindings pins the directive contract: an
+// unjustified or otherwise broken //pdlint: directive is itself a
+// diagnostic, and it suppresses nothing.
+func TestMalformedDirectivesAreFindings(t *testing.T) {
+	pkgs, err := pdlint.Load("testdata/directives", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, e := range pkg.TypeErrors {
+		t.Fatalf("testdata must type-check: %v", e)
+	}
+
+	findings := pdlint.Run(pkg, []*pdlint.Analyzer{maprange.Analyzer})
+
+	var directive []pdlint.Finding
+	var unsuppressed, suppressed []pdlint.Finding
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == pdlint.DirectiveAnalyzer:
+			directive = append(directive, f)
+		case f.Suppressed:
+			suppressed = append(suppressed, f)
+		default:
+			unsuppressed = append(unsuppressed, f)
+		}
+	}
+
+	wantMsgs := []string{
+		"requires a justification",       // //pdlint:ordered
+		"requires a justification",       // //pdlint:ignore maprange
+		"unknown pdlint directive",       // //pdlint:frobnicate
+		"unknown analyzer",               // //pdlint:ignore nosuch
+		"ordered takes no analyzer list", // //pdlint:ordered maprange
+	}
+	if len(directive) != len(wantMsgs) {
+		t.Fatalf("got %d directive findings, want %d: %+v", len(directive), len(wantMsgs), directive)
+	}
+	for i, want := range wantMsgs {
+		if !strings.Contains(directive[i].Message, want) {
+			t.Errorf("directive finding %d: %q does not mention %q", i, directive[i].Message, want)
+		}
+	}
+
+	// All five loops under malformed directives stay unsuppressed.
+	if len(unsuppressed) != 5 {
+		t.Errorf("got %d unsuppressed maprange findings, want 5 (malformed directives must not suppress): %+v",
+			len(unsuppressed), unsuppressed)
+	}
+
+	// The one justified directive suppresses and records why.
+	if len(suppressed) != 1 {
+		t.Fatalf("got %d suppressed findings, want 1: %+v", len(suppressed), suppressed)
+	}
+	if want := "commutative count"; !strings.Contains(suppressed[0].Justification, want) {
+		t.Errorf("justification %q does not mention %q", suppressed[0].Justification, want)
+	}
+}

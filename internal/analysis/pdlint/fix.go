@@ -1,0 +1,67 @@
+package pdlint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies the first suggested fix of every unsuppressed
+// finding that carries one and returns the rewritten contents, keyed
+// by file name. Files without fixes are absent. Overlapping edits are
+// an error — with the sort-keys rewrite being the only fix producer
+// today, two findings never share a range.
+func ApplyFixes(fset *token.FileSet, findings []Finding) (map[string][]byte, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	for _, f := range findings {
+		if f.Suppressed || len(f.Fixes) == 0 {
+			continue
+		}
+		for _, te := range f.Fixes[0].TextEdits {
+			start := fset.Position(te.Pos)
+			end := fset.Position(te.End)
+			if start.Filename == "" || start.Filename != end.Filename {
+				return nil, fmt.Errorf("%s: fix edit spans files", f.Analyzer)
+			}
+			perFile[start.Filename] = append(perFile[start.Filename],
+				edit{start.Offset, end.Offset, te.NewText})
+		}
+	}
+	out := map[string][]byte{}
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		// Identical edits collapse: every fixed finding in a file wants
+		// the same `import "sort"` insertion.
+		deduped := edits[:1]
+		for _, e := range edits[1:] {
+			prev := deduped[len(deduped)-1]
+			if e.start == prev.start && e.end == prev.end && string(e.text) == string(prev.text) {
+				continue
+			}
+			deduped = append(deduped, e)
+		}
+		edits = deduped
+		for i := 1; i < len(edits); i++ {
+			if edits[i].end > edits[i-1].start {
+				return nil, fmt.Errorf("%s: overlapping fix edits", file)
+			}
+		}
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				return nil, fmt.Errorf("%s: fix edit out of range", file)
+			}
+			src = append(src[:e.start:e.start], append(e.text, src[e.end:]...)...)
+		}
+		out[file] = src
+	}
+	return out, nil
+}

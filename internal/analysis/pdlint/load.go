@@ -1,0 +1,167 @@
+package pdlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit Run analyzes.
+// Only non-test GoFiles are loaded — the determinism contract binds
+// the shipped engine, and test files exercise wall clocks and ad-hoc
+// RNGs legitimately.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	GoFiles []string
+
+	Fset   *token.FileSet
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	// TypeErrors holds type-checking problems. Analyzers still run on
+	// a partially checked package, but drivers should surface these:
+	// findings may be incomplete.
+	TypeErrors []error
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes
+// the JSON stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// ExportData compiles the given packages (and their dependencies) and
+// returns import path → export-data file, the map a gc importer needs
+// to resolve imports without source.
+func ExportData(dir string, patterns ...string) (map[string]string, error) {
+	args := append([]string{"-deps", "-export", "-json=ImportPath,Export,Standard"}, patterns...)
+	entries, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewImporter returns a types.Importer resolving import paths through
+// the export-data files in exports.
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Load lists, parses and type-checks the packages matching the go-list
+// patterns, with dir as the working directory (anywhere inside the
+// module). Imports resolve through compiled export data, so loading
+// needs nothing beyond the go toolchain. Packages that fail to parse
+// or type-check are returned with TypeErrors set rather than dropped.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Name,Dir,GoFiles,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := ExportData(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Standard {
+			continue
+		}
+		p := &Package{
+			PkgPath: t.ImportPath,
+			Name:    t.Name,
+			Dir:     t.Dir,
+			Fset:    fset,
+		}
+		for _, f := range t.GoFiles {
+			path := f
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(t.Dir, f)
+			}
+			p.GoFiles = append(p.GoFiles, path)
+			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				p.TypeErrors = append(p.TypeErrors, err)
+				continue
+			}
+			p.Syntax = append(p.Syntax, file)
+		}
+		p.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				p.TypeErrors = append(p.TypeErrors, err)
+			},
+		}
+		tp, _ := conf.Check(t.ImportPath, fset, p.Syntax, p.Info)
+		p.Types = tp
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,41 @@
+// Package directives exercises the //pdlint: directive grammar: every
+// malformed directive here must surface as a "directive" finding, and
+// none of them may suppress the map-range finding they sit above.
+package directives
+
+// Malformed reuses one flagged loop shape under each broken directive.
+func Malformed(m map[string]int) string {
+	s := ""
+	//pdlint:ordered
+	for k := range m {
+		s += k
+	}
+	//pdlint:ignore maprange
+	for k := range m {
+		s += k
+	}
+	//pdlint:frobnicate -- because
+	for k := range m {
+		s += k
+	}
+	//pdlint:ignore nosuch -- it sounded plausible
+	for k := range m {
+		s += k
+	}
+	//pdlint:ordered maprange -- ordered takes no list
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// Justified is the one well-formed suppression: its finding must be
+// recorded as suppressed, carrying the justification.
+func Justified(m map[string]int) int {
+	n := 0
+	//pdlint:ordered -- commutative count; every visit order yields the same n
+	for range m {
+		n++
+	}
+	return n
+}

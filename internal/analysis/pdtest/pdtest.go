@@ -1,0 +1,153 @@
+// Package pdtest is the pdlint analog of
+// golang.org/x/tools/go/analysis/analysistest: it loads a testdata
+// package, runs one analyzer (plus the directive checker that always
+// rides along), and compares the unsuppressed findings against
+// expectations written as trailing comments in the testdata itself:
+//
+//	for k := range m { // want `map range`
+//
+// Each `// want` comment holds one or more quoted regular expressions
+// that must match findings on that line; findings without a matching
+// want, and wants without a matching finding, fail the test. Findings
+// suppressed by a justified //pdlint: directive are not matched — a
+// clean-code package demonstrates both analyzer silence and working
+// suppressions by containing no want comments at all.
+package pdtest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pfuzzer/internal/analysis/pdlint"
+)
+
+// Findings loads the single package in dir and returns the analyzer's
+// findings (suppressed ones included). It fails the test on load or
+// type-check errors: testdata must compile.
+func Findings(t *testing.T, a *pdlint.Analyzer, dir string) (*pdlint.Package, []pdlint.Finding) {
+	t.Helper()
+	pkgs, err := pdlint.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("%s: type error: %v", dir, e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return pkg, pdlint.Run(pkg, []*pdlint.Analyzer{a})
+}
+
+// Run checks the analyzer against the want comments in dir.
+func Run(t *testing.T, a *pdlint.Analyzer, dir string) {
+	t.Helper()
+	pkg, findings := Findings(t, a, dir)
+	wants := parseWants(t, pkg)
+
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		if !consumeWant(wants, f) {
+			t.Errorf("%s:%d: unexpected %s finding: %s", f.File, f.Line, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re.String())
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func consumeWant(wants []*want, f pdlint.Finding) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the `// want "re" ...` expectations from the
+// package's comments. The expectation applies to the comment's line.
+func parseWants(t *testing.T, pkg *pdlint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, file := range pkg.Syntax {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parsePatterns(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, re := range res {
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns parses a space-separated sequence of quoted or
+// backquoted regexps.
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		var quoted string
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			quoted, s = unq, s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			quoted, s = s[1:end+1], s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted pattern, got %q", s)
+		}
+		re, err := regexp.Compile(quoted)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}

@@ -1,0 +1,236 @@
+// Package subjecttrace is the paper-specific analyzer: inside subject
+// parsers, every comparison against input-derived bytes must go
+// through the trace shim (trace.Tracer's CharEq/CharRange/CharSet/
+// StrEq), because an untraced comparison is invisible to the
+// parser-directed feedback loop — the fuzzer never learns the
+// comparison happened, so it can never satisfy it (Mathis et al.,
+// PLDI 2019, §2: the approach depends on observing *all* comparisons
+// of input characters).
+//
+// The analyzer restricts itself to functions reachable from a
+// tracer-carrying entry point (any function with a *trace.Tracer
+// parameter — a subject's Run and its traced helpers), so inventory
+// and Tokenize helpers that post-process plain strings do not fire.
+// Within that region it flags:
+//
+//   - ==, !=, <, <=, >, >= where an operand is the raw .B byte of a
+//     taint.Char (directly, via a local copy, or via a byte parameter
+//     some call site feeds a .B value);
+//   - switch statements whose tag is such a byte;
+//   - calls to the bytes/strings comparison helpers (Equal, Compare,
+//     HasPrefix, HasSuffix, Contains, EqualFold), which bypass the
+//     shim wholesale.
+//
+// Deliberately taint-breaking code — paren's pair-table lookahead,
+// mjs's runtime JSON re-parse — carries //pdlint:ignore subjecttrace
+// directives whose justifications double as documentation of where
+// the paper's taint model loses track.
+package subjecttrace
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pfuzzer/internal/analysis/pdlint"
+)
+
+// Analyzer is the subjecttrace check.
+var Analyzer = &pdlint.Analyzer{
+	Name: "subjecttrace",
+	Doc: "flags comparisons against input-derived bytes that bypass the trace " +
+		"shim inside subject parsers",
+	Run: run,
+}
+
+// stringCompareFns are the bytes/strings helpers that compare whole
+// sequences outside the shim.
+var stringCompareFns = map[string]bool{
+	"Equal": true, "Compare": true, "HasPrefix": true,
+	"HasSuffix": true, "Contains": true, "EqualFold": true,
+}
+
+func run(pass *pdlint.Pass) error {
+	g := pdlint.BuildCallGraph(pass)
+	var roots []*types.Func
+	for _, fn := range g.Funcs() {
+		if hasTracerParam(fn) {
+			roots = append(roots, fn)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	reachable := g.Reachable(roots)
+
+	// Byte parameters that some reachable call site feeds a raw .B
+	// value: the interprocedural step that catches helpers like
+	// paren's isOpen(c.B).
+	taintedParams := map[types.Object]bool{}
+	for fn := range reachable {
+		decl := g.Decl(fn)
+		if decl == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := pdlint.CalleeOf(pass.Info, call)
+			cd := g.Decl(callee)
+			if cd == nil || cd.Type.Params == nil {
+				return true
+			}
+			params := flattenParams(pass, cd)
+			for i, arg := range call.Args {
+				if i < len(params) && isRawTaintByte(pass, arg, nil) {
+					taintedParams[params[i]] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for fn := range reachable {
+		decl := g.Decl(fn)
+		if decl == nil {
+			continue
+		}
+		checkFunc(pass, decl, taintedParams)
+	}
+	return nil
+}
+
+func checkFunc(pass *pdlint.Pass, decl *ast.FuncDecl, taintedParams map[types.Object]bool) {
+	// Locals assigned from a tainted byte; grown in source order,
+	// twice, so a use before a later re-assignment still resolves.
+	tainted := map[types.Object]bool{}
+	for obj := range taintedParams {
+		tainted[obj] = true
+	}
+	for pass2 := 0; pass2 < 2; pass2++ {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(as.Rhs) {
+					continue
+				}
+				if isRawTaintByte(pass, as.Rhs[i], tainted) {
+					tainted[pass.Info.ObjectOf(id)] = true
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			default:
+				return true
+			}
+			if isRawTaintByte(pass, x.X, tainted) || isRawTaintByte(pass, x.Y, tainted) {
+				pass.Reportf(x.Pos(),
+					"compares an input-derived byte outside the trace shim; use "+
+						"t.CharEq/t.CharRange/t.CharSet so the parser-directed feedback "+
+						"loop observes the comparison")
+			}
+		case *ast.SwitchStmt:
+			if x.Tag != nil && isRawTaintByte(pass, x.Tag, tainted) {
+				pass.Reportf(x.Pos(),
+					"switches on an input-derived byte outside the trace shim; compare "+
+						"through t.CharEq/t.CharSet so the feedback loop observes each case")
+			}
+		case *ast.CallExpr:
+			callee := pdlint.CalleeOf(pass.Info, x)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			p := callee.Pkg().Path()
+			if (p == "bytes" || p == "strings") && stringCompareFns[callee.Name()] &&
+				callee.Type().(*types.Signature).Recv() == nil {
+				pass.Reportf(x.Pos(),
+					"%s.%s compares input-derived data outside the trace shim; use "+
+						"t.StrEq (or per-character trace calls) so the comparison feeds "+
+						"the heuristic", p, callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isRawTaintByte reports whether e is a raw input byte: a .B selector
+// on a taint.Char, or an identifier known to hold one.
+func isRawTaintByte(pass *pdlint.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if x.Sel.Name != "B" {
+			return false
+		}
+		return isTaintChar(pass.Info.TypeOf(x.X))
+	case *ast.Ident:
+		return tainted != nil && tainted[pass.Info.ObjectOf(x)]
+	}
+	return false
+}
+
+// isTaintChar reports whether t is the taint.Char value type (matched
+// by name and package suffix so testdata can carry its own stub).
+func isTaintChar(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	return named.Obj().Name() == "Char" &&
+		(p == "pfuzzer/internal/taint" || strings.HasSuffix(p, "/taint"))
+}
+
+// hasTracerParam reports whether fn takes a *trace.Tracer.
+func hasTracerParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			continue
+		}
+		p := named.Obj().Pkg().Path()
+		if named.Obj().Name() == "Tracer" &&
+			(p == "pfuzzer/internal/trace" || strings.HasSuffix(p, "/trace")) {
+			return true
+		}
+	}
+	return false
+}
+
+// flattenParams returns the parameter objects of a declared function
+// in positional order.
+func flattenParams(pass *pdlint.Pass, decl *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, pass.Info.Defs[name])
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package subjecttrace_test
+
+import (
+	"testing"
+
+	"pfuzzer/internal/analysis/pdtest"
+	"pfuzzer/internal/analysis/subjecttrace"
+)
+
+func TestBad(t *testing.T) {
+	pdtest.Run(t, subjecttrace.Analyzer, "testdata/bad")
+}
+
+func TestClean(t *testing.T) {
+	pdtest.Run(t, subjecttrace.Analyzer, "testdata/clean")
+}
+
+// TestSuppressionRecorded checks that the deliberate taint break in
+// testdata/clean is suppressed (not absent): the finding exists, is
+// marked, and carries its justification.
+func TestSuppressionRecorded(t *testing.T) {
+	_, findings := pdtest.Findings(t, subjecttrace.Analyzer, "testdata/clean")
+	for _, f := range findings {
+		if f.Analyzer == "subjecttrace" && f.Suppressed {
+			if f.Justification == "" {
+				t.Fatalf("suppressed finding at %s:%d has no justification", f.File, f.Line)
+			}
+			return
+		}
+	}
+	t.Fatal("expected a suppressed subjecttrace finding in testdata/clean (the jsonLike taint break)")
+}

@@ -1,0 +1,42 @@
+// Package bad exercises subjecttrace's flagged shapes: comparisons
+// against input-derived bytes that bypass the trace shim.
+package bad
+
+import (
+	"strings"
+
+	"pfuzzer/internal/analysis/subjecttrace/testdata/src/taint"
+	"pfuzzer/internal/analysis/subjecttrace/testdata/src/trace"
+)
+
+// Parse carries the tracer: it and everything it reaches must compare
+// through the shim.
+func Parse(t *trace.Tracer, cs []taint.Char) bool {
+	if cs[0].B == '(' { // want `compares an input-derived byte`
+		return true
+	}
+	b := cs[1].B
+	if b >= 'a' && b <= 'z' { // want `compares an input-derived byte` `compares an input-derived byte`
+		return true
+	}
+	switch cs[2].B { // want `switches on an input-derived byte`
+	case ')':
+		return false
+	}
+	return isOpen(t, cs[3].B) || prefix(cs)
+}
+
+// isOpen receives a raw .B byte from Parse: the comparison inside is
+// just as invisible to the feedback loop as one at the call site.
+func isOpen(t *trace.Tracer, b byte) bool {
+	return b == '(' || b == '[' // want `compares an input-derived byte` `compares an input-derived byte`
+}
+
+// prefix flattens the tainted input and compares it wholesale.
+func prefix(cs []taint.Char) bool {
+	s := make([]byte, len(cs))
+	for i, c := range cs {
+		s[i] = c.B
+	}
+	return strings.HasPrefix(string(s), "#!") // want `strings\.HasPrefix compares input-derived data`
+}

@@ -1,0 +1,36 @@
+// Package clean exercises what subjecttrace accepts: comparisons
+// through the shim, plain-string helpers outside any traced path, and
+// a justified suppression for a deliberate taint break.
+package clean
+
+import (
+	"pfuzzer/internal/analysis/subjecttrace/testdata/src/taint"
+	"pfuzzer/internal/analysis/subjecttrace/testdata/src/trace"
+)
+
+// Parse compares only through the tracer.
+func Parse(t *trace.Tracer, cs []taint.Char) bool {
+	if len(cs) == 0 {
+		return false
+	}
+	if t.CharEq(cs[0], '(') {
+		return true
+	}
+	return t.CharRange(cs[0], 'a', 'z')
+}
+
+// Tokenize post-processes plain strings and is not reachable from any
+// tracer-carrying function.
+func Tokenize(s string) bool {
+	return len(s) > 0 && s[0] == '#'
+}
+
+// jsonLike models mjs's runtime re-parse: the taint break is
+// deliberate and documented where it happens.
+func jsonLike(t *trace.Tracer, cs []taint.Char) bool {
+	if len(cs) == 0 {
+		return false
+	}
+	//pdlint:ignore subjecttrace -- runtime value re-parse; the taint break at tokenization is deliberate
+	return cs[0].B == '{'
+}

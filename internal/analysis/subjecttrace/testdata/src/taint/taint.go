@@ -1,0 +1,10 @@
+// Package taint is a stub of the repo's taint package, just enough
+// for subjecttrace testdata: the analyzer matches Char by name and
+// package-path suffix.
+package taint
+
+// Char is one input byte with its origin offset.
+type Char struct {
+	B      byte
+	Origin int
+}

@@ -1,0 +1,30 @@
+// Package trace is a stub of the repo's comparison-trace shim, just
+// enough for subjecttrace testdata: the analyzer matches Tracer by
+// name and package-path suffix.
+package trace
+
+import "pfuzzer/internal/analysis/subjecttrace/testdata/src/taint"
+
+// Tracer records character comparisons.
+type Tracer struct{}
+
+// CharEq compares one input character against a literal, recording it.
+func (t *Tracer) CharEq(c taint.Char, b byte) bool { return c.B == b }
+
+// CharRange compares one input character against a range, recording it.
+func (t *Tracer) CharRange(c taint.Char, lo, hi byte) bool {
+	return c.B >= lo && c.B <= hi
+}
+
+// StrEq compares an input run against a literal string, recording it.
+func (t *Tracer) StrEq(cs []taint.Char, s string) bool {
+	if len(cs) < len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !t.CharEq(cs[i], s[i]) {
+			return false
+		}
+	}
+	return true
+}

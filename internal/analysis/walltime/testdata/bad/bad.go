@@ -1,0 +1,17 @@
+// Package bad exercises the walltime analyzer: wall-clock reads
+// reachable from exported entry points.
+package bad
+
+import "time"
+
+// Step reads the clock directly on an exported path.
+func Step() time.Duration {
+	start := time.Now() // want `calls time\.Now`
+	work()
+	return time.Since(start) // want `calls time\.Since`
+}
+
+// work is unexported but reachable from Step.
+func work() {
+	time.Sleep(time.Millisecond) // want `calls time\.Sleep`
+}

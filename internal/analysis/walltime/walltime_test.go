@@ -1,0 +1,35 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"pfuzzer/internal/analysis/pdtest"
+	"pfuzzer/internal/analysis/walltime"
+)
+
+func TestBad(t *testing.T) {
+	pdtest.Run(t, walltime.New(), "testdata/bad")
+}
+
+// TestClean declares elapsed a sink, mirroring how cmd/pdlint
+// allowlists the engine's diagnostics timers.
+func TestClean(t *testing.T) {
+	pdtest.Run(t, walltime.New(
+		"pfuzzer/internal/analysis/walltime/testdata/clean.elapsed",
+	), "testdata/clean")
+}
+
+// TestCleanWithoutSink proves the sink declaration is load-bearing:
+// with no sinks, the same package has findings.
+func TestCleanWithoutSink(t *testing.T) {
+	_, findings := pdtest.Findings(t, walltime.New(), "testdata/clean")
+	n := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("expected findings in testdata/clean when elapsed is not a declared sink")
+	}
+}

@@ -17,6 +17,7 @@ package campaign
 
 import (
 	"sync"
+	"time"
 )
 
 // Runner is one resumable campaign: Step advances it by up to n
@@ -52,11 +53,12 @@ func (j *Job) Done() bool { return j.done }
 // Progress is one fleet progress notification, delivered after every
 // job step.
 type Progress struct {
-	Finished int    // jobs retired so far
-	Total    int    // jobs overall
-	Execs    int    // executions spent across the fleet
-	Job      string // the job that just advanced
-	JobDone  bool   // whether that step retired it
+	Finished int           // jobs retired so far
+	Total    int           // jobs overall
+	Execs    int           // executions spent across the fleet
+	Job      string        // the job that just advanced
+	JobDone  bool          // whether that step retired it
+	Elapsed  time.Duration // wall time since Run started, for display only
 }
 
 // Fleet runs jobs over a shared worker pool.
@@ -105,6 +107,7 @@ func (fl *Fleet) Run(jobs []*Job) {
 		total:    len(jobs),
 		ready:    append(make([]*Job, 0, len(jobs)), jobs...),
 		reserved: 0,
+		started:  time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
 
@@ -123,9 +126,10 @@ func (fl *Fleet) Run(jobs []*Job) {
 // ready queue plus budget accounting, guarded by one mutex (steps do
 // the heavy lifting outside it).
 type fleetState struct {
-	fl    *Fleet
-	slice int
-	total int
+	fl      *Fleet
+	slice   int
+	total   int
+	started time.Time // Run entry, stamps Progress.Elapsed
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -229,6 +233,7 @@ func (s *fleetState) notify(j *Job, done bool) {
 		s.fl.OnProgress(Progress{
 			Finished: s.finished, Total: s.total, Execs: s.execs,
 			Job: j.Name, JobDone: done,
+			Elapsed: time.Since(s.started),
 		})
 	}
 }

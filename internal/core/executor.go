@@ -147,6 +147,7 @@ func (p *specPool) sweep(gen uint64) {
 	for i := range p.stripes {
 		st := &p.stripes[i]
 		st.mu.Lock()
+		//pdlint:ordered -- unordered delete filter; entries are judged independently, so visit order cannot leak
 		for k, e := range st.m {
 			if e.done.Load() && gen-e.gen >= 2 {
 				delete(st.m, k)

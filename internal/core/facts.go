@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"pfuzzer/internal/trace"
 )
 
@@ -55,6 +57,7 @@ func factsOf(rec *trace.Record, deriving bool) *runFacts {
 		for id := range rec.BlockFirst {
 			rf.blocks = append(rf.blocks, id)
 		}
+		sort.Slice(rf.blocks, func(i, j int) bool { return rf.blocks[i] < rf.blocks[j] })
 	}
 	if deriving || rf.accepted {
 		rf.stack = rec.AvgStackLastTwo()
@@ -73,6 +76,7 @@ func factsOf(rec *trace.Record, deriving bool) *runFacts {
 				rf.trimmed = append(rf.trimmed, id)
 			}
 		}
+		sort.Slice(rf.trimmed, func(i, j int) bool { return rf.trimmed[i] < rf.trimmed[j] })
 		// ComparisonsAt builds a fresh slice of struct copies whose
 		// byte fields point at per-comparison allocations, so it is
 		// already independent of the sink's reusable buffers.
@@ -137,7 +141,10 @@ func (s *blockSet) add(id uint32) {
 	s.dense[id] = true
 }
 
-// ids returns the member IDs in unspecified order.
+// ids returns the member IDs in ascending order. The dense tier comes
+// out ascending by construction; overflow IDs are sorted before the
+// append so sets with pathological members serialize identically
+// run-to-run.
 func (s *blockSet) ids() []uint32 {
 	var out []uint32
 	for id, set := range s.dense {
@@ -145,8 +152,13 @@ func (s *blockSet) ids() []uint32 {
 			out = append(out, uint32(id))
 		}
 	}
-	for id := range s.overflow {
-		out = append(out, id)
+	if len(s.overflow) > 0 {
+		spill := make([]uint32, 0, len(s.overflow))
+		for id := range s.overflow {
+			spill = append(spill, id)
+		}
+		sort.Slice(spill, func(i, j int) bool { return spill[i] < spill[j] })
+		out = append(out, spill...)
 	}
 	return out
 }

@@ -341,6 +341,7 @@ func Restore(prog subject.Program, cfg Config, s *Snapshot) (*Campaign, error) {
 	f.ran = true
 
 	for i := uint64(0); i < s.RNGDraws; i++ {
+		//pdlint:ignore enginerand -- fast-forwarding the restored stream to the saved position; the draw counter is set right below
 		f.cs.src.Int63()
 	}
 	f.cs.draws = s.RNGDraws

@@ -19,6 +19,7 @@ package eval
 import (
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"pfuzzer/internal/afl"
@@ -200,7 +201,12 @@ func newCell(entry registry.Entry, tool Tool, budget Budget, rep int) *cell {
 		out.CoveragePct = tokens.Percent(len(cov), out.Blocks)
 		found := map[string]bool{}
 		for _, in := range valids {
+			toks := make([]string, 0, 8)
 			for tok := range entry.Tokenize(in) {
+				toks = append(toks, tok)
+			}
+			sort.Strings(toks)
+			for _, tok := range toks {
 				found[tok] = true
 			}
 		}
@@ -369,12 +375,11 @@ func Matrix(entries []registry.Entry, budget Budget) []SubjectResult {
 			all = append(all, groupCells(e, tool, budget)...)
 		}
 	}
-	start := time.Now()
 	progress := func(p campaign.Progress) {
 		if p.JobDone {
 			fmt.Fprintf(os.Stderr, "\r  fleet[%d]: %d/%d campaigns done, %d execs, %v   ",
 				budget.Fleet, p.Finished, p.Total, p.Execs,
-				time.Since(start).Round(time.Second))
+				p.Elapsed.Round(time.Second))
 		}
 	}
 	runCells(all, budget, progress)

@@ -198,6 +198,7 @@ func (e *Explorer) expand(input []byte) {
 	rec := subject.Execute(e.prog, input, trace.Full())
 
 	if rec.Accepted() && e.hasNewBlocks(rec) {
+		//pdlint:ordered -- set union; every visit order yields the same coverage maps
 		for id := range rec.BlockFirst {
 			e.vBr[id] = true
 			e.res.Coverage[id] = true
@@ -223,6 +224,7 @@ func (e *Explorer) expand(input []byte) {
 }
 
 func (e *Explorer) hasNewBlocks(rec *trace.Record) bool {
+	//pdlint:ordered -- existence test; any visit order finds the same answer
 	for id := range rec.BlockFirst {
 		if !e.vBr[id] {
 			return true

@@ -358,14 +358,21 @@ type Stats struct {
 	Ends      int
 }
 
-// Stats returns size statistics for the grammar.
+// Stats returns size statistics for the grammar. The sums are
+// commutative, but iterating in sorted class order keeps every
+// traversal of the grammar deterministic by construction.
 func (g *Grammar) Stats() Stats {
 	s := Stats{Classes: len(g.tokens), Starts: len(g.start), Ends: len(g.end)}
-	for _, t := range g.tokens {
-		s.Spellings += len(t.Spellings)
+	for _, c := range g.Classes() {
+		s.Spellings += len(g.tokens[c].Spellings)
 	}
-	for _, f := range g.follow {
-		s.Bigrams += len(f)
+	follows := make([]string, 0, len(g.follow))
+	for c := range g.follow {
+		follows = append(follows, c)
+	}
+	sort.Strings(follows)
+	for _, c := range follows {
+		s.Bigrams += len(g.follow[c])
 	}
 	return s
 }

@@ -145,9 +145,10 @@ func (b *lenBits) set(n int) {
 	if i >= len(w) {
 		grown := make([]uint64, i+1)
 		for j := range w {
-			// Writers are serialised on mu, so plain reads of the old
-			// words cannot race with another setter; readers only load.
-			grown[j] = w[j]
+			// Writers are serialised on mu, but lock-free testers load
+			// these words concurrently — keep every cross-goroutine
+			// access to the shared array on the same atomic ops.
+			grown[j] = atomic.LoadUint64(&w[j])
 		}
 		grown[i] |= 1 << (n & 63)
 		b.words.Store(&grown)

@@ -157,6 +157,7 @@ func (p *parser) next() {
 			p.tok = tokEOF
 			return
 		}
+		//pdlint:ignore subjecttrace -- whitespace skip models the C original's isspace() table lookup, an implicit flow the shim cannot observe
 		if c.B != ' ' && c.B != '\t' && c.B != '\n' && c.B != '\r' {
 			break
 		}

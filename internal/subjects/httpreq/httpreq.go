@@ -294,6 +294,7 @@ func (p *parser) eol() bool {
 func (p *parser) skipOWS() {
 	for {
 		c, ok := p.t.At(p.pos)
+		//pdlint:ignore subjecttrace -- OWS skip models http-parser's isblank() table lookup, an implicit flow the shim cannot observe
 		if !ok || (c.B != ' ' && c.B != '\t') {
 			return
 		}

@@ -167,6 +167,7 @@ func (p *parser) pair(first taint.Char) bool {
 func (p *parser) skipSpaces() {
 	for {
 		c, ok := p.t.At(p.pos)
+		//pdlint:ignore subjecttrace -- whitespace skip models inih's isspace() table lookup, an implicit flow the shim cannot observe
 		if !ok || (c.B != ' ' && c.B != '\t') {
 			return
 		}

@@ -58,10 +58,12 @@ func (lx *lexer) skipSpaceAndComments() {
 		if !ok {
 			return
 		}
+		//pdlint:ignore subjecttrace -- whitespace skip models mjs's isspace() table lookup, an implicit flow the shim cannot observe
 		if c.B == ' ' || c.B == '\t' || c.B == '\n' || c.B == '\r' {
 			lx.pos++
 			continue
 		}
+		//pdlint:ignore subjecttrace -- comment lookahead peek; the decisive comparison on the following char is traced via CharEq below
 		if c.B == '/' {
 			n, ok2 := lx.t.At(lx.pos + 1)
 			if ok2 && lx.t.CharEq(n, '/') {
@@ -184,6 +186,7 @@ func (lx *lexer) number(c taint.Char) {
 		lx.pos++
 		neg := false
 		if s, ok := lx.t.At(lx.pos); ok && (lx.t.CharEq(s, '+') || lx.t.CharEq(s, '-')) {
+			//pdlint:ignore subjecttrace -- sign extraction from a char the CharEq('+')/CharEq('-') guard just traced
 			neg = s.B == '-'
 			lx.pos++
 		}
@@ -294,6 +297,7 @@ func (lx *lexer) str(quote byte) {
 			lx.pos++
 			continue
 		}
+		//pdlint:ignore subjecttrace -- newline-in-string guard mirrors mjs's raw check; the error path carries no hint
 		if c.B == '\n' {
 			lx.errTok()
 			return // newline inside string literal

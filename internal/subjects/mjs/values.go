@@ -310,18 +310,21 @@ func (p *jparser) value() (value, bool) {
 	}
 	switch c := p.s[p.i]; {
 	case c == 'n':
+		//pdlint:ignore subjecttrace -- runtime value re-parse of an accepted lexeme; the taint break at tokenization is the one the paper describes
 		if strings.HasPrefix(p.s[p.i:], "null") {
 			p.i += 4
 			return nil, true
 		}
 		return nil, false
 	case c == 't':
+		//pdlint:ignore subjecttrace -- runtime value re-parse of an accepted lexeme; the taint break at tokenization is the one the paper describes
 		if strings.HasPrefix(p.s[p.i:], "true") {
 			p.i += 4
 			return true, true
 		}
 		return nil, false
 	case c == 'f':
+		//pdlint:ignore subjecttrace -- runtime value re-parse of an accepted lexeme; the taint break at tokenization is the one the paper describes
 		if strings.HasPrefix(p.s[p.i:], "false") {
 			p.i += 5
 			return false, true

@@ -105,6 +105,7 @@ func (p *parser) groups() bool {
 
 func (p *parser) isOpen(b byte) bool {
 	for _, pr := range pairs {
+		//pdlint:ignore subjecttrace -- pairs-table scan models an implicit array lookup; the closing-bracket match is traced at the consumption site
 		if pr.open == b {
 			return true
 		}

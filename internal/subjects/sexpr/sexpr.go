@@ -226,6 +226,7 @@ func (p *parser) symSubsequent(c taint.Char) bool {
 func (p *parser) skipWS() {
 	for {
 		c, ok := p.t.At(p.pos)
+		//pdlint:ignore subjecttrace -- whitespace skip models the C original's isspace() table lookup, an implicit flow the shim cannot observe
 		if !ok || (c.B != ' ' && c.B != '\t' && c.B != '\n' && c.B != '\r') {
 			return
 		}

@@ -179,6 +179,7 @@ func (p *parser) next() {
 			p.tok = tokEOF
 			return
 		}
+		//pdlint:ignore subjecttrace -- whitespace skip models tinyc's isspace() table lookup, an implicit flow the shim cannot observe
 		if c.B != ' ' && c.B != '\t' && c.B != '\n' && c.B != '\r' {
 			break
 		}
