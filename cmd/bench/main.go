@@ -9,18 +9,26 @@
 // Usage:
 //
 //	bench [-quick] [-subjects all] [-execs n] [-reps n] [-seed n]
-//	      [-out BENCH_pr5.json]
-//	bench -workers-sweep 1,2,4,8 [-quick] [-subjects all] [-execs n]
-//	      [-reps n] [-seed n] [-out BENCH_pr6.json]
+//	      [-out BENCH_pr5.json] [-cpuprofile f] [-memprofile f]
+//	bench -workers-sweep 1,2,4,8 [-spec-depths -1,0,16] [-quick]
+//	      [-subjects all] [-execs n] [-reps n] [-seed n]
+//	      [-out BENCH_pr8.json] [-cpuprofile f] [-memprofile f]
 //
 // The second form measures the speculative pipeline engine instead of
-// the cache: the same campaign at each listed worker count, recording
-// campaign and exec-layer throughput per count and the speedup over
-// Workers=1 (sweep.go). Workers<=1 points keep the fingerprint-
-// divergence gate; Workers>1 points are gated on valid-corpus
-// set-equivalence with Workers=1; and on a runner with two or more
-// cores the sweep demands a 1.3x campaign speedup at Workers=2 on at
-// least three subjects.
+// the cache: the same campaign at each (worker count, spec depth) grid
+// point — Workers=1 runs once, the depth knob being inert there —
+// recording campaign and exec-layer throughput, allocation rates
+// (allocs/bytes per execution, the hot-path diet's trajectory), and
+// the speedup over Workers=1 (sweep.go). Workers<=1 points keep the
+// fingerprint-divergence gate; Workers>1 points are gated on
+// valid-corpus set-equivalence with Workers=1; and on a runner with
+// two or more cores the sweep demands a 1.3x campaign speedup at
+// Workers=2 on at least three subjects, and fails loudly if any
+// Workers>1 point ran zero speculative executions (a dead pipeline).
+//
+// -cpuprofile / -memprofile capture the whole bench run with
+// runtime/pprof — the supported way to see where campaign time and
+// steady-state retention actually go.
 //
 // For every subject of the matrix the harness runs the same serial
 // campaign under the three cache modes (-reps repetitions, keeping
@@ -111,8 +119,18 @@ func main() {
 		seed     = flag.Int64("seed", 1, "campaign RNG seed")
 		outPath  = flag.String("out", "BENCH_pr5.json", "output JSON path")
 		sweep    = flag.String("workers-sweep", "", `worker counts to sweep (e.g. "1,2,4,8"); writes the scaling curve instead of the cache matrix`)
+		depths   = flag.String("spec-depths", "0", `spec-depth axis for -workers-sweep (e.g. "-1,0,16"): every Workers>1 count runs once per depth`)
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole bench run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after the final campaign) to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	if *quick {
 		if !explicit("execs") {
@@ -126,7 +144,7 @@ func main() {
 		*reps = 1
 	}
 	if *sweep != "" && !explicit("out") {
-		*outPath = "BENCH_pr6.json"
+		*outPath = "BENCH_pr8.json"
 	}
 
 	var entries []registry.Entry
@@ -149,7 +167,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(2)
 		}
-		runSweep(entries, *seed, *execs, *reps, workers, *quick, *outPath)
+		ds, err := parseDepths(*depths)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		runSweep(entries, *seed, *execs, *reps, workers, ds, *quick, *outPath)
 		return
 	}
 
@@ -182,19 +205,19 @@ func main() {
 	blob, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+		benchExit(1)
 	}
 	blob = append(blob, '\n')
 	if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+		benchExit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
 
 	if len(rep.Diverged) > 0 {
 		fmt.Fprintf(os.Stderr, "bench: FINGERPRINT DIVERGENCE with cache enabled on: %s\n",
 			strings.Join(rep.Diverged, ", "))
-		os.Exit(1)
+		benchExit(1)
 	}
 }
 

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profMemPath defers the heap profile to flush time: the interesting
+// picture is live retention after the campaigns, not at startup.
+var profMemPath string
+
+var profStopped bool
+
+// startProfiles wires the -cpuprofile/-memprofile flags. The CPU
+// profile covers the whole bench run (campaigns of every mode/point);
+// the heap profile is written at flush time, after a forced GC, so it
+// shows steady-state retention rather than transient garbage. The
+// returned stop is also reachable through benchExit for the failure
+// paths that bypass defers.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	profMemPath = memPath
+	return stopProfiles, nil
+}
+
+func stopProfiles() {
+	if profStopped {
+		return
+	}
+	profStopped = true
+	pprof.StopCPUProfile()
+	if profMemPath != "" {
+		f, err := os.Create(profMemPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		}
+	}
+}
+
+// benchExit flushes the profiles before exiting — the gate failures
+// exit non-zero, and a truncated CPU profile would be useless exactly
+// when one wants to see what the failing run did.
+func benchExit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}

@@ -29,9 +29,13 @@ import (
 // nothing for a second worker to run on.
 const sweepMinGe13Subjects = 3
 
-// WorkerPoint is one worker count's measurement for one subject.
+// WorkerPoint is one (worker count, spec depth) measurement for one
+// subject. SpecDepth is the shadow-simulation lookahead the point ran
+// at (-1 = off, 0 = engine default); Workers=1 points carry the knob
+// they were launched with, on which it is inert.
 type WorkerPoint struct {
-	Workers int `json:"workers"`
+	Workers   int `json:"workers"`
+	SpecDepth int `json:"spec_depth"`
 	Mode
 	CampaignSpeedup  float64 `json:"campaign_speedup_vs_w1"`
 	ExecLayerSpeedup float64 `json:"exec_layer_speedup_vs_w1"`
@@ -39,6 +43,11 @@ type WorkerPoint struct {
 	BitIdentical     bool    `json:"fingerprint_match"`
 	SpecExecs        int     `json:"spec_execs"`
 	SpecHits         int     `json:"spec_hits"`
+	// Allocation rate of the whole campaign process during the point's
+	// best repetition (runtime.MemStats deltas over the campaign run):
+	// the measured half of the hot-path allocation diet.
+	AllocsPerExec float64 `json:"allocs_per_exec"`
+	BytesPerExec  float64 `json:"bytes_per_exec"`
 }
 
 // SweepSubject is one subject's scaling curve.
@@ -68,6 +77,13 @@ type SweepReport struct {
 	Ge13AtW2    []string `json:"campaign_speedup_ge_1.3_at_w2"`
 	GateApplied bool     `json:"speedup_gate_applied"`
 	Diverged    []string `json:"corpus_divergence,omitempty"`
+	// NoSpec lists Workers>1 points that ran zero speculative
+	// executions on a multicore runner — a dead pipeline the speedup
+	// numbers would otherwise hide; any entry fails the bench.
+	NoSpec []string `json:"no_speculation,omitempty"`
+	// SpecDepths is the sweep's lookahead axis (Workers>1 points run
+	// once per depth).
+	SpecDepths []int `json:"spec_depths"`
 }
 
 // parseWorkers parses the -workers-sweep list ("1,2,4,8").
@@ -82,6 +98,40 @@ func parseWorkers(s string) ([]int, error) {
 	}
 	sort.Ints(out)
 	return out, nil
+}
+
+// parseDepths parses the -spec-depths list ("-1,0,8"); negatives (off)
+// and 0 (engine default) are meaningful values.
+func parseDepths(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad spec depth %q", f)
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// sweepCombo is one (workers, spec depth) point of the sweep grid.
+// Workers=1 runs once — the depth knob is inert on the serial engine —
+// while every Workers>1 count runs once per requested depth.
+type sweepCombo struct{ workers, depth int }
+
+func sweepCombos(workers, depths []int) []sweepCombo {
+	var out []sweepCombo
+	for _, w := range workers {
+		if w <= 1 {
+			out = append(out, sweepCombo{w, depths[0]})
+			continue
+		}
+		for _, d := range depths {
+			out = append(out, sweepCombo{w, d})
+		}
+	}
+	return out
 }
 
 // validSet collapses a result's emission record to the set the
@@ -106,21 +156,29 @@ func setsEqual(a, b map[string]bool) bool {
 	return true
 }
 
-// sweepSubject measures one subject across every worker count. Worker
-// counts are interleaved across repetitions, like the cache modes in
-// benchSubject, and each count keeps its best wall time.
-func sweepSubject(e registry.Entry, seed int64, execs, reps int, workers []int) SweepSubject {
-	best := make([]time.Duration, len(workers))
-	bestExec := make([]time.Duration, len(workers))
-	results := make([]*core.Result, len(workers))
+// sweepSubject measures one subject across the (workers, spec depth)
+// grid. Combos are interleaved across repetitions, like the cache
+// modes in benchSubject, and each combo keeps its best wall time —
+// along with the allocation-rate deltas of that best repetition.
+func sweepSubject(e registry.Entry, seed int64, execs, reps int, combos []sweepCombo) SweepSubject {
+	best := make([]time.Duration, len(combos))
+	bestExec := make([]time.Duration, len(combos))
+	bestAllocs := make([]uint64, len(combos))
+	bestBytes := make([]uint64, len(combos))
+	results := make([]*core.Result, len(combos))
 
+	var m1, m2 runtime.MemStats
 	for r := 0; r < reps; r++ {
-		for i, w := range workers {
-			cfg := core.Config{Seed: seed, MaxExecs: execs, Workers: w}
+		for i, c := range combos {
+			cfg := core.Config{Seed: seed, MaxExecs: execs, Workers: c.workers, SpecDepth: c.depth}
+			runtime.ReadMemStats(&m1)
 			res, d := run(e, cfg)
+			runtime.ReadMemStats(&m2)
 			if results[i] == nil || d < best[i] {
 				best[i] = d
 				bestExec[i] = res.ExecElapsed
+				bestAllocs[i] = m2.Mallocs - m1.Mallocs
+				bestBytes[i] = m2.TotalAlloc - m1.TotalAlloc
 				results[i] = res
 			}
 		}
@@ -132,8 +190,8 @@ func sweepSubject(e registry.Entry, seed int64, execs, reps int, workers []int) 
 	baseRes := core.New(e.New(), core.Config{Seed: seed, MaxExecs: execs, Workers: 1}).Run()
 	baseSet := validSet(baseRes)
 	var baseWall, baseExecNS time.Duration
-	for i, w := range workers {
-		if w == 1 {
+	for i, c := range combos {
+		if c.workers == 1 {
 			baseWall, baseExecNS = best[i], bestExec[i]
 			break
 		}
@@ -145,15 +203,20 @@ func sweepSubject(e registry.Entry, seed int64, execs, reps int, workers []int) 
 		Valids:      len(baseRes.Valids),
 		Fingerprint: fmt.Sprintf("%#x", baseRes.Fingerprint()),
 	}
-	for i, w := range workers {
+	for i, c := range combos {
 		res := results[i]
 		pt := WorkerPoint{
-			Workers:      w,
+			Workers:      c.workers,
+			SpecDepth:    c.depth,
 			Mode:         mode(res.Execs, best[i], bestExec[i]),
 			SetEqual:     setsEqual(validSet(res), baseSet),
 			BitIdentical: res.Fingerprint() == baseRes.Fingerprint(),
 			SpecExecs:    res.SpecExecs,
 			SpecHits:     res.SpecHits,
+		}
+		if res.Execs > 0 {
+			pt.AllocsPerExec = float64(bestAllocs[i]) / float64(res.Execs)
+			pt.BytesPerExec = float64(bestBytes[i]) / float64(res.Execs)
 		}
 		if baseWall > 0 {
 			pt.CampaignSpeedup = ratio(baseWall, best[i])
@@ -162,6 +225,18 @@ func sweepSubject(e registry.Entry, seed int64, execs, reps int, workers []int) 
 		row.Points = append(row.Points, pt)
 	}
 	return row
+}
+
+// appendUnique appends s if absent — one subject can reach the Workers=2
+// speedup bar at several depths, and the gate counts subjects, not
+// points.
+func appendUnique(list []string, s string) []string {
+	for _, have := range list {
+		if have == s {
+			return list
+		}
+	}
+	return append(list, s)
 }
 
 // pointOK applies the per-point correctness gate: the fingerprint gate
@@ -174,7 +249,7 @@ func pointOK(pt WorkerPoint) bool {
 }
 
 // runSweep is the -workers-sweep entry point.
-func runSweep(entries []registry.Entry, seed int64, execs, reps int, workers []int, quick bool, outPath string) {
+func runSweep(entries []registry.Entry, seed int64, execs, reps int, workers, depths []int, quick bool, outPath string) {
 	rep := SweepReport{
 		Bench:      "pfuzzer speculative pipeline engine: worker sweep",
 		Quick:      quick,
@@ -184,21 +259,30 @@ func runSweep(entries []registry.Entry, seed int64, execs, reps int, workers []i
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Workers:    workers,
+		SpecDepths: depths,
 	}
 	rep.GateApplied = rep.NumCPU >= 2
+	combos := sweepCombos(workers, depths)
 
 	for _, e := range entries {
-		row := sweepSubject(e, seed, execs, reps, workers)
+		row := sweepSubject(e, seed, execs, reps, combos)
 		rep.Subjects = append(rep.Subjects, row)
 		var parts []string
 		for _, pt := range row.Points {
+			tag := fmt.Sprintf("%s@w%d/d%d", row.Subject, pt.Workers, pt.SpecDepth)
 			if !pointOK(pt) {
-				rep.Diverged = append(rep.Diverged, fmt.Sprintf("%s@w%d", row.Subject, pt.Workers))
+				rep.Diverged = append(rep.Diverged, tag)
+			}
+			// A Workers>1 campaign on a multicore runner must actually
+			// speculate: zero speculative executions means the pipeline
+			// is dead and the sweep is measuring nothing.
+			if rep.NumCPU >= 2 && pt.Workers > 1 && pt.SpecExecs == 0 {
+				rep.NoSpec = append(rep.NoSpec, tag)
 			}
 			if pt.Workers == 2 && pt.CampaignSpeedup >= 1.3 {
-				rep.Ge13AtW2 = append(rep.Ge13AtW2, row.Subject)
+				rep.Ge13AtW2 = appendUnique(rep.Ge13AtW2, row.Subject)
 			}
-			parts = append(parts, fmt.Sprintf("w%d %0.2fx", pt.Workers, pt.CampaignSpeedup))
+			parts = append(parts, fmt.Sprintf("w%d/d%d %0.2fx %.0fa", pt.Workers, pt.SpecDepth, pt.CampaignSpeedup, pt.AllocsPerExec))
 		}
 		fmt.Fprintf(os.Stderr, "  %-8s %s\n", row.Subject, strings.Join(parts, "  "))
 	}
@@ -206,23 +290,28 @@ func runSweep(entries []registry.Entry, seed int64, execs, reps int, workers []i
 	blob, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+		benchExit(1)
 	}
 	blob = append(blob, '\n')
 	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+		benchExit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
 
 	if len(rep.Diverged) > 0 {
 		fmt.Fprintf(os.Stderr, "bench: CORPUS DIVERGENCE across worker counts on: %s\n",
 			strings.Join(rep.Diverged, ", "))
-		os.Exit(1)
+		benchExit(1)
+	}
+	if len(rep.NoSpec) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: NO SPECULATION on a %d-core runner at: %s\n",
+			rep.NumCPU, strings.Join(rep.NoSpec, ", "))
+		benchExit(1)
 	}
 	if rep.GateApplied && len(rep.Ge13AtW2) < sweepMinGe13Subjects {
 		fmt.Fprintf(os.Stderr, "bench: only %d subject(s) reached 1.3x at Workers=2 (need %d on a %d-core runner)\n",
 			len(rep.Ge13AtW2), sweepMinGe13Subjects, rep.NumCPU)
-		os.Exit(1)
+		benchExit(1)
 	}
 }

@@ -5,9 +5,9 @@
 // Usage:
 //
 //	pfuzzer -subject cjson [-execs 100000] [-seed 1] [-workers 4]
-//	        [-batch n] [-quiet] [-cache=false] [-mine] [-mine-budget n]
-//	        [-mine-tokens n] [-mine-cadence n] [-out file] [-resume file]
-//	        [-snap-every n] [-mine-from file]
+//	        [-batch n] [-spec-depth n] [-quiet] [-cache=false] [-mine]
+//	        [-mine-budget n] [-mine-tokens n] [-mine-cadence n] [-out file]
+//	        [-resume file] [-snap-every n] [-mine-from file]
 //	pfuzzer -list
 //
 // Subjects: ini, csv, cjson, tinyc, mjs, expr, paren, urlp, sexpr,
@@ -56,6 +56,7 @@ func main() {
 		maxValids   = flag.Int("valids", 0, "stop after N valid inputs (0 = run out the budget)")
 		workers     = flag.Int("workers", 1, "engine concurrency: 1 = serial, more add speculative executors; the corpus is bit-identical at every count")
 		batch       = flag.Int("batch", 0, "speculation batch size per trajectory iteration (0 = auto-tune from execution latency); wall-clock knob only")
+		specDepth   = flag.Int("spec-depth", 0, "shadow-simulation lookahead: iterations of the trajectory simulated ahead per publish (0 = default, negative = off); wall-clock knob only")
 		cache       = flag.Bool("cache", true, "prefix-decided execution cache (adaptive; identical output either way, see DESIGN.md §10); with -resume an explicitly passed value overrides the snapshot and true forces the cache on, retirement disabled")
 		quiet       = flag.Bool("quiet", false, "print only the summary")
 		list        = flag.Bool("list", false, "list registered subjects and exit")
@@ -86,6 +87,7 @@ func main() {
 		cfg := flagConfig(*subjectName, *seed, *execs, *maxValids, *workers,
 			*minePhase, *mineBudget, *mineTokens, *mineCadence, *mineFrom)
 		cfg.BatchSize = *batch
+		cfg.SpecDepth = *specDepth
 		if !*cache {
 			cfg.Cache = core.CacheOff
 		}
@@ -131,7 +133,8 @@ func explicit(name string) bool {
 func warnIgnoredOnResume() {
 	ignored := map[string]bool{
 		"subject": true, "seed": true, "workers": true, "batch": true,
-		"mine": true, "mine-budget": true, "mine-tokens": true,
+		"spec-depth": true,
+		"mine":       true, "mine-budget": true, "mine-tokens": true,
 		"mine-cadence": true, "mine-from": true,
 	}
 	flag.Visit(func(f *flag.Flag) {

@@ -472,6 +472,25 @@ func checkParallelAgreement(t *testing.T, e registry.Entry, o Options) {
 		t.Errorf("Workers=4 cache counters (%d hits, %d misses) diverge from Workers=1 (%d, %d)",
 			w4.CacheHits, w4.CacheMisses, w1.CacheHits, w1.CacheMisses)
 	}
+
+	// The spec-depth axis: the w4 run above already exercises the
+	// default shadow lookahead, so one deep-simulation run pins the
+	// property that matters — shadow predictions announce executions
+	// but can never admit one the serial schedule wouldn't, no matter
+	// how far (and how wrongly) the simulator rolls ahead on this
+	// subject's grammar. Cache counters ride along: a prediction that
+	// leaked into the cache-admission order would surface there first.
+	deep := par
+	deep.SpecDepth = 16
+	wd := core.New(e.New(), deep).Run()
+	if wd.Fingerprint() != w1.Fingerprint() {
+		t.Errorf("Workers=4 SpecDepth=16 fingerprint %#x diverges from Workers=1 %#x",
+			wd.Fingerprint(), w1.Fingerprint())
+	}
+	if wd.CacheHits != w1.CacheHits || wd.CacheMisses != w1.CacheMisses {
+		t.Errorf("Workers=4 SpecDepth=16 cache counters (%d hits, %d misses) diverge from Workers=1 (%d, %d)",
+			wd.CacheHits, wd.CacheMisses, w1.CacheHits, w1.CacheMisses)
+	}
 }
 
 // checkCacheTransparency: the prefix-decided execution cache

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/subjects/cjson"
+	"pfuzzer/internal/subjects/expr"
+	"pfuzzer/internal/trace"
+)
+
+// Pinned steady-state allocation budgets for the trajectory hot path.
+// The benchmarks in alloc_bench_test.go measure; these tests enforce,
+// so a regression fails `go test` instead of silently drifting until
+// someone re-reads a benchmark. Budgets are exact where the design
+// says zero and carry headroom of one where the count depends on input
+// shape. Skipped under -short: the CI race pass runs -short, and
+// instrumentation (race, coverage) adds allocations the budgets do not
+// describe.
+
+// TestSinkExecuteAllocFree pins the arena contract: after the first
+// (warming) execution, a sink-backed subject run allocates nothing —
+// comparisons, block sets and comparison byte payloads all land in the
+// sink's reused buffers.
+func TestSinkExecuteAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budgets assume an uninstrumented build")
+	}
+	prog := expr.New()
+	input := []byte("(1+2)*(3-4)#")
+	var sink trace.Sink
+	subject.ExecuteInto(prog, input, traceOpts(), &sink)
+	if n := testing.AllocsPerRun(200, func() {
+		subject.ExecuteInto(prog, input, traceOpts(), &sink)
+	}); n != 0 {
+		t.Errorf("sink-backed execution allocates %.1f/op in steady state, want 0", n)
+	}
+}
+
+// TestFactsDistillAllocBudget pins the deriving-run distillation at
+// its designed floor: the three retained slices (trimmed blocks, the
+// final-index comparison headers, their packed byte blob) plus one of
+// headroom for block-count growth; everything else must come from the
+// caller's scratch.
+func TestFactsDistillAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budgets assume an uninstrumented build")
+	}
+	prog := cjson.New()
+	input := []byte(`{"a":[1,2`)
+	var sink trace.Sink
+	rec := subject.ExecuteInto(prog, input, traceOpts(), &sink)
+	var rf runFacts
+	if n := testing.AllocsPerRun(200, func() {
+		factsOfInto(&rf, rec, true)
+	}); n > 4 {
+		t.Errorf("deriving distillation allocates %.1f/op in steady state, want <= 4", n)
+	}
+}

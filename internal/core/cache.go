@@ -92,10 +92,15 @@ type derivedFacts struct {
 	lastComps []trace.Comparison
 }
 
-// runFacts materializes the memoised outcome for input, reproducing
-// exactly what a real execution of input would have distilled.
-func (df cachedFacts) runFacts(input []byte) *runFacts {
-	rf := &runFacts{input: input, accepted: df.accepted, pathHash: df.pathHash}
+// runFactsInto materializes the memoised outcome for input into rf,
+// reproducing exactly what a real execution of input would have
+// distilled. rf is the trajectory's reusable scratch: the engine never
+// retains a *runFacts past the loop iteration that produced it (the
+// slices a candidate or cache entry keeps are owned by the entry, not
+// the struct), so one scratch per Fuzzer replaces a per-hit
+// allocation.
+func (df cachedFacts) runFactsInto(rf *runFacts, input []byte) *runFacts {
+	*rf = runFacts{input: input, accepted: df.accepted, pathHash: df.pathHash}
 	if d := df.derived; d != nil {
 		rf.stack = d.stack
 		rf.blocks = d.blocks
@@ -150,20 +155,58 @@ const maxDecidedPrefix = 64
 // to the serial engine's at every execution index. specNS reports the
 // worker wall time a memo hit carried (0 otherwise), which the caller
 // folds into Result.ExecElapsed.
+//
+// hint is the trajectory's extension-probe carry-over. The engine's
+// loop always executes a candidate's random extension immediately
+// after the candidate itself (deriving marks the extension call, and
+// all executions — hence all cache admissions — happen on this one
+// goroutine), which makes two shortcuts sound and bit-transparent:
+//
+//   - if the candidate's execution admitted the candidate's own
+//     deciding prefix, the extension's Get is *guaranteed* to stop at
+//     exactly that entry — no shorter prefix can exist (it would have
+//     answered the candidate's lookup) and shortest-prefix-wins rules
+//     out everything longer — so the lookup is answered without
+//     hashing a byte;
+//   - otherwise, every prefix probe up to the candidate's length
+//     would repeat a probe the candidate's missed lookup already made
+//     (the only admissions since were the candidate's own: an exact
+//     entry in the tagged tier, or a prefix admission that took the
+//     first shortcut), so pcache.GetExt resumes the rolling hash from
+//     the candidate's miss Ref and hashes only the appended byte.
+//
+// Both return exactly what the full Get would have — same value, same
+// hit/miss verdict, same counters — so fingerprints, corpora and
+// retire milestones are unchanged; only the per-iteration hash work
+// drops from two passes over the input to one.
 func cachedExec(cache *pcache.Cache[cachedFacts], prog subject.Program,
-	input []byte, deriving bool, sink *trace.Sink, spec *specPool) (rf *runFacts, hit bool, specNS int64) {
+	input []byte, deriving bool, sink *trace.Sink, spec *specPool,
+	hint *extHint, scratch *runFacts) (rf *runFacts, hit bool, specNS int64) {
 	var slot pcache.Ref
 	upgrade := false
 	if cache != nil {
-		e, ref, ok := cache.Get(input)
+		if deriving && hint.stored && len(input) > hint.prevLen && !cache.Retired() {
+			e := hint.entry
+			hint.clear()
+			return e.runFactsInto(scratch, input), true, 0
+		}
+		var e cachedFacts
+		var ref pcache.Ref
+		var ok bool
+		if deriving && hint.ref.Missed() && len(input) > hint.prevLen {
+			e, ref, ok = cache.GetExt(hint.ref, input[hint.prevLen:])
+		} else {
+			e, ref, ok = cache.Get(input)
+		}
+		hint.clear()
 		if ok {
 			if e.derived != nil {
-				return e.runFacts(input), true, 0
+				return e.runFactsInto(scratch, input), true, 0
 			}
 			if !deriving {
 				// Slim entries are always rejections, whose verdict and
 				// path hash are all a non-deriving caller consumes.
-				return e.runFacts(input), true, 0
+				return e.runFactsInto(scratch, input), true, 0
 			}
 			upgrade = true
 		}
@@ -187,13 +230,13 @@ func cachedExec(cache *pcache.Cache[cachedFacts], prog subject.Program,
 	}
 	if cache == nil {
 		if rf == nil {
-			rf = factsOf(rec, deriving)
+			rf = factsOfInto(scratch, rec, deriving)
 		}
 		return rf, false, specNS
 	}
 	if upgrade {
 		if rf == nil {
-			rf = factsOf(rec, true)
+			rf = factsOfInto(scratch, rec, true)
 		}
 		cache.Set(slot, cachedFacts{accepted: rf.accepted, pathHash: rf.pathHash, derived: derivedOf(rf)})
 		return rf, false, specNS
@@ -209,7 +252,7 @@ func cachedExec(cache *pcache.Cache[cachedFacts], prog subject.Program,
 	// slim (they serve re-pops, which are non-deriving too) and
 	// upgrade in place on the rare deriving touch.
 	if rf == nil {
-		rf = factsOf(rec, deriving || decided)
+		rf = factsOfInto(scratch, rec, deriving || decided)
 	}
 	e := cachedFacts{accepted: rf.accepted, pathHash: rf.pathHash}
 	if deriving || decided || rf.accepted {
@@ -219,7 +262,10 @@ func cachedExec(cache *pcache.Cache[cachedFacts], prog subject.Program,
 		// Rejected on the prefix alone: every extension of these d
 		// bytes replays this trace, so the entry matches whole families
 		// of future candidates.
-		cache.PutPrefix(input[:d], e)
+		if cache.PutPrefix(input[:d], e) {
+			hint.stored = true
+			hint.entry = e
+		}
 	} else {
 		// Length-dependent outcome (acceptance or EOF rejection, or a
 		// deciding prefix too long to be worth a probe slot): only a
@@ -230,5 +276,20 @@ func cachedExec(cache *pcache.Cache[cachedFacts], prog subject.Program,
 		// reusing the missed lookup's hash.
 		cache.PutExactAt(slot, e)
 	}
+	hint.ref = slot
+	hint.prevLen = len(input)
 	return rf, false, specNS
 }
+
+// extHint is the lookup state cachedExec carries from a candidate's
+// execution to its extension's (see cachedExec). The zero value is
+// inert; clear resets it to inert, which every consult does — a hint
+// is good for exactly the next call.
+type extHint struct {
+	ref     pcache.Ref  // miss Ref of the previous input's lookup
+	prevLen int         // length of the previous input
+	entry   cachedFacts // prefix entry the previous execution admitted
+	stored  bool        // entry was admitted as a deciding prefix
+}
+
+func (h *extHint) clear() { h.ref = pcache.Ref{}; h.stored = false }

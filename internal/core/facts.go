@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"pfuzzer/internal/trace"
@@ -47,7 +48,15 @@ type runFacts struct {
 // hit after the final comparison — error handling — do not count
 // towards a child's new-coverage score.
 func factsOf(rec *trace.Record, deriving bool) *runFacts {
-	rf := &runFacts{
+	return factsOfInto(new(runFacts), rec, deriving)
+}
+
+// factsOfInto is factsOf distilling into a caller-owned struct — the
+// trajectory passes its per-Fuzzer scratch (see runFactsInto for why
+// that is sound), the speculative workers a fresh struct, since their
+// memo entries outlive the distilling call.
+func factsOfInto(rf *runFacts, rec *trace.Record, deriving bool) *runFacts {
+	*rf = runFacts{
 		input:    rec.Input,
 		accepted: rec.Accepted(),
 		pathHash: rec.PathHash,
@@ -57,7 +66,7 @@ func factsOf(rec *trace.Record, deriving bool) *runFacts {
 		for id := range rec.BlockFirst {
 			rf.blocks = append(rf.blocks, id)
 		}
-		sort.Slice(rf.blocks, func(i, j int) bool { return rf.blocks[i] < rf.blocks[j] })
+		slices.Sort(rf.blocks) // sort.Slice would allocate its closure + swapper per call
 	}
 	if deriving || rf.accepted {
 		rf.stack = rec.AvgStackLastTwo()
@@ -76,11 +85,37 @@ func factsOf(rec *trace.Record, deriving bool) *runFacts {
 				rf.trimmed = append(rf.trimmed, id)
 			}
 		}
-		sort.Slice(rf.trimmed, func(i, j int) bool { return rf.trimmed[i] < rf.trimmed[j] })
-		// ComparisonsAt builds a fresh slice of struct copies whose
-		// byte fields point at per-comparison allocations, so it is
-		// already independent of the sink's reusable buffers.
-		rf.lastComps = rec.ComparisonsAt(rec.LastComparedIndex())
+		slices.Sort(rf.trimmed)
+		// The final-index comparisons are the one piece of the record
+		// the engine retains beyond the execution (candidates alias
+		// their replacement bytes; cache entries store them in derived
+		// facts), while the record's comparison bytes live in the
+		// sink's reusable arena — so copy the selected comparisons out,
+		// with all their byte payloads packed into one fresh blob.
+		last := rec.LastComparedIndex()
+		n, total := 0, 0
+		for i := range rec.Comparisons {
+			if c := &rec.Comparisons[i]; c.Last == last {
+				n++
+				total += len(c.Actual) + len(c.Expected)
+			}
+		}
+		if n > 0 {
+			out := make([]trace.Comparison, 0, n)
+			blob := make([]byte, 0, total)
+			for i := range rec.Comparisons {
+				c := rec.Comparisons[i]
+				if c.Last != last {
+					continue
+				}
+				blob = append(blob, c.Actual...)
+				c.Actual = blob[len(blob)-len(c.Actual) : len(blob) : len(blob)]
+				blob = append(blob, c.Expected...)
+				c.Expected = blob[len(blob)-len(c.Expected) : len(blob) : len(blob)]
+				out = append(out, c)
+			}
+			rf.lastComps = out
+		}
 	}
 	return rf
 }
@@ -251,26 +286,28 @@ func (f *Fuzzer) addChildren(rf *runFacts, depth, parentMineGen int, push func(*
 	pf := &parentFacts{blks: rf.trimmed, stack: rf.stack, path: rf.pathHash}
 	for i := range rf.lastComps {
 		c := &rf.lastComps[i]
-		for _, cand := range f.pick(c) {
-			if c.Matched && len(cand) == len(c.Actual) && string(cand) == string(c.Actual) {
-				continue // no-op substitution
-			}
-			child := substitute(rf.input, c, cand)
-			if len(child) > f.cfg.MaxLen {
-				continue
-			}
-			key := string(child)
-			if _, dup := f.seen[key]; dup {
-				continue
-			}
-			f.seen[key] = struct{}{}
-			push(&candidate{
-				input:       child,
-				replacement: cand,
-				parent:      pf,
-				parents:     depth,
-				mineGen:     childGen,
-			})
+		cand, ok := f.pick(c)
+		if !ok {
+			continue
 		}
+		if c.Matched && len(cand) == len(c.Actual) && string(cand) == string(c.Actual) {
+			continue // no-op substitution
+		}
+		child := substitute(rf.input, c, cand)
+		if len(child) > f.cfg.MaxLen {
+			continue
+		}
+		key := string(child)
+		if _, dup := f.seen[key]; dup {
+			continue
+		}
+		f.seen[key] = struct{}{}
+		push(&candidate{
+			input:       child,
+			replacement: cand,
+			parent:      pf,
+			parents:     depth,
+			mineGen:     childGen,
+		})
 	}
 }

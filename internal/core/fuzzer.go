@@ -119,6 +119,17 @@ type Config struct {
 	// only — results are bit-identical across every value — and is
 	// inert on the serial engine.
 	BatchSize int
+	// SpecDepth sets how many serial-loop iterations the trajectory's
+	// shadow simulator (shadow.go) rolls forward per board publish,
+	// announcing the predicted future executions — next pops' random
+	// extensions, restarts — to the speculative workers on top of the
+	// literal announcements. 0 = default lookahead, negative = off
+	// (the plain one-iteration-ahead pipeline), positive = that many
+	// iterations. Like BatchSize it shapes wall-clock only — results
+	// are bit-identical across every value (a misprediction is an
+	// announcement nobody consumes) — and is inert on the serial
+	// engine.
+	SpecDepth int
 	// Shards is retained for snapshot compatibility with the retired
 	// sharded-queue engine; the speculative engine runs the exact
 	// serial queue and ignores it.
@@ -312,6 +323,8 @@ type Fuzzer struct {
 	sink         trace.Sink                 // serial engine's reusable trace buffers
 	cache        *pcache.Cache[cachedFacts] // prefix-decided execution cache (nil = off)
 	cacheCheckAt int                        // next adaptive-retirement milestone (maybeRetireCache)
+	hint         extHint                    // candidate→extension lookup carry-over (cachedExec)
+	rfScratch    runFacts                   // trajectory's reusable distillation struct (cachedExec)
 
 	vBr    blockSet // blocks covered by valid inputs
 	vbrGen uint64   // bumped on every emitted valid (parentFacts.covGen)
@@ -343,10 +356,15 @@ type Fuzzer struct {
 	hyb          *hybridState // hybrid phase driver (nil until first hybrid step)
 
 	// Serial engine's resumable loop cursor.
-	sStarted bool
-	sInput   []byte     // input to process next
-	sExt     []byte     // its random extension, drawn at pop time
-	sCur     *candidate // candidate sInput was popped as (nil = restart)
+	sStarted  bool
+	sInput    []byte     // input to process next
+	sExt      []byte     // its random extension, drawn at pop time
+	sCur      *candidate // candidate sInput was popped as (nil = restart)
+	sCurScore float64    // score sCur was popped at (shadow re-enqueue base)
+
+	// Shadow-trajectory speculation state (shadow.go); trajectory-only,
+	// lazily built, never campaign-visible.
+	shadow *shadowDraws
 }
 
 // New prepares a fuzzer for prog. A Fuzzer is single-campaign: Run
@@ -522,35 +540,51 @@ func (f *Fuzzer) randChar() byte {
 	return f.cfg.Charset[f.rng.Intn(len(f.cfg.Charset))]
 }
 
-// pick selects the replacement values to try for one comparison:
-// the full literal for equality and strcmp comparisons, one random
-// member different from the actual value for ranges and sets.
-func (f *Fuzzer) pick(c *trace.Comparison) [][]byte {
+// byteLits holds one stable single-byte literal per byte value, so
+// replacement picks for range and set comparisons need no allocation;
+// the slices are read-only by convention (candidates alias them for
+// the life of the campaign).
+var byteLits = func() [256][1]byte {
+	var t [256][1]byte
+	for i := range t {
+		t[i][0] = byte(i)
+	}
+	return t
+}()
+
+// pick selects the replacement value to try for one comparison — the
+// full literal for equality and strcmp comparisons, one random member
+// different from the actual value for ranges and sets — or ok == false
+// when the comparison yields no substitution. Every comparison kind
+// produces at most one candidate, so the return is a single slice, not
+// a list: the old [][]byte wrapper allocated a header array per
+// comparison per deriving run.
+func (f *Fuzzer) pick(c *trace.Comparison) (_ []byte, ok bool) {
 	switch c.Kind {
 	case trace.CmpCharEq, trace.CmpStrEq:
-		return [][]byte{c.Expected}
+		return c.Expected, true
 	case trace.CmpCharRange:
 		if len(c.Expected) != 2 || c.Expected[0] > c.Expected[1] {
-			return nil
+			return nil, false
 		}
 		lo, hi := int(c.Expected[0]), int(c.Expected[1])
 		b := byte(lo + f.rng.Intn(hi-lo+1))
 		if len(c.Actual) == 1 && b == c.Actual[0] && hi > lo {
 			b = byte(lo + (int(b)-lo+1)%(hi-lo+1))
 		}
-		return [][]byte{{b}}
+		return byteLits[b][:], true
 	case trace.CmpCharSet:
 		if len(c.Expected) == 0 {
-			return nil
+			return nil, false
 		}
 		b := c.Expected[f.rng.Intn(len(c.Expected))]
 		if len(c.Actual) == 1 && b == c.Actual[0] && len(c.Expected) > 1 {
 			// Try once more for a different member.
 			b = c.Expected[f.rng.Intn(len(c.Expected))]
 		}
-		return [][]byte{{b}}
+		return byteLits[b][:], true
 	}
-	return nil
+	return nil, false
 }
 
 // substitute replaces the span of comparison c in input with cand.

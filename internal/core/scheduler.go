@@ -42,8 +42,11 @@ func (f *Fuzzer) runParallel() {
 // the speculation board: the pending random extension (certain to run
 // if the current input is rejected — the very next execution) plus up
 // to batchSize top-of-queue candidates (a top-biased sample of
-// upcoming pops; see pqueue.PeekN). One publish per loop iteration is
-// the batched hand-off: workers claim tasks from the board by atomic
+// upcoming pops; see pqueue.PeekN), plus — with SpecDepth enabled —
+// the shadow simulator's predicted future (shadow.go): the random
+// extensions the next SpecDepth pops will draw, which the literal
+// announcements cannot see. One publish per loop iteration is the
+// batched hand-off: workers claim tasks from the board by atomic
 // cursor, so the per-candidate channel send-and-wait of the old
 // executor pool disappears entirely. A no-op on the serial engine.
 func (f *Fuzzer) publishSpec() {
@@ -52,11 +55,27 @@ func (f *Fuzzer) publishSpec() {
 		return
 	}
 	b := f.batchSize()
-	tasks := make([][]byte, 0, b+1)
+	depth := f.specDepth()
+	tasks := make([][]byte, 0, b+1+2*depth)
 	tasks = append(tasks, f.sExt)
-	f.queue.PeekN(b, func(cd *candidate) {
+	var snap []shadowCand
+	if depth > 0 {
+		snap = make([]shadowCand, 0, b+1)
+	}
+	f.queue.PeekNScored(b, func(cd *candidate, score float64) {
 		tasks = append(tasks, cd.input)
+		if depth > 0 {
+			snap = append(snap, shadowCand{
+				input: cd.input,
+				score: score,
+				ord:   len(snap),
+				mined: cd.mineGen > 0 && f.miningActive,
+			})
+		}
 	})
+	if depth > 0 {
+		tasks = f.shadowPredict(tasks, snap, depth)
+	}
 	p.publish(tasks)
 }
 

@@ -63,12 +63,20 @@ func (f *Fuzzer) runSerial() {
 			f.curParents = next.parents
 			f.curMineGen = next.mineGen
 			f.sCur = next
+			f.sCurScore = score
 			if f.cfg.Events != nil {
 				f.emit(Event{Kind: EventPop, Input: f.sInput, Score: score,
 					Execs: f.res.Execs, QueueLen: f.queue.Len()})
 			}
 		}
-		f.sExt = append(append([]byte{}, f.sInput...), f.randChar())
+		// Exact-size allocation (the double-append idiom allocated twice
+		// via growth). The buffer must be fresh, not reused: with the
+		// speculation pool live, workers still hold the previous board's
+		// task bytes.
+		ext := make([]byte, len(f.sInput)+1)
+		copy(ext, f.sInput)
+		ext[len(f.sInput)] = f.randChar()
+		f.sExt = ext
 	}
 }
 
@@ -79,7 +87,7 @@ func (f *Fuzzer) runSerial() {
 func (f *Fuzzer) execFacts(input []byte, deriving bool) *runFacts {
 	f.res.Execs++
 	t0 := time.Now()
-	rf, hit, specNS := cachedExec(f.cache, f.prog, input, deriving, &f.sink, f.spec)
+	rf, hit, specNS := cachedExec(f.cache, f.prog, input, deriving, &f.sink, f.spec, &f.hint, &f.rfScratch)
 	el := time.Since(t0)
 	// A speculatively executed input charges the worker's wall time,
 	// so ExecElapsed keeps meaning "time spent executing subjects"

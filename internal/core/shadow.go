@@ -1,0 +1,245 @@
+package core
+
+import "math/rand"
+
+// This file is the shadow-trajectory speculation source (DESIGN.md
+// §13): a simulator that rolls the Algorithm-1 control flow forward
+// SpecDepth loop iterations *without executing subjects*, so each
+// board publish announces not just the literal next executions (the
+// pending extension and the queue tops, as in the original pipeline)
+// but the trajectory's predicted future — the random extensions of
+// the next several pops, which no one-iteration-ahead scheme can see.
+//
+// The simulator runs on the trajectory goroutine against a cheap
+// deterministic shadow state:
+//
+//   - a draw-counting clone of the campaign RNG stream (shadowDraws):
+//     the campaign's source is already wrapped by countedSource, so
+//     the shadow replays the identical seed into a lookahead buffer
+//     and reads the stream at absolute positions the campaign has not
+//     consumed yet;
+//   - a top-K snapshot of the priority queue (pqueue.PeekNScored) —
+//     values and current heap scores, which during a hybrid mining
+//     burst includes the mined candidates, since they enter the same
+//     queue;
+//   - the serial loop's cursor: the input being processed, its popped
+//     score, and its pending extension.
+//
+// Everything the simulator touches is read-only campaign state or
+// shadow-private; it writes nothing back. Predictions are announced
+// on the same speculation board and flow through the same consume-once
+// memo and claim-by-cursor protocol as the literal announcements, so a
+// misprediction is merely an entry nobody consumes (swept by
+// generation age) — corpus, execution indices, cache counters, retire
+// milestones, snapshots and fingerprints stay bit-identical to the
+// serial engine for any Workers/BatchSize/SpecDepth (spec_test.go,
+// conformance parallel-agreement).
+//
+// What bounds prediction accuracy — honestly: the simulator assumes
+// each simulated iteration is the common case (candidate rejected, no
+// new valid, children enqueued without outranking the snapshot) and
+// that the trajectory consumes exactly one RNG draw per iteration
+// (the extension character). Substitution picks for range and set
+// comparisons (fuzzer.pick) also draw, and how often is a property of
+// the executed input nobody can know without executing — every such
+// draw shifts the stream under later predicted extensions. So
+// prediction quality decays with depth on range/set-heavy subjects,
+// while pop-order predictions (which consume no draws) stay good; the
+// measured value of depth is a bench axis (EXPERIMENTS.md §11), not a
+// promise.
+
+// specDepthDefault is the lookahead used when Config.SpecDepth is 0.
+const specDepthDefault = 8
+
+// specDepth resolves Config.SpecDepth: 0 = default lookahead,
+// negative = shadow simulation off (the PR 6 one-iteration-ahead
+// pipeline), positive = that many simulated iterations.
+func (f *Fuzzer) specDepth() int {
+	switch d := f.cfg.SpecDepth; {
+	case d == 0:
+		return specDepthDefault
+	case d < 0:
+		return 0
+	default:
+		return d
+	}
+}
+
+// shadowDraws is an incrementally synced clone of the campaign's RNG
+// stream. The campaign's countedSource numbers every Int63 draw;
+// shadowDraws replays the same seed into a sliding buffer over
+// absolute draw positions, so the simulator can read draws the
+// campaign has not made yet, any number of times, without touching
+// the campaign's stream. Sync cost per publish is O(draws consumed
+// since the last publish + lookahead window), a few dozen nanoseconds
+// against a subject execution.
+type shadowDraws struct {
+	src  rand.Source
+	next uint64  // draws taken from src so far; buf covers [next-len(buf), next)
+	buf  []int64 // lookahead window of raw Int63 values
+}
+
+func newShadowDraws(seed int64) *shadowDraws {
+	// The clone must replay the campaign stream bit-for-bit, so it is
+	// necessarily the same PRNG construction countedSource wraps.
+	//pdlint:ignore enginerand -- read-only shadow clone of the campaign stream; never draws on behalf of the campaign (see countedSource)
+	return &shadowDraws{src: rand.NewSource(seed)}
+}
+
+// at returns the raw Int63 value at absolute draw position i, drawing
+// the source forward (into the buffer) as needed.
+func (s *shadowDraws) at(i uint64) int64 {
+	for s.next <= i {
+		//pdlint:ignore enginerand -- shadow clone's own source; the campaign stream and its draw counter are untouched
+		s.buf = append(s.buf, s.src.Int63())
+		s.next++
+	}
+	start := s.next - uint64(len(s.buf))
+	return s.buf[i-start]
+}
+
+// discard drops buffered draws below abs — positions the campaign has
+// consumed and can never re-read. Positions not yet drawn are
+// fast-forwarded over without buffering (this is how a restored
+// campaign's shadow catches up to the replayed stream position).
+func (s *shadowDraws) discard(abs uint64) {
+	start := s.next - uint64(len(s.buf))
+	if abs <= start {
+		return
+	}
+	if abs >= s.next {
+		for s.next < abs {
+			//pdlint:ignore enginerand -- shadow clone's own source; the campaign stream and its draw counter are untouched
+			s.src.Int63()
+			s.next++
+		}
+		s.buf = s.buf[:0]
+		return
+	}
+	s.buf = append(s.buf[:0], s.buf[abs-start:]...)
+}
+
+// shadowCursor reads the shadow stream forward from one absolute
+// position, replicating exactly the derivations rand.Rand performs on
+// the campaign's stream — countedSource implements only rand.Source,
+// so every campaign value derives from Int63 alone, and Intn's
+// rejection loop below is math/rand's Int31n bit for bit.
+type shadowCursor struct {
+	s   *shadowDraws
+	pos uint64
+}
+
+func (c *shadowCursor) int63() int64 { v := c.s.at(c.pos); c.pos++; return v }
+
+func (c *shadowCursor) int31() int32 { return int32(c.int63() >> 32) }
+
+// intn mirrors rand.Rand.Intn for 0 < n < 1<<31 (the only range the
+// campaign uses: charset indices and comparison-member picks).
+func (c *shadowCursor) intn(n int) int {
+	if n&(n-1) == 0 { // n is a power of two
+		return int(c.int31() & int32(n-1))
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	v := c.int31()
+	for v > max {
+		v = c.int31()
+	}
+	return int(v % int32(n))
+}
+
+// randChar mirrors Fuzzer.randChar on the shadow stream.
+func (c *shadowCursor) randChar(charset []byte) byte {
+	return charset[c.intn(len(charset))]
+}
+
+// shadowCand is one simulated queue entry: enough of candidate to
+// predict pop order and retry decay, never aliased back into the
+// engine.
+type shadowCand struct {
+	input []byte
+	score float64
+	ord   int  // snapshot position, the seq-order stand-in for ties
+	mined bool // mined lineage under an active mining burst (retry decay)
+}
+
+// shadowPredict simulates depth iterations of the serial loop and
+// appends the predicted executions to tasks. Called from publishSpec
+// with the board snapshot already holding the literal announcements
+// (pending extension + queue tops), so the simulator adds exactly the
+// inputs those cannot see: the random extensions of the next depth
+// pops, restart inputs when the simulated queue runs dry, and — with
+// the execution cache off or retired, where a re-popped input really
+// re-executes — the re-popped inputs themselves.
+func (f *Fuzzer) shadowPredict(tasks [][]byte, snap []shadowCand, depth int) [][]byte {
+	if f.shadow == nil {
+		f.shadow = newShadowDraws(f.cfg.Seed)
+	}
+	f.shadow.discard(f.cs.draws)
+	cur := shadowCursor{s: f.shadow, pos: f.cs.draws}
+
+	// The retry decay a re-enqueued candidate's score takes before the
+	// next pop re-scores it (score terms other than retries are frozen
+	// in the common case the simulator assumes).
+	decay := func(mined bool) float64 {
+		if mined {
+			return mineRetryDecay
+		}
+		return 2
+	}
+	cachedRepops := f.cache != nil && !f.cache.Retired()
+
+	// The simulated holding of the loop cursor: the input the
+	// trajectory is processing right now re-enqueues with one retry's
+	// decay before the first simulated pop.
+	sim := snap
+	if f.sCur != nil {
+		sim = append(sim, shadowCand{
+			input: f.sCur.input,
+			score: f.sCurScore - decay(f.sCur.mineGen > 0 && f.miningActive),
+			ord:   len(snap),
+			mined: f.sCur.mineGen > 0 && f.miningActive,
+		})
+	}
+
+	for d := 0; d < depth; d++ {
+		// Pop the simulated maximum by the queue's order: score
+		// descending, then snapshot position ascending as the stand-in
+		// for insertion sequence.
+		best := -1
+		for i := range sim {
+			if sim[i].input == nil {
+				continue
+			}
+			if best < 0 || sim[i].score > sim[best].score ||
+				(sim[i].score == sim[best].score && sim[i].ord < sim[best].ord) {
+				best = i
+			}
+		}
+		var input []byte
+		if best < 0 {
+			// Queue exhausted: the trajectory restarts from one fresh
+			// random character (one draw), then draws the extension.
+			input = []byte{cur.randChar(f.cfg.Charset)}
+			tasks = append(tasks, input)
+		} else {
+			input = sim[best].input
+			if !cachedRepops && d > 0 {
+				// Without the cache a re-pop re-executes its input for
+				// real; the literal board announced the first round of
+				// pops already (d == 0), deeper ones are news.
+				tasks = append(tasks, input)
+			}
+			// Re-enqueue with the retry decay, as the real loop will.
+			sim[best].score -= decay(sim[best].mined)
+		}
+		// The predicted next execution no one-iteration scheme sees:
+		// the popped input's random extension (one draw — assuming the
+		// intervening addChildren makes no range/set picks; see the
+		// file comment for the honest accuracy bound).
+		ext := make([]byte, len(input)+1)
+		copy(ext, input)
+		ext[len(input)] = cur.randChar(f.cfg.Charset)
+		tasks = append(tasks, ext)
+	}
+	return tasks
+}

@@ -47,6 +47,7 @@ type SavedConfig struct {
 	Cache         int      `json:"cache,omitempty"`
 	Workers       int      `json:"workers,omitempty"`
 	BatchSize     int      `json:"batch_size,omitempty"`
+	SpecDepth     int      `json:"spec_depth,omitempty"`
 	Shards        int      `json:"shards,omitempty"`
 	Generation    int      `json:"generation,omitempty"`
 	MinePhase     bool     `json:"mine_phase,omitempty"`
@@ -69,7 +70,7 @@ func savedConfig(c *Config) SavedConfig {
 		Seed: c.Seed, MaxExecs: c.MaxExecs, MaxValids: c.MaxValids,
 		MaxLen: c.MaxLen, MaxQueue: c.MaxQueue, Charset: c.Charset,
 		DeadlineNS: int64(c.Deadline), Cache: int(c.Cache),
-		Workers: c.Workers, BatchSize: c.BatchSize, Shards: c.Shards,
+		Workers: c.Workers, BatchSize: c.BatchSize, SpecDepth: c.SpecDepth, Shards: c.Shards,
 		Generation: c.Generation, MinePhase: c.MinePhase, MineBudget: c.MineBudget,
 		MineMaxTokens: c.MineMaxTokens, MineCadence: c.MineCadence, MineSeeds: c.MineSeeds,
 		NoLengthTerm: c.NoLengthTerm, NoReplacementBonus: c.NoReplacementBonus,
@@ -83,7 +84,7 @@ func (sc *SavedConfig) config() Config {
 		Seed: sc.Seed, MaxExecs: sc.MaxExecs, MaxValids: sc.MaxValids,
 		MaxLen: sc.MaxLen, MaxQueue: sc.MaxQueue, Charset: sc.Charset,
 		Deadline: time.Duration(sc.DeadlineNS), Cache: CacheMode(sc.Cache),
-		Workers: sc.Workers, BatchSize: sc.BatchSize, Shards: sc.Shards,
+		Workers: sc.Workers, BatchSize: sc.BatchSize, SpecDepth: sc.SpecDepth, Shards: sc.Shards,
 		Generation: sc.Generation, MinePhase: sc.MinePhase, MineBudget: sc.MineBudget,
 		MineMaxTokens: sc.MineMaxTokens, MineCadence: sc.MineCadence, MineSeeds: sc.MineSeeds,
 		NoLengthTerm: sc.NoLengthTerm, NoReplacementBonus: sc.NoReplacementBonus,
@@ -280,7 +281,10 @@ func (c *Campaign) Snapshot() *Snapshot {
 		s.Queue = append(s.Queue, snapCandidate(it.Value, it.Score, -1))
 	}
 	if f.sCur != nil {
-		sc := snapCandidate(f.sCur, 0, -1)
+		// The popped score rides along so a restored campaign's shadow
+		// simulator re-enqueues the cursor from the same base (it never
+		// affects what the campaign computes, only prediction quality).
+		sc := snapCandidate(f.sCur, f.sCurScore, -1)
 		s.SCur = &sc
 	}
 	if f.hyb != nil {
@@ -400,6 +404,7 @@ func Restore(prog subject.Program, cfg Config, s *Snapshot) (*Campaign, error) {
 	f.curMineGen = s.CurMineGen
 	if s.SCur != nil {
 		f.sCur = s.SCur.candidate()
+		f.sCurScore = s.SCur.Score
 	}
 
 	// Every candidate restores into the exact queue in snapshot order.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 
 	"pfuzzer/internal/subjects/cjson"
@@ -114,5 +115,98 @@ func TestSpecDiagnostics(t *testing.T) {
 	serial := New(expr.New(), Config{Seed: 42, MaxExecs: 3000, Workers: 1}).Run()
 	if serial.SpecExecs != 0 || serial.SpecHits != 0 {
 		t.Errorf("serial campaign reports speculation (%d execs, %d hits)", serial.SpecExecs, serial.SpecHits)
+	}
+}
+
+// TestSpecDepthInvariant pins the shadow simulator's determinism knob,
+// mirroring TestBatchSizeInvariant: SpecDepth shapes only how far
+// ahead the trajectory's future is predicted (and therefore how much
+// the workers prefetch), never the trajectory itself, so results are
+// bit-identical across depths — off, default, shallow and deep — on
+// the serial engine (where the knob is inert) and on the concurrent
+// engine alike. The cache counters are compared too: a prediction that
+// admitted an execution the serial schedule wouldn't run would distort
+// them before it distorted the corpus.
+func TestSpecDepthInvariant(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var want *Result
+		for i, depth := range []int{-1, 0, 1, 4, 16} {
+			res := New(expr.New(), Config{Seed: 42, MaxExecs: 3000, Workers: workers, SpecDepth: depth}).Run()
+			if i == 0 {
+				want = res
+				continue
+			}
+			if got, ref := res.Fingerprint(), want.Fingerprint(); got != ref {
+				t.Errorf("workers=%d spec-depth=%d fingerprint %#x, want %#x", workers, depth, got, ref)
+			}
+			if res.CacheHits != want.CacheHits || res.CacheMisses != want.CacheMisses {
+				t.Errorf("workers=%d spec-depth=%d cache counters (%d hits, %d misses), want (%d, %d)",
+					workers, depth, res.CacheHits, res.CacheMisses, want.CacheHits, want.CacheMisses)
+			}
+		}
+	}
+}
+
+// TestShadowCursorMatchesRand pins the shadow RNG clone bit-for-bit
+// against the campaign's real stream: a shadowCursor positioned at the
+// campaign's draw counter must predict exactly the values rand.Rand
+// will produce from the countedSource — including Intn's rejection
+// loop and power-of-two fast path — for the prediction of extension
+// characters to ever land. The ns mix power-of-two and odd moduli, and
+// the cursor predicts each value BEFORE the campaign stream draws it,
+// with periodic discards mimicking the per-publish sync.
+func TestShadowCursorMatchesRand(t *testing.T) {
+	const seed = 99
+	cs := &countedSource{src: rand.NewSource(seed)}
+	rng := rand.New(cs)
+	sh := newShadowDraws(seed)
+	ns := []int{98, 3, 16, 255, 7, 1 << 20, 2, 97, 1, 12345}
+	for i := 0; i < 5000; i++ {
+		n := ns[i%len(ns)]
+		sh.discard(cs.draws)
+		cur := shadowCursor{s: sh, pos: cs.draws}
+		predicted := cur.intn(n)
+		if got := rng.Intn(n); got != predicted {
+			t.Fatalf("draw %d: Intn(%d) = %d, shadow predicted %d", i, n, got, predicted)
+		}
+		if cs.draws != cur.pos {
+			t.Fatalf("draw %d: campaign consumed %d draws, shadow accounted %d", i, cs.draws, cur.pos)
+		}
+	}
+}
+
+// TestShadowPredictIsReadOnly pins the conformance property behind
+// every invariant above: the simulator reads campaign state and writes
+// none of it — same draw counter, same queue, and identical output on
+// a repeated call — so a prediction can never admit an execution (or
+// any state transition) the serial schedule wouldn't make; a wrong
+// prediction is merely an announcement nobody consumes.
+func TestShadowPredictIsReadOnly(t *testing.T) {
+	f := New(expr.New(), Config{Seed: 5, MaxExecs: 400})
+	f.Run() // populate queue, cursor and RNG position mid-search state
+	snap := func() []shadowCand {
+		var s []shadowCand
+		f.queue.PeekNScored(8, func(cd *candidate, score float64) {
+			s = append(s, shadowCand{input: cd.input, score: score, ord: len(s)})
+		})
+		return s
+	}
+	drawsBefore, queueBefore := f.cs.draws, f.queue.Len()
+	first := f.shadowPredict(nil, snap(), 16)
+	second := f.shadowPredict(nil, snap(), 16)
+	if len(first) == 0 {
+		t.Fatal("depth-16 prediction produced no tasks")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("repeated prediction sized %d, then %d", len(first), len(second))
+	}
+	for i := range first {
+		if string(first[i]) != string(second[i]) {
+			t.Fatalf("task %d: %q, then %q", i, first[i], second[i])
+		}
+	}
+	if f.cs.draws != drawsBefore || f.queue.Len() != queueBefore {
+		t.Fatalf("prediction mutated campaign state: draws %d->%d, queue %d->%d",
+			drawsBefore, f.cs.draws, queueBefore, f.queue.Len())
 	}
 }

@@ -231,12 +231,19 @@ func (c *Cache[V]) lookup(k key) (V, bool) {
 // addresses the entry that answered, so a caller holding richer facts
 // for the same bytes can upgrade it in place with Set; after a miss
 // it addresses the input's (absent) exact slot, so PutExactAt can
-// admit the fresh outcome without re-hashing the input. The zero Ref
-// is inert in both.
+// admit the fresh outcome without re-hashing the input — and it
+// additionally carries the rolling-hash state at the input's end, so
+// GetExt can probe an extension of the same input without repeating
+// the pass over the shared prefix. The zero Ref is inert everywhere.
 type Ref struct {
 	k  key
+	n  int  // input length the hash state covers (miss Refs only)
 	ok bool // an entry exists at k
 }
+
+// Missed reports whether r is the resumable miss Ref of a completed
+// lookup (as opposed to a hit Ref or the zero Ref of a retired cache).
+func (r Ref) Missed() bool { return !r.ok && r.k != (key{}) }
 
 // Get returns the memoised value for input: the value of the shortest
 // stored deciding prefix of input, or failing that the input's exact
@@ -271,7 +278,54 @@ func (c *Cache[V]) Get(input []byte) (V, Ref, bool) {
 		}
 	}
 	var zero V
-	return zero, Ref{k: k}, false
+	return zero, Ref{k: k, n: len(input)}, false
+}
+
+// GetExt is Get for an extension of a previously missed input: r must
+// be the miss Ref of a lookup over some byte string p, and tail the
+// bytes appended to p. The rolling pass resumes from r's hash state,
+// so only tail's bytes are hashed — for the engines' candidate →
+// candidate+char probe sequence that is one step instead of a second
+// full pass over the candidate.
+//
+// Soundness requires what Get's contract already promises plus one
+// caller-side guarantee: no prefix entry of length ≤ len(p) may have
+// been admitted since the lookup that produced r. Under that guarantee
+// the skipped probes are all repeats of probes the original lookup
+// already saw miss, so GetExt's answer — value, hit flag, and returned
+// miss Ref — is bit-identical to Get(p+tail)'s. The campaign engines
+// hold the guarantee structurally: all admissions happen on the
+// trajectory goroutine, and the only admission between a candidate's
+// lookup and its extension's is the candidate's own outcome, whose
+// prefix form is handled separately (core's extension hint) and whose
+// exact form lives in the tagged tier GetExt never probes for prefix
+// lengths.
+func (c *Cache[V]) GetExt(r Ref, tail []byte) (V, Ref, bool) {
+	if c.retired.Load() || !r.Missed() {
+		var zero V
+		return zero, Ref{}, false
+	}
+	h1, h2 := r.k[0], r.k[1]^exactTag
+	n := r.n
+	for i := 0; i < len(tail); i++ {
+		h1, h2 = step(h1, h2, tail[i])
+		n++
+		if c.lens.test(n) {
+			if k := (key{h1, h2}); c.mayContain(k) {
+				if v, ok := c.lookup(k); ok {
+					return v, Ref{k: k, ok: true}, true
+				}
+			}
+		}
+	}
+	k := key{h1, h2 ^ exactTag}
+	if c.mayContain(k) {
+		if v, ok := c.lookup(k); ok {
+			return v, Ref{k: k, ok: true}, true
+		}
+	}
+	var zero V
+	return zero, Ref{k: k, n: n}, false
 }
 
 // Set overwrites the entry r addresses (a no-op for the zero Ref or a

@@ -1,0 +1,53 @@
+package pcache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Probe-path allocation benchmarks: Get's rolling pass is on the
+// trajectory's critical path twice per loop iteration (candidate and
+// extension), so it must stay allocation-free in the steady state.
+
+func benchInputs(n, maxLen int) [][]byte {
+	rng := rand.New(rand.NewSource(1))
+	in := make([][]byte, n)
+	for i := range in {
+		b := make([]byte, 1+rng.Intn(maxLen))
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		in[i] = b
+	}
+	return in
+}
+
+func BenchmarkProbeMiss(b *testing.B) {
+	c := New[int](0)
+	inputs := benchInputs(512, 48)
+	for i, in := range inputs[:256] {
+		n := 1 + i%8
+		if n > len(in) {
+			n = len(in)
+		}
+		c.PutPrefix(in[:n], i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(inputs[256+i%256])
+	}
+}
+
+func BenchmarkProbeHit(b *testing.B) {
+	c := New[int](0)
+	inputs := benchInputs(256, 48)
+	for i, in := range inputs {
+		c.PutExact(in, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(inputs[i%256])
+	}
+}

@@ -1,0 +1,75 @@
+package pcache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGetExtMatchesGet pins GetExt's contract: resumed from the miss
+// Ref of a Get over p, a GetExt with tail answers bit-identically to a
+// full Get over p+tail — same value, same verdict, and a miss Ref that
+// admits the same exact entry — provided no prefix entry of length
+// ≤ len(p) was admitted in between. The driver mimics the engine's
+// candidate → extension probe sequence, including the candidate's own
+// admissions between the two lookups.
+func TestGetExtMatchesGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := New[int](0)
+	alphabet := []byte("abc")
+	next := 0
+	for iter := 0; iter < 5000; iter++ {
+		p := make([]byte, rng.Intn(12))
+		for i := range p {
+			p[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		_, ref, ok := c.Get(p)
+		if ok {
+			continue // engine would consume the hit; no extension probe
+		}
+		// The candidate's own admission: an exact entry, or — mimicking
+		// the maxDecidedPrefix path — a deciding prefix, in which case
+		// the engine's hint short-circuit answers the extension and
+		// GetExt is not consulted.
+		admittedPrefix := false
+		switch rng.Intn(3) {
+		case 0:
+			c.PutExactAt(ref, next)
+			next++
+		case 1:
+			d := rng.Intn(len(p) + 1)
+			admittedPrefix = c.PutPrefix(p[:d], next)
+			next++
+		}
+		tail := []byte{alphabet[rng.Intn(len(alphabet))]}
+		ext := append(append([]byte{}, p...), tail...)
+		wantV, wantRef, wantOK := c.Get(ext)
+		if admittedPrefix {
+			continue
+		}
+		gotV, gotRef, gotOK := c.GetExt(ref, tail)
+		if gotOK != wantOK || gotV != wantV || gotRef != wantRef {
+			t.Fatalf("iter %d: GetExt(%q + %q) = (%v, %+v, %v), Get = (%v, %+v, %v)",
+				iter, p, tail, gotV, gotRef, gotOK, wantV, wantRef, wantOK)
+		}
+		// The returned miss Ref must admit the extension's exact entry
+		// exactly as Get's would.
+		if !gotOK && rng.Intn(2) == 0 {
+			c.PutExactAt(gotRef, next)
+			next++
+			if v, _, ok := c.Get(ext); !ok || v != next-1 {
+				t.Fatalf("iter %d: exact entry admitted via GetExt ref not found (ok=%v v=%d)", iter, ok, v)
+			}
+		}
+	}
+}
+
+// TestGetExtRetired pins the retired behaviour: like Get, a GetExt on
+// a retired cache is an instant miss with the zero (inert) Ref.
+func TestGetExtRetired(t *testing.T) {
+	c := New[int](0)
+	_, ref, _ := c.Get([]byte("abc"))
+	c.Retire()
+	if _, r, ok := c.GetExt(ref, []byte("d")); ok || r.Missed() {
+		t.Fatalf("retired GetExt = (%+v, %v), want inert miss", r, ok)
+	}
+}

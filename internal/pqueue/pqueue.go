@@ -6,17 +6,25 @@
 // arrives ("all remaining inputs in the queue have to be re-evaluated
 // in terms of coverage", §3.2) and a size bound that discards the
 // worst entries.
+//
+// The heap is hand-rolled rather than built on container/heap: the
+// standard interface moves entries through `any`, which boxes every
+// Push/Pop value — two heap allocations per queue operation on the
+// campaign trajectory's hot loop. The sift routines below work on the
+// typed slice directly and allocate nothing. Because the ordering
+// (score descending, insertion sequence ascending) is a strict total
+// order — sequence numbers are unique — the pop sequence is a pure
+// function of the queued (score, seq) pairs, independent of internal
+// array layout, so replacing the heap implementation cannot change
+// any campaign's observable behaviour.
 package pqueue
 
-import (
-	"container/heap"
-	"sort"
-)
+import "sort"
 
 // Queue is a max-priority queue of values of type T. The zero value is
 // ready to use.
 type Queue[T any] struct {
-	h   inner[T]
+	h   []entry[T]
 	seq uint64
 }
 
@@ -26,27 +34,51 @@ type entry[T any] struct {
 	value T
 }
 
-type inner[T any] []entry[T]
-
-func (h inner[T]) Len() int { return len(h) }
-
-func (h inner[T]) Less(i, j int) bool {
-	if h[i].score != h[j].score {
-		return h[i].score > h[j].score
+// less orders the heap: higher score first, FIFO among equals.
+func (q *Queue[T]) less(i, j int) bool {
+	if q.h[i].score != q.h[j].score {
+		return q.h[i].score > q.h[j].score
 	}
-	return h[i].seq < h[j].seq // FIFO among equals
+	return q.h[i].seq < q.h[j].seq
 }
 
-func (h inner[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// up restores the heap property from index i toward the root.
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
 
-func (h *inner[T]) Push(x any) { *h = append(*h, x.(entry[T])) }
+// down restores the heap property from index i toward the leaves.
+func (q *Queue[T]) down(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && q.less(r, l) {
+			best = r
+		}
+		if !q.less(best, i) {
+			return
+		}
+		q.h[i], q.h[best] = q.h[best], q.h[i]
+		i = best
+	}
+}
 
-func (h *inner[T]) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// heapify rebuilds the heap property over the whole slice.
+func (q *Queue[T]) heapify() {
+	for i := len(q.h)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
 }
 
 // Len returns the number of queued values.
@@ -55,7 +87,8 @@ func (q *Queue[T]) Len() int { return len(q.h) }
 // Push inserts v with the given score.
 func (q *Queue[T]) Push(v T, score float64) {
 	q.seq++
-	heap.Push(&q.h, entry[T]{score: score, seq: q.seq, value: v})
+	q.h = append(q.h, entry[T]{score: score, seq: q.seq, value: v})
+	q.up(len(q.h) - 1)
 }
 
 // Pop removes and returns the highest-scored value. Among equal scores
@@ -65,7 +98,12 @@ func (q *Queue[T]) Pop() (T, float64, bool) {
 		var zero T
 		return zero, 0, false
 	}
-	e := heap.Pop(&q.h).(entry[T])
+	e := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = entry[T]{} // release the value for GC
+	q.h = q.h[:n]
+	q.down(0)
 	return e.value, e.score, true
 }
 
@@ -109,7 +147,7 @@ func (q *Queue[T]) Reorder(rescore func(T) float64) {
 	for i := range q.h {
 		q.h[i].score = rescore(q.h[i].value)
 	}
-	heap.Init(&q.h)
+	q.heapify()
 }
 
 // ReorderWith is Reorder with the re-scoring pass handed to pfor, a
@@ -132,7 +170,7 @@ func (q *Queue[T]) ReorderWith(rescore func(T) float64, pfor func(n int, each fu
 			q.h[i].score = rescore(q.h[i].value)
 		}
 	})
-	heap.Init(&q.h)
+	q.heapify()
 }
 
 // PeekN calls visit on up to n queued values without removing them,
@@ -147,6 +185,19 @@ func (q *Queue[T]) PeekN(n int, visit func(T)) {
 	}
 	for i := 0; i < n; i++ {
 		visit(q.h[i].value)
+	}
+}
+
+// PeekNScored is PeekN with each value's current heap score — the
+// shadow-trajectory simulator's queue snapshot (core/shadow.go), which
+// needs the scores to predict future pop order without touching the
+// engine's scoring state.
+func (q *Queue[T]) PeekNScored(n int, visit func(T, float64)) {
+	if n > len(q.h) {
+		n = len(q.h)
+	}
+	for i := 0; i < n; i++ {
+		visit(q.h[i].value, q.h[i].score)
 	}
 }
 
@@ -179,10 +230,15 @@ func (q *Queue[T]) Prune(max int) {
 		return
 	}
 	// Extract the best max entries; O(max log n).
-	kept := make(inner[T], 0, max)
+	kept := make([]entry[T], 0, max)
 	for i := 0; i < max; i++ {
-		kept = append(kept, heap.Pop(&q.h).(entry[T]))
+		kept = append(kept, q.h[0])
+		n := len(q.h) - 1
+		q.h[0] = q.h[n]
+		q.h[n] = entry[T]{}
+		q.h = q.h[:n]
+		q.down(0)
 	}
 	q.h = kept
-	heap.Init(&q.h)
+	q.heapify()
 }

@@ -137,6 +137,7 @@ type Tracer struct {
 	comps  []Comparison
 	eofs   []EOFAccess
 	blocks []BlockHit
+	bytes  []byte // arena backing the comparisons' Actual/Expected
 
 	blockSet  map[uint32]int // block ID -> seq of first hit
 	pathHash  uint64
@@ -173,14 +174,19 @@ func New(input []byte, opts Options) *Tracer {
 // trace collection per-worker with zero shared state.
 //
 // A Sink must not be used by two Tracers at the same time: the Record
-// produced by Finish aliases the sink's buffers and is valid only
-// until the sink's next New call. Callers that need run facts beyond
-// that point must copy them out first.
+// produced by Finish aliases the sink's buffers — including every
+// Comparison's Actual/Expected bytes, which live in the sink's arena,
+// and the *Record itself, which is stored in the sink — and is valid
+// only until the sink's next New call. Callers that need run facts
+// beyond that point must copy them out first (the engine's factsOf
+// deep-copies the comparison bytes it keeps).
 type Sink struct {
 	tracer   Tracer
+	rec      Record
 	comps    []Comparison
 	eofs     []EOFAccess
 	blocks   []BlockHit
+	bytes    []byte
 	blockSet map[uint32]int
 	edges    []byte
 }
@@ -195,6 +201,7 @@ func (s *Sink) New(input []byte, opts Options) *Tracer {
 		comps:     s.comps[:0],
 		eofs:      s.eofs[:0],
 		blocks:    s.blocks[:0],
+		bytes:     s.bytes[:0],
 		pathHash:  fnvOffset,
 		maxAccess: -1,
 	}
@@ -249,6 +256,31 @@ func (t *Tracer) At(i int) (taint.Char, bool) {
 	return taint.Char{B: t.input[i], Origin: i}, true
 }
 
+// The arena helpers append comparison payload bytes to the tracer's
+// reusable byte buffer and return a capacity-capped view. A later
+// append may grow (reallocate) the buffer, but previously returned
+// views keep pointing into the old backing array, so they stay valid;
+// only the *next* execution's New call recycles the memory. Before the
+// arena, every recorded comparison allocated its Actual and Expected
+// slices individually — the dominant per-exec allocation source on
+// comparison-dense subjects.
+
+func (t *Tracer) arena1(b byte) []byte {
+	t.bytes = append(t.bytes, b)
+	return t.bytes[len(t.bytes)-1 : len(t.bytes) : len(t.bytes)]
+}
+
+func (t *Tracer) arena2(a, b byte) []byte {
+	t.bytes = append(t.bytes, a, b)
+	return t.bytes[len(t.bytes)-2 : len(t.bytes) : len(t.bytes)]
+}
+
+func (t *Tracer) arenaStr(s string) []byte {
+	n := len(t.bytes)
+	t.bytes = append(t.bytes, s...)
+	return t.bytes[n : n+len(s) : n+len(s)]
+}
+
 // record appends a comparison if recording is enabled and within bounds.
 func (t *Tracer) record(c Comparison) {
 	if !t.opts.Comparisons {
@@ -272,8 +304,8 @@ func (t *Tracer) CharEq(c taint.Char, want byte) bool {
 			Kind:     CmpCharEq,
 			Index:    c.Origin,
 			Last:     c.Origin,
-			Actual:   []byte{c.B},
-			Expected: []byte{want},
+			Actual:   t.arena1(c.B),
+			Expected: t.arena1(want),
 			Matched:  ok,
 		})
 	}
@@ -289,8 +321,8 @@ func (t *Tracer) CharRange(c taint.Char, lo, hi byte) bool {
 			Kind:     CmpCharRange,
 			Index:    c.Origin,
 			Last:     c.Origin,
-			Actual:   []byte{c.B},
-			Expected: []byte{lo, hi},
+			Actual:   t.arena1(c.B),
+			Expected: t.arena2(lo, hi),
 			Matched:  ok,
 		})
 	}
@@ -312,8 +344,8 @@ func (t *Tracer) CharSet(c taint.Char, set string) bool {
 			Kind:     CmpCharSet,
 			Index:    c.Origin,
 			Last:     c.Origin,
-			Actual:   []byte{c.B},
-			Expected: []byte(set),
+			Actual:   t.arena1(c.B),
+			Expected: t.arenaStr(set),
 			Matched:  ok,
 		})
 	}
@@ -326,15 +358,29 @@ func (t *Tracer) CharSet(c taint.Char, set string) bool {
 // span start is what lets the fuzzer synthesize keywords (paper §6.2,
 // AFL-CTP discussion).
 func (t *Tracer) StrEq(s taint.String, want string) bool {
-	ok := s.Text() == want
+	// Compare in place rather than via s.Text(), which would allocate a
+	// byte slice and a string per call on the subject's hot path.
+	ok := len(s) == len(want)
+	if ok {
+		for i := range s {
+			if s[i].B != want[i] {
+				ok = false
+				break
+			}
+		}
+	}
 	if first := s.FirstOrigin(); first != taint.NoOrigin {
 		last := s.LastOrigin()
+		n := len(t.bytes)
+		for i := range s {
+			t.bytes = append(t.bytes, s[i].B)
+		}
 		t.record(Comparison{
 			Kind:     CmpStrEq,
 			Index:    first,
 			Last:     last,
-			Actual:   s.Bytes(),
-			Expected: []byte(want),
+			Actual:   t.bytes[n : n+len(s) : n+len(s)],
+			Expected: t.arenaStr(want),
 			Matched:  ok,
 		})
 	}
@@ -428,17 +474,18 @@ type Record struct {
 	Decided int
 }
 
-// Finish seals the tracer into a Record with exit status exit. A
-// Record produced by a sink-backed Tracer aliases the sink's buffers
-// and is valid only until the sink's next New call.
+// Finish seals the tracer into a Record with exit status exit. The
+// Record lives in the tracer's sink and aliases the sink's buffers:
+// both are valid only until the sink's next New call. (Records from
+// trace.New stay valid indefinitely — their single-use sink is never
+// reused.)
 func (t *Tracer) Finish(exit int) *Record {
-	if t.sink != nil {
-		// Hand the possibly grown slices back so the sink retains
-		// their capacity for the next execution.
-		t.sink.comps = t.comps
-		t.sink.eofs = t.eofs
-		t.sink.blocks = t.blocks
-	}
+	// Hand the possibly grown slices back so the sink retains their
+	// capacity for the next execution.
+	t.sink.comps = t.comps
+	t.sink.eofs = t.eofs
+	t.sink.blocks = t.blocks
+	t.sink.bytes = t.bytes
 	// A rejection is prefix-decided when the parser never probed past
 	// the end of the input (an EOF access means the verdict hinged on
 	// where the input stops, not on what it holds) and either never
@@ -453,7 +500,12 @@ func (t *Tracer) Finish(exit int) *Record {
 	if exit != 0 && !t.eofSeen && (!t.lenUsed || t.maxAccess+1 == len(t.input)) {
 		decided = t.maxAccess + 1
 	}
-	return &Record{
+	// The Record is sink-owned like every other per-execution buffer:
+	// returning &sink.rec instead of a fresh allocation saves one heap
+	// object per execution, and tightens no contract — the record
+	// already aliased the sink's slices, so its lifetime was bounded by
+	// the next New call regardless.
+	t.sink.rec = Record{
 		Input:       t.input,
 		Exit:        exit,
 		Comparisons: t.comps,
@@ -465,6 +517,7 @@ func (t *Tracer) Finish(exit int) *Record {
 		MaxDepth:    t.maxDepth,
 		Decided:     decided,
 	}
+	return &t.sink.rec
 }
 
 // Accepted reports whether the execution accepted the input as valid.
