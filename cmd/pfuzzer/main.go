@@ -7,7 +7,7 @@
 //	pfuzzer -subject cjson [-execs 100000] [-seed 1] [-workers 4]
 //	        [-batch n] [-spec-depth n] [-quiet] [-cache=false] [-mine]
 //	        [-mine-budget n] [-mine-tokens n] [-mine-cadence n] [-out file]
-//	        [-resume file] [-snap-every n] [-mine-from file]
+//	        [-resume file] [-snap-every n] [-mine-from file] [-shim bin]
 //	pfuzzer -list
 //
 // Subjects: ini, csv, cjson, tinyc, mjs, expr, paren, urlp, sexpr,
@@ -33,18 +33,34 @@
 // run's corpus at the same total budget. -mine-from seeds the -mine
 // grammar from a previously saved corpus without resuming it — the
 // §7.4 chain (fuzz, mine, generate) across process restarts.
+//
+// -shim drives the subject out of process through a child binary
+// speaking the shim protocol (DESIGN.md §14) — cmd/pshim serves every
+// built-in subject that way. Child crashes and hangs become
+// recoverable per-execution outcomes instead of campaign aborts; the
+// summary reports what was lost.
+//
+// SIGINT or SIGTERM interrupts the campaign gracefully: the current
+// slice finishes, a final snapshot lands in the journal, the summary
+// prints, shim children are killed, and pfuzzer exits 130. A second
+// signal forces immediate exit.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"pfuzzer/internal/core"
 	"pfuzzer/internal/corpus"
 	"pfuzzer/internal/registry"
+	"pfuzzer/internal/shim"
 	"pfuzzer/internal/subject"
 )
 
@@ -68,6 +84,7 @@ func main() {
 		outPath     = flag.String("out", "", "journal the campaign (valids + snapshots) to this file")
 		resumePath  = flag.String("resume", "", "resume the campaign journaled at this file")
 		snapEvery   = flag.Int("snap-every", 10000, "executions between journal snapshots")
+		shimBin     = flag.String("shim", "", "drive the subject out of process through this shim binary (e.g. a built cmd/pshim); child crashes and hangs become recoverable per-exec outcomes")
 	)
 	flag.Parse()
 
@@ -75,14 +92,19 @@ func main() {
 		listSubjects()
 		return
 	}
+	if flag.NArg() != 0 {
+		fail("unexpected arguments: %s", strings.Join(flag.Args(), " "))
+	}
 	if *resumePath != "" && *outPath != "" && *resumePath != *outPath {
 		fail("use either -resume (which keeps journaling to the same file) or -out, not both")
 	}
 
+	trapSignals()
+
 	var run *campaignRun
 	if *resumePath != "" {
 		warnIgnoredOnResume()
-		run = resume(*resumePath, *execs, *maxValids, cacheMode(*cache), *quiet)
+		run = resume(*resumePath, *execs, *maxValids, cacheMode(*cache), *quiet, *shimBin)
 	} else {
 		cfg := flagConfig(*subjectName, *seed, *execs, *maxValids, *workers,
 			*minePhase, *mineBudget, *mineTokens, *mineCadence, *mineFrom)
@@ -91,14 +113,15 @@ func main() {
 		if !*cache {
 			cfg.Cache = core.CacheOff
 		}
-		run = fresh(cfg, *subjectName, *outPath, *quiet)
-	}
-	if run.store != nil {
-		defer run.store.Close()
+		run = fresh(cfg, *subjectName, *outPath, *quiet, *shimBin)
 	}
 
 	drive(run.camp, run.store, *snapEvery)
 	run.summarize()
+	if interrupted.Load() {
+		exit(130)
+	}
+	exit(0)
 }
 
 // campaignRun bundles one invocation's campaign, journal and subject.
@@ -109,11 +132,71 @@ type campaignRun struct {
 	store *corpus.Store
 	entry registry.Entry
 	prog  subject.Program
+	host  *shim.Host
+}
+
+// The cleanup stack: every resource that must not be abandoned on any
+// exit path — the corpus journal, shim child processes — registers
+// here, and every exit (normal completion, fail, forced signal) runs
+// the stack exactly once, LIFO. This is what guarantees a flag error
+// after -out opened the journal still flushes and closes it.
+var (
+	cleanupMu   sync.Mutex
+	cleanups    []func()
+	cleanupDone bool
+
+	// interrupted flips on the first SIGINT/SIGTERM; drive checks it
+	// between slices so the campaign stops at a snapshot boundary.
+	interrupted atomic.Bool
+)
+
+// onExit pushes a cleanup to run at process exit.
+func onExit(f func()) {
+	cleanupMu.Lock()
+	defer cleanupMu.Unlock()
+	cleanups = append(cleanups, f)
+}
+
+// runCleanups runs the stack LIFO, once.
+func runCleanups() {
+	cleanupMu.Lock()
+	defer cleanupMu.Unlock()
+	if cleanupDone {
+		return
+	}
+	cleanupDone = true
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		cleanups[i]()
+	}
+}
+
+// exit is the single exit path: cleanups, then the status code.
+func exit(code int) {
+	runCleanups()
+	os.Exit(code)
 }
 
 func fail(msg string, args ...any) {
 	fmt.Fprintf(os.Stderr, "pfuzzer: "+msg+"\n", args...)
-	os.Exit(2)
+	exit(2)
+}
+
+// trapSignals installs the graceful-shutdown handler: the first
+// SIGINT/SIGTERM asks the drive loop to stop at the next snapshot
+// boundary (final snapshot + summary still happen), the second forces
+// an immediate exit through the cleanup stack, so shim children are
+// killed and the journal is closed either way.
+func trapSignals() {
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		fmt.Fprintln(os.Stderr, "pfuzzer: interrupted — finishing the current slice, cutting a final snapshot (signal again to force exit)")
+		<-sigc
+		fmt.Fprintln(os.Stderr, "pfuzzer: forced exit")
+		exit(130)
+	}()
 }
 
 // explicit reports whether a flag was set on the command line.
@@ -129,7 +212,8 @@ func explicit(name string) bool {
 
 // warnIgnoredOnResume flags the knobs a resumed campaign takes from
 // its snapshot, so an explicitly passed value does not silently do
-// nothing. -execs and -valids are the supported overrides.
+// nothing. -execs, -valids, -cache and -shim are the supported
+// overrides (the shim is an execution vehicle, not campaign state).
 func warnIgnoredOnResume() {
 	ignored := map[string]bool{
 		"subject": true, "seed": true, "workers": true, "batch": true,
@@ -161,6 +245,17 @@ func lookup(name string) registry.Entry {
 	return entry
 }
 
+// shimWrap swaps an entry's execution vehicle for an out-of-process
+// host driving shimBin children, registering the kill-all cleanup.
+func shimWrap(entry registry.Entry, shimBin string) (registry.Entry, *shim.Host) {
+	host, err := shim.NewHost(shim.CmdLauncher{Path: shimBin}, shim.Options{Subject: entry.Name})
+	if err != nil {
+		fail("%v", err)
+	}
+	onExit(host.Close)
+	return shim.WrapEntry(entry, host), host
+}
+
 func flagConfig(subject string, seed int64, execs, maxValids, workers int,
 	mine bool, mineBudget, mineTokens, mineCadence int, mineFrom string) core.Config {
 	cfg := core.Config{
@@ -181,7 +276,9 @@ func flagConfig(subject string, seed int64, execs, maxValids, workers int,
 				mineFrom, prev.Meta().Subject, subject)
 		}
 		cfg.MineSeeds = prev.ValidInputs()
-		prev.Close()
+		if err := prev.Close(); err != nil {
+			fail("%v", err)
+		}
 		fmt.Fprintf(os.Stderr, "seeding grammar from %d valids in %s\n",
 			len(cfg.MineSeeds), mineFrom)
 	}
@@ -207,9 +304,13 @@ func events(store *corpus.Store, quiet bool) func(core.Event) {
 
 // fresh builds a new campaign from flags, creating the journal if
 // -out was given.
-func fresh(cfg core.Config, subjectName, outPath string, quiet bool) *campaignRun {
+func fresh(cfg core.Config, subjectName, outPath string, quiet bool, shimBin string) *campaignRun {
 	entry := lookup(subjectName)
 	cfg.MineLexer = entry.Lexer
+	var host *shim.Host
+	if shimBin != "" {
+		entry, host = shimWrap(entry, shimBin)
+	}
 	var store *corpus.Store
 	if outPath != "" {
 		var err error
@@ -219,10 +320,15 @@ func fresh(cfg core.Config, subjectName, outPath string, quiet bool) *campaignRu
 		if err != nil {
 			fail("%v", err)
 		}
+		onExit(func() {
+			if err := store.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "pfuzzer: closing journal: %v\n", err)
+			}
+		})
 	}
 	cfg.Events = events(store, quiet)
 	prog := entry.New()
-	return &campaignRun{camp: core.NewCampaign(prog, cfg), store: store, entry: entry, prog: prog}
+	return &campaignRun{camp: core.NewCampaign(prog, cfg), store: store, entry: entry, prog: prog, host: host}
 }
 
 // cacheMode maps the -cache flag to a Restore override: only an
@@ -242,11 +348,16 @@ func cacheMode(on bool) core.CacheMode {
 // snapshot, and re-journals into the same file. Explicit -execs,
 // -valids and -cache override the saved values; everything else comes
 // from the snapshot.
-func resume(path string, execs, maxValids int, cache core.CacheMode, quiet bool) *campaignRun {
+func resume(path string, execs, maxValids int, cache core.CacheMode, quiet bool, shimBin string) *campaignRun {
 	store, err := corpus.Open(path)
 	if err != nil {
 		fail("%v", err)
 	}
+	onExit(func() {
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pfuzzer: closing journal: %v\n", err)
+		}
+	})
 	if n := store.TruncatedBytes(); n > 0 {
 		fmt.Fprintf(os.Stderr, "recovered journal %s: dropped %d bytes of torn tail\n", path, n)
 	}
@@ -259,6 +370,10 @@ func resume(path string, execs, maxValids int, cache core.CacheMode, quiet bool)
 		fail("%v", err)
 	}
 	entry := lookup(store.Meta().Subject)
+	var host *shim.Host
+	if shimBin != "" {
+		entry, host = shimWrap(entry, shimBin)
+	}
 	over := core.Config{
 		Events:    events(store, quiet),
 		MineLexer: entry.Lexer,
@@ -277,12 +392,13 @@ func resume(path string, execs, maxValids int, cache core.CacheMode, quiet bool)
 	}
 	fmt.Fprintf(os.Stderr, "resuming %s at %d execs, %d valids\n",
 		entry.Name, camp.Result().Execs, len(camp.Result().Valids))
-	return &campaignRun{camp: camp, store: store, entry: entry, prog: prog}
+	return &campaignRun{camp: camp, store: store, entry: entry, prog: prog, host: host}
 }
 
 // drive steps the campaign to completion, snapshotting into the
 // journal between slices so a kill at any point loses at most one
-// slice of work.
+// slice of work. An interrupt stops the loop at a snapshot boundary,
+// after the final snapshot has landed.
 func drive(camp *core.Campaign, store *corpus.Store, snapEvery int) {
 	if snapEvery < 1 {
 		snapEvery = 10000
@@ -301,7 +417,7 @@ func drive(camp *core.Campaign, store *corpus.Store, snapEvery int) {
 		// spent == 0 with more: a stuck engine. Treat as terminal like
 		// Fuzzer.Run and the fleet do, instead of journaling snapshots
 		// forever.
-		if !more || spent == 0 {
+		if !more || spent == 0 || interrupted.Load() {
 			return
 		}
 	}
@@ -309,6 +425,9 @@ func drive(camp *core.Campaign, store *corpus.Store, snapEvery int) {
 
 func (r *campaignRun) summarize() {
 	res, entry := r.camp.Result(), r.entry
+	if interrupted.Load() {
+		fmt.Printf("\ninterrupted — partial results:")
+	}
 	fmt.Printf("\nsubject=%s execs=%d valids=%d coverage=%d/%d (%.1f%%) elapsed=%v\n",
 		entry.Name, res.Execs, len(res.Valids), len(res.Coverage), r.prog.Blocks(),
 		100*float64(len(res.Coverage))/float64(r.prog.Blocks()), res.Elapsed.Round(time.Millisecond))
@@ -320,6 +439,15 @@ func (r *campaignRun) summarize() {
 		fmt.Printf("cache: %d hits / %d misses (%.1f%% hit rate)%s, exec layer %v\n",
 			res.CacheHits, res.CacheMisses, 100*res.CacheHitRate(), state,
 			res.ExecElapsed.Round(time.Millisecond))
+	}
+	if r.host != nil {
+		st := r.host.Stats()
+		trip := ""
+		if st.Tripped {
+			trip = " — circuit breaker tripped"
+		}
+		fmt.Printf("shim: %d execs over %d children, lost %d crashed / %d hung / %d protocol / %d unavailable%s\n",
+			st.Execs, st.Spawns, st.Crashes, st.Hangs, st.Protocol, st.Unavailable, trip)
 	}
 
 	found := map[string]bool{}

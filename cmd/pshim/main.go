@@ -1,0 +1,59 @@
+// pshim serves any registered in-process subject over the shim
+// protocol on stdin/stdout: a self-shim. It exists so the whole
+// out-of-process stack — framing, handshake, trace replay, deadline
+// and restart policy — can be conformance-tested against known-good
+// subjects, and it doubles as the reference implementation for
+// shimming a parser we didn't write.
+//
+// Usage:
+//
+//	pfuzzer -shim ./pshim ...        # any engine, any subject
+//
+// The subject to serve arrives in the parent's handshake, so one
+// binary serves the whole registry. The -crash-at/-hang-at/-garbage-at
+// flags deterministically inject faults at the Nth execution, for
+// fault-injection tests and recovery demos.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"pfuzzer/internal/registry"
+	"pfuzzer/internal/shim"
+)
+
+func main() {
+	crashAt := flag.Int("crash-at", 0, "die mid-frame at the Nth execution (0 = never)")
+	hangAt := flag.Int("hang-at", 0, "stop responding at the Nth execution (0 = never)")
+	garbageAt := flag.Int("garbage-at", 0, "answer the Nth execution with garbage bytes (0 = never)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: pshim [flags]\n\nServes registered subjects (%v)\nover the shim protocol on stdin/stdout.\n\n",
+			registry.Names())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	err := shim.Serve(os.Stdin, os.Stdout, shim.ServeConfig{
+		Lookup: registry.NewProgram,
+		Fault: shim.FaultPlan{
+			CrashAt:   *crashAt,
+			HangAt:    *hangAt,
+			GarbageAt: *garbageAt,
+		},
+	})
+	if errors.Is(err, shim.ErrCrashFault) {
+		// Exit like the crash we are simulating: abruptly and nonzero.
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pshim:", err)
+		os.Exit(1)
+	}
+}

@@ -45,6 +45,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"syscall"
 )
 
 const magic = "PFCORP1\n"
@@ -91,30 +93,37 @@ type Store struct {
 func SnapPath(path string) string { return path + ".snap" }
 
 // Create creates (or truncates) a journal at path, removing any stale
-// snapshot sidecar, and writes the metadata header.
+// snapshot sidecar, and writes the metadata header. The header is
+// fsynced — and so is the directory, so the journal entry itself
+// survives a crash right after Create returns.
 func Create(path string, meta Meta) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: create %s: %w", path, err)
 	}
-	os.Remove(SnapPath(path)) // a previous campaign's snapshot must not resume this one
+	// A previous campaign's snapshot must not resume this one. Failing
+	// to remove it (other than it not existing) is fatal: silently
+	// leaving it behind would make a later -resume restore a foreign
+	// campaign's engine over this journal.
+	if err := os.Remove(SnapPath(path)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, errors.Join(fmt.Errorf("corpus: removing stale snapshot: %w", err), f.Close())
+	}
 	s := &Store{f: f, path: path, meta: meta, seen: map[string]struct{}{}}
 	if _, err := f.WriteString(magic); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("corpus: writing header: %w", err)
+		return nil, errors.Join(fmt.Errorf("corpus: writing header: %w", err), f.Close())
 	}
 	mb, err := json.Marshal(meta)
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("corpus: encoding meta: %w", err)
+		return nil, errors.Join(fmt.Errorf("corpus: encoding meta: %w", err), f.Close())
 	}
 	if err := s.append(recMeta, mb); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("corpus: sync: %w", err)
+		return nil, errors.Join(fmt.Errorf("corpus: sync: %w", err), f.Close())
+	}
+	if err := syncDir(path); err != nil {
+		return nil, errors.Join(err, f.Close())
 	}
 	return s, nil
 }
@@ -132,12 +141,10 @@ func Open(path string) (*Store, error) {
 	}
 	data, err := io.ReadAll(f)
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("corpus: reading %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("corpus: reading %s: %w", path, err), f.Close())
 	}
 	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
-		f.Close()
-		return nil, fmt.Errorf("corpus: %s is not a corpus journal", path)
+		return nil, errors.Join(fmt.Errorf("corpus: %s is not a corpus journal", path), f.Close())
 	}
 	s := &Store{f: f, path: path, seen: map[string]struct{}{}}
 	off := len(magic)
@@ -171,19 +178,16 @@ func Open(path string) (*Store, error) {
 		off = next
 	}
 	if !sawMeta {
-		f.Close()
-		return nil, fmt.Errorf("corpus: %s has no intact metadata record", path)
+		return nil, errors.Join(fmt.Errorf("corpus: %s has no intact metadata record", path), f.Close())
 	}
 	if off < len(data) {
 		s.truncated = len(data) - off
 		if err := f.Truncate(int64(off)); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("corpus: truncating corrupt tail: %w", err)
+			return nil, errors.Join(fmt.Errorf("corpus: truncating corrupt tail: %w", err), f.Close())
 		}
 	}
 	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("corpus: seeking append position: %w", err)
+		return nil, errors.Join(fmt.Errorf("corpus: seeking append position: %w", err), f.Close())
 	}
 	// The sidecar always holds a complete previous snapshot (writes
 	// go through temp+rename); gzip's own checksum catches external
@@ -251,11 +255,16 @@ func (s *Store) AppendValid(exec int, input []byte) error {
 
 // AppendSnapshot publishes an opaque engine snapshot: the journal is
 // fsynced first (a snapshot at exec N implies the corpus through N is
-// durable), then the gzip-compressed blob atomically replaces the
-// sidecar at SnapPath. Superseded snapshots occupy no space, and a
-// crash at any point leaves either the previous or the new snapshot
-// intact, never a torn one.
+// durable), then the gzip-compressed blob is written to a temp file,
+// fsynced, renamed over the sidecar at SnapPath, and the directory is
+// fsynced so the rename itself is durable. Superseded snapshots
+// occupy no space, a crash at any point leaves either the previous or
+// the new snapshot intact (never a torn one), and a failed publish
+// removes its temp file instead of littering the directory.
 func (s *Store) AppendSnapshot(blob []byte) error {
+	if s.f == nil {
+		return errors.New("corpus: store is closed")
+	}
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("corpus: sync: %w", err)
 	}
@@ -274,20 +283,50 @@ func (s *Store) AppendSnapshot(blob []byte) error {
 		return fmt.Errorf("corpus: writing snapshot: %w", err)
 	}
 	if _, err := f.Write(z.Bytes()); err != nil {
-		f.Close()
-		return fmt.Errorf("corpus: writing snapshot: %w", err)
+		return removeTmp(tmp, errors.Join(fmt.Errorf("corpus: writing snapshot: %w", err), f.Close()))
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("corpus: writing snapshot: %w", err)
+		return removeTmp(tmp, errors.Join(fmt.Errorf("corpus: writing snapshot: %w", err), f.Close()))
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("corpus: writing snapshot: %w", err)
+		return removeTmp(tmp, fmt.Errorf("corpus: writing snapshot: %w", err))
 	}
 	if err := os.Rename(tmp, snapPath); err != nil {
-		return fmt.Errorf("corpus: publishing snapshot: %w", err)
+		return removeTmp(tmp, fmt.Errorf("corpus: publishing snapshot: %w", err))
+	}
+	if err := syncDir(snapPath); err != nil {
+		return err
 	}
 	s.snap = append([]byte(nil), blob...)
+	return nil
+}
+
+// removeTmp cleans up a failed snapshot's temp file, folding a
+// removal failure into the original error.
+func removeTmp(tmp string, err error) error {
+	if rerr := os.Remove(tmp); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+		return errors.Join(err, rerr)
+	}
+	return err
+}
+
+// syncDir fsyncs the directory containing path, making a just-created
+// or just-renamed directory entry durable. Filesystems that refuse
+// fsync on directories (EINVAL on some network mounts) are treated as
+// best-effort, matching what databases do.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("corpus: opening directory for sync: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil && !errors.Is(serr, syscall.EINVAL) && !errors.Is(serr, syscall.ENOTSUP) {
+		return fmt.Errorf("corpus: syncing directory: %w", errors.Join(serr, cerr))
+	}
+	if cerr != nil {
+		return fmt.Errorf("corpus: syncing directory: %w", cerr)
+	}
 	return nil
 }
 
@@ -332,15 +371,14 @@ func (s *Store) Snapshot() []byte { return s.snap }
 // (0 for a clean journal).
 func (s *Store) TruncatedBytes() int { return s.truncated }
 
-// Close syncs and closes the journal.
+// Close syncs and closes the journal. Both failures are reported: a
+// failed sync means the tail may not be durable, and a failed close
+// can surface deferred write errors on some filesystems.
 func (s *Store) Close() error {
 	if s.f == nil {
 		return errors.New("corpus: store already closed")
 	}
-	err := s.f.Sync()
-	if cerr := s.f.Close(); err == nil {
-		err = cerr
-	}
+	err := errors.Join(s.f.Sync(), s.f.Close())
 	s.f = nil
 	return err
 }

@@ -273,3 +273,67 @@ func TestOpenRejectsForeignFile(t *testing.T) {
 		t.Error("Open accepted a non-journal file")
 	}
 }
+
+// TestSnapshotTmpCleanup: a snapshot publish that fails mid-write must
+// not litter the directory with its temp file — and must leave the
+// previously published snapshot untouched.
+func TestSnapshotTmpCleanup(t *testing.T) {
+	path := tempJournal(t)
+	s, err := Create(path, Meta{Subject: "expr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AppendSnapshot([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	// Force the rename to fail by replacing the sidecar path with a
+	// non-empty directory.
+	snap := SnapPath(path)
+	if err := os.Remove(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(snap, "block"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSnapshot([]byte("new")); err == nil {
+		t.Fatal("AppendSnapshot succeeded renaming over a non-empty directory")
+	}
+	if _, err := os.Stat(snap + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("failed publish left temp file behind: stat err %v", err)
+	}
+}
+
+// TestCloseIsSingleShot: the second Close must report the store is
+// already closed instead of double-closing the descriptor, and
+// appends after Close must fail instead of panicking.
+func TestCloseIsSingleShot(t *testing.T) {
+	path := tempJournal(t)
+	s, err := Create(path, Meta{Subject: "expr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err == nil {
+		t.Error("second Close did not error")
+	}
+	if err := s.AppendSnapshot([]byte("x")); err == nil {
+		t.Error("AppendSnapshot on a closed store did not error")
+	}
+}
+
+// TestCreateFailsOnUnremovableSidecar: if a stale snapshot sidecar
+// cannot be removed, Create must fail loudly — silently keeping it
+// would let a later -resume restore a foreign campaign's engine.
+func TestCreateFailsOnUnremovableSidecar(t *testing.T) {
+	path := tempJournal(t)
+	// A non-empty directory at the sidecar path cannot be os.Remove'd.
+	if err := os.MkdirAll(filepath.Join(SnapPath(path), "block"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(path, Meta{Subject: "expr"}); err == nil {
+		t.Fatal("Create succeeded with an unremovable stale sidecar")
+	}
+}

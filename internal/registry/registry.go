@@ -231,6 +231,18 @@ func Get(name string) (Entry, bool) {
 	return registered[i], true
 }
 
+// NewProgram constructs a fresh Program for the named subject. It is
+// the lookup the self-shim server (cmd/pshim) answers handshakes
+// with: the child resolves the requested subject by name and serves
+// it, or reports an error frame if the name is unknown.
+func NewProgram(name string) (subject.Program, error) {
+	e, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown subject %q", name)
+	}
+	return e.New(), nil
+}
+
 // Names returns the names of all registered subjects.
 func Names() []string {
 	mu.RLock()

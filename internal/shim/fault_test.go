@@ -1,0 +1,216 @@
+package shim
+
+import (
+	"testing"
+	"time"
+
+	"pfuzzer/internal/core"
+	"pfuzzer/internal/registry"
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+// execOnce runs one traced execution of s and returns the record.
+func execOnce(s *Subject, input string) *trace.Record {
+	return subject.Execute(s, []byte(input), trace.Full())
+}
+
+// TestCrashRecovery: a child dying mid-frame costs exactly the
+// execution it was running — reported as ExitCrash, force-undecided,
+// with an empty trace — and the next execution transparently runs on
+// a freshly spawned child.
+func TestCrashRecovery(t *testing.T) {
+	h := newPipeHost(t, "expr", FaultPlan{CrashAt: 2},
+		Options{RestartBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	s := h.Subject()
+	var exits []int
+	for i := 0; i < 6; i++ {
+		rec := execOnce(s, "1+1")
+		exits = append(exits, rec.Exit)
+		if rec.Exit == subject.ExitCrash {
+			if len(rec.Comparisons) != 0 || len(rec.Blocks) != 0 {
+				t.Errorf("exec %d: crashed execution leaked %d comparisons, %d blocks",
+					i, len(rec.Comparisons), len(rec.Blocks))
+			}
+			if _, ok := rec.DecidedPrefix(); ok {
+				t.Errorf("exec %d: crashed execution claims a deciding prefix — cache poison", i)
+			}
+		}
+	}
+	// Every child crashes at its 2nd execution: ok, crash, ok, crash...
+	want := []int{0, subject.ExitCrash, 0, subject.ExitCrash, 0, subject.ExitCrash}
+	for i := range want {
+		if exits[i] != want[i] {
+			t.Fatalf("exit sequence %v, want %v", exits, want)
+		}
+	}
+	st := h.Stats()
+	if st.Crashes != 3 || st.Spawns < 3 || st.Tripped {
+		t.Errorf("stats after alternating crashes: %+v", st)
+	}
+}
+
+// TestHangRecovery: a child that stops answering is killed at the
+// per-exec deadline, the execution reports ExitHang, and the campaign
+// position after it runs on a fresh child.
+func TestHangRecovery(t *testing.T) {
+	h := newPipeHost(t, "expr", FaultPlan{HangAt: 2},
+		Options{ExecTimeout: 100 * time.Millisecond, RestartBackoff: time.Millisecond})
+	s := h.Subject()
+	if rec := execOnce(s, "1+1"); rec.Exit != 0 {
+		t.Fatalf("healthy exec: exit %d", rec.Exit)
+	}
+	rec := execOnce(s, "1+1")
+	if rec.Exit != subject.ExitHang {
+		t.Fatalf("hanging exec: exit %d, want ExitHang", rec.Exit)
+	}
+	if _, ok := rec.DecidedPrefix(); ok {
+		t.Errorf("hung execution claims a deciding prefix")
+	}
+	if rec := execOnce(s, "1+1"); rec.Exit != 0 {
+		t.Fatalf("exec after hang: exit %d", rec.Exit)
+	}
+	st := h.Stats()
+	if st.Hangs != 1 || st.Crashes != 0 {
+		t.Errorf("stats after one hang: %+v", st)
+	}
+}
+
+// TestGarbageFrames: undecodable bytes from the child are a protocol
+// loss, not a misparse — the execution fails recoverably and the
+// child is replaced.
+func TestGarbageFrames(t *testing.T) {
+	h := newPipeHost(t, "expr", FaultPlan{GarbageAt: 2},
+		Options{RestartBackoff: time.Millisecond})
+	s := h.Subject()
+	if rec := execOnce(s, "1+1"); rec.Exit != 0 {
+		t.Fatalf("healthy exec: exit %d", rec.Exit)
+	}
+	rec := execOnce(s, "1+1")
+	if rec.Exit != subject.ExitCrash {
+		t.Fatalf("garbage exec: exit %d, want ExitCrash", rec.Exit)
+	}
+	if rec := execOnce(s, "1+1"); rec.Exit != 0 {
+		t.Fatalf("exec after garbage: exit %d", rec.Exit)
+	}
+	st := h.Stats()
+	if st.Protocol == 0 {
+		t.Errorf("garbage frames not counted as protocol losses: %+v", st)
+	}
+}
+
+// TestCircuitBreaker: consecutive failures trip the breaker after
+// MaxFailures; afterwards executions fail fast as unavailable, with
+// no further spawn attempts.
+func TestCircuitBreaker(t *testing.T) {
+	h := newPipeHost(t, "expr", FaultPlan{CrashAt: 1},
+		Options{MaxFailures: 4, RestartBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	s := h.Subject()
+	var crashes, unavailable int
+	for i := 0; i < 10; i++ {
+		switch rec := execOnce(s, "1+1"); rec.Exit {
+		case subject.ExitCrash:
+			crashes++
+		case subject.ExitUnavailable:
+			unavailable++
+		default:
+			t.Fatalf("exec %d: exit %d", i, rec.Exit)
+		}
+	}
+	if crashes != 4 || unavailable != 6 {
+		t.Errorf("4 crashes then 6 unavailable expected, got %d and %d", crashes, unavailable)
+	}
+	st := h.Stats()
+	if !st.Tripped {
+		t.Errorf("breaker did not trip: %+v", st)
+	}
+	if st.Spawns != 4 {
+		t.Errorf("breaker kept spawning: %d spawns, want 4", st.Spawns)
+	}
+}
+
+// TestCampaignSurvivesCrashes is the recovery half of the acceptance
+// criteria: with every child dying at its 7th execution, a full
+// campaign keeps restarting children, keeps making progress, and
+// still emits valid inputs.
+func TestCampaignSurvivesCrashes(t *testing.T) {
+	e, ok := registry.Get("expr")
+	if !ok {
+		t.Fatal("expr not registered")
+	}
+	h := newPipeHost(t, "expr", FaultPlan{CrashAt: 7},
+		Options{RestartBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	res := core.New(WrapEntry(e, h).New(), core.Config{Seed: 1, MaxExecs: 500}).Run()
+	st := h.Stats()
+	if st.Crashes == 0 || st.Spawns < 2 {
+		t.Fatalf("fault plan did not fire: %+v", st)
+	}
+	if st.Tripped {
+		t.Errorf("interleaved crashes tripped the breaker: %+v", st)
+	}
+	if len(res.Valids) == 0 {
+		t.Errorf("campaign made no progress through %d crashes (%d execs)", st.Crashes, res.Execs)
+	}
+}
+
+// TestCampaignSurvivesHangs: same acceptance for the deadline path.
+func TestCampaignSurvivesHangs(t *testing.T) {
+	e, ok := registry.Get("expr")
+	if !ok {
+		t.Fatal("expr not registered")
+	}
+	h := newPipeHost(t, "expr", FaultPlan{HangAt: 9},
+		Options{ExecTimeout: 50 * time.Millisecond, RestartBackoff: time.Millisecond})
+	res := core.New(WrapEntry(e, h).New(), core.Config{Seed: 1, MaxExecs: 60}).Run()
+	st := h.Stats()
+	if st.Hangs == 0 {
+		t.Fatalf("fault plan did not fire: %+v", st)
+	}
+	if len(res.Valids) == 0 {
+		t.Errorf("campaign made no progress through %d hangs (%d execs)", st.Hangs, res.Execs)
+	}
+}
+
+// TestCampaignSurvivesBreakerTrip: even a permanently broken subject
+// — every execution crashes until the breaker opens — ends the
+// campaign cleanly instead of aborting or hanging it.
+func TestCampaignSurvivesBreakerTrip(t *testing.T) {
+	e, ok := registry.Get("expr")
+	if !ok {
+		t.Fatal("expr not registered")
+	}
+	h := newPipeHost(t, "expr", FaultPlan{CrashAt: 1},
+		Options{MaxFailures: 4, RestartBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	res := core.New(WrapEntry(e, h).New(), core.Config{Seed: 1, MaxExecs: 100}).Run()
+	if !h.Stats().Tripped {
+		t.Fatalf("breaker never tripped: %+v", h.Stats())
+	}
+	if len(res.Valids) != 0 {
+		t.Errorf("campaign emitted %d valids from a subject that never answered", len(res.Valids))
+	}
+}
+
+// TestSubprocessCrashRecovery: the crash path against a real child
+// process — the reexec'd test binary writes a partial frame and
+// exits — exercising OS pipes, process death detection and reaping.
+func TestSubprocessCrashRecovery(t *testing.T) {
+	h, err := NewHost(reexecLauncher(t, FaultPlan{CrashAt: 2}),
+		Options{Subject: "expr", RestartBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	defer h.Close()
+	s := h.Subject()
+	if rec := execOnce(s, "1+1"); rec.Exit != 0 {
+		t.Fatalf("healthy exec: exit %d", rec.Exit)
+	}
+	if rec := execOnce(s, "1+1"); rec.Exit != subject.ExitCrash {
+		t.Fatalf("crashing exec: exit %d, want ExitCrash", rec.Exit)
+	}
+	if rec := execOnce(s, "1+1"); rec.Exit != 0 {
+		t.Fatalf("exec after subprocess crash: exit %d", rec.Exit)
+	}
+	if st := h.Stats(); st.Crashes != 1 || st.Spawns != 2 {
+		t.Errorf("stats after one subprocess crash: %+v", st)
+	}
+}

@@ -1,0 +1,137 @@
+// Package shim executes subjects out of process: a parent-side Host
+// drives a child over a compact CRC-framed stdio protocol (the same
+// [type][len][payload][crc] framing the corpus journal uses), and a
+// parent-side Subject adapter replays the child's streamed trace
+// events through the public trace.Tracer API so the resulting Record
+// — comparisons, EOF accesses, block order, path hash, stack depths,
+// sequence numbers and the prefix-decided verdict — is bit-identical
+// to running the subject in process. Child crashes, hangs and
+// protocol garbage become recoverable per-execution outcomes
+// (subject.ExitCrash/ExitHang/ExitUnavailable, each force-marked
+// undecided) instead of campaign aborts; internal/conformance is the
+// acceptance gate for the whole stack via the cmd/pshim self-shim.
+package shim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic is the 8-byte stream preamble each side writes before its
+// first frame, so a parent talking to a non-shim binary (or a child
+// launched by a non-shim parent) fails fast instead of misparsing.
+const Magic = "PFSHIM1\n"
+
+// Version is the protocol version exchanged in the hello frames.
+const Version = 1
+
+// Frame types. The child answers one fExec with any number of fCmp /
+// fEOF / fBlocks frames (in trace order) terminated by exactly one
+// fResult. fFail replaces the child's hello when it cannot serve the
+// requested subject.
+const (
+	fHello  = 'H'
+	fExec   = 'X'
+	fCmp    = 'C'
+	fEOF    = 'E'
+	fBlocks = 'B'
+	fResult = 'R'
+	fFail   = 'F'
+)
+
+// maxFrame bounds a single frame's payload; anything larger is
+// treated as a framing error rather than an allocation request.
+const maxFrame = 1 << 24
+
+// errProto tags parent-side errors that mean the child spoke the
+// protocol wrongly (bad CRC, malformed payload, unexpected frame)
+// rather than dying: the Host counts the two separately.
+var errProto = errors.New("shim: protocol error")
+
+// protoErrf builds an error that errors.Is-matches errProto.
+func protoErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errProto, fmt.Sprintf(format, args...))
+}
+
+// writeMagic writes the stream preamble.
+func writeMagic(w io.Writer) error {
+	_, err := io.WriteString(w, Magic)
+	return err
+}
+
+// readMagic consumes and verifies the stream preamble.
+func readMagic(r io.Reader) error {
+	var got [len(Magic)]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("shim: stream closed before magic: %w", err)
+		}
+		return err
+	}
+	if string(got[:]) != Magic {
+		return protoErrf("bad magic %q", got[:])
+	}
+	return nil
+}
+
+// writeFrame writes one frame: [type:1][len:4 LE][payload][crc32(payload):4 LE].
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("shim: frame payload %d exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// readFrame reads one frame into *buf (grown as needed and reused
+// across calls; the returned payload aliases it). A clean EOF at a
+// frame boundary is returned as io.EOF; EOF anywhere inside a frame
+// becomes io.ErrUnexpectedEOF, and a CRC or size violation a
+// protocol error.
+func readFrame(r io.Reader, buf *[]byte) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err // io.EOF here is a clean close
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, protoErrf("frame payload %d exceeds limit", n)
+	}
+	need := int(n) + 4
+	if cap(*buf) < need {
+		*buf = make([]byte, need)
+	}
+	b := (*buf)[:need]
+	if _, err := io.ReadFull(r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	payload = b[:n]
+	want := binary.LittleEndian.Uint32(b[n:])
+	if crc32.ChecksumIEEE(payload) != want {
+		return 0, nil, protoErrf("frame %q CRC mismatch", hdr[0])
+	}
+	return hdr[0], payload, nil
+}

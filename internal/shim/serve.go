@@ -1,0 +1,239 @@
+// Child side of the protocol: Serve speaks the shim protocol over a
+// pair of byte streams, running a real in-process subject per EXEC
+// frame and streaming its trace back in event order. cmd/pshim wraps
+// Serve around the subject registry; tests wrap it around io.Pipe
+// pairs for subprocess-free determinism.
+package shim
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"pfuzzer/internal/subject"
+	"pfuzzer/internal/trace"
+)
+
+// FaultPlan injects deterministic failures into a serving child, for
+// fault-injection tests and demos. Each field names the 1-based
+// ordinal of the execution at which the fault fires (0 = never):
+// CrashAt dies mid-frame after running the subject, HangAt stops
+// responding until the peer closes the connection, GarbageAt replaces
+// the execution's response with bytes that parse as no frame.
+type FaultPlan struct {
+	CrashAt   int
+	HangAt    int
+	GarbageAt int
+}
+
+// ErrCrashFault is returned by Serve when FaultPlan.CrashAt fired, so
+// the wrapping binary can exit nonzero like a genuine crash would.
+var ErrCrashFault = errors.New("shim: injected crash")
+
+// ServeConfig configures a serving child.
+type ServeConfig struct {
+	// Lookup resolves the subject name from the parent's hello.
+	// cmd/pshim wires registry.NewProgram here.
+	Lookup func(name string) (subject.Program, error)
+	// Fault optionally injects deterministic failures.
+	Fault FaultPlan
+}
+
+// Serve runs the child side of the protocol until the peer closes the
+// connection (returned as nil) or a fatal error occurs. It performs
+// the magic + hello handshake, then answers EXEC frames forever. A
+// failed subject lookup or version mismatch is reported to the peer
+// in a FAIL frame before returning the error.
+func Serve(r io.Reader, w io.Writer, cfg ServeConfig) error {
+	if cfg.Lookup == nil {
+		return fmt.Errorf("shim: ServeConfig.Lookup is nil")
+	}
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	// The parent speaks first (magic + hello), the child responds
+	// (magic + hello or fail). The strict turn order matters: with
+	// unbuffered in-memory pipes two sides that both open by writing
+	// would deadlock flushing at each other.
+	if err := readMagic(br); err != nil {
+		return err
+	}
+	var buf []byte
+	typ, payload, err := readFrame(br, &buf)
+	if err != nil {
+		return err
+	}
+	if typ != fHello {
+		return protoErrf("expected hello, got frame %q", typ)
+	}
+	hello, err := parseHello(payload)
+	if err != nil {
+		return err
+	}
+	if err := writeMagic(bw); err != nil {
+		return err
+	}
+	if hello.Version != Version {
+		return serveFail(bw, fmt.Errorf("shim: protocol version %d, want %d", hello.Version, Version))
+	}
+	prog, err := cfg.Lookup(hello.Name)
+	if err != nil {
+		return serveFail(bw, err)
+	}
+	var enc []byte
+	enc = appendHello(enc[:0], helloMsg{
+		Version: Version,
+		Blocks:  uint32(prog.Blocks()),
+		Name:    prog.Name(),
+	})
+	if err := writeFrame(bw, fHello, enc); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	execN := 0
+	for {
+		typ, payload, err := readFrame(br, &buf)
+		if err == io.EOF {
+			return nil // clean shutdown: parent closed our stdin
+		}
+		if err != nil {
+			return err
+		}
+		if typ != fExec {
+			return protoErrf("expected exec, got frame %q", typ)
+		}
+		ex, err := parseExec(payload)
+		if err != nil {
+			return err
+		}
+		execN++
+		if cfg.Fault.HangAt == execN {
+			// Stop responding: drain the connection until the parent
+			// gives up and closes it (its deadline will kill us).
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			io.Copy(io.Discard, br) //nolint:errcheck // draining a doomed pipe
+			return nil
+		}
+		if cfg.Fault.GarbageAt == execN {
+			// Replace the response with bytes that cannot parse as a
+			// frame, then keep serving: the parent will discard us.
+			if _, err := bw.WriteString("\xff\xfe!!garbage!!\x00\x01"); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			continue
+		}
+		// The child always records everything: the parent filters by
+		// replaying through its own tracer options.
+		rec := subject.Execute(prog, ex.Input, trace.Options{
+			Comparisons: true,
+			Blocks:      true,
+			ExecSteps:   int(ex.ExecSteps),
+		})
+		if cfg.Fault.CrashAt == execN {
+			// Die mid-frame: announce a payload, deliver a fragment.
+			var hdr [5]byte
+			hdr[0] = fCmp
+			hdr[1] = 100 // little-endian 100-byte payload, never delivered
+			if _, err := bw.Write(hdr[:]); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString("\x01\x02\x03"); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return ErrCrashFault
+		}
+		if err := writeRecord(bw, rec, &enc); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// serveFail reports err to the peer in a FAIL frame and returns it.
+func serveFail(bw *bufio.Writer, err error) error {
+	if werr := writeFrame(bw, fFail, []byte(err.Error())); werr != nil {
+		return werr
+	}
+	if werr := bw.Flush(); werr != nil {
+		return werr
+	}
+	return err
+}
+
+// writeRecord streams rec's events in sequence order — comparisons
+// and EOF accesses as single frames, runs of consecutive block hits
+// batched into one BLOCKS frame — followed by the RESULT frame. The
+// three event lists each carry strictly increasing Seq numbers, so a
+// three-way merge reproduces the exact interleaving; the parent
+// replays it in frame order and recovers the same numbering without
+// Seq ever being transmitted.
+func writeRecord(bw *bufio.Writer, rec *trace.Record, enc *[]byte) error {
+	ci, ei, bi := 0, 0, 0
+	var ids []uint32
+	for ci < len(rec.Comparisons) || ei < len(rec.EOFs) || bi < len(rec.Blocks) {
+		// The smallest next sequence number among the non-block heads
+		// bounds how far a block batch may run.
+		limit := int(^uint(0) >> 1)
+		if ci < len(rec.Comparisons) {
+			limit = rec.Comparisons[ci].Seq
+		}
+		if ei < len(rec.EOFs) && rec.EOFs[ei].Seq < limit {
+			limit = rec.EOFs[ei].Seq
+		}
+		if bi < len(rec.Blocks) && rec.Blocks[bi].Seq < limit {
+			ids = ids[:0]
+			for bi < len(rec.Blocks) && rec.Blocks[bi].Seq < limit {
+				ids = append(ids, rec.Blocks[bi].ID)
+				bi++
+			}
+			*enc = appendBlocks((*enc)[:0], ids)
+			if err := writeFrame(bw, fBlocks, *enc); err != nil {
+				return err
+			}
+			continue
+		}
+		if ci < len(rec.Comparisons) && (ei >= len(rec.EOFs) || rec.Comparisons[ci].Seq < rec.EOFs[ei].Seq) {
+			c := &rec.Comparisons[ci]
+			ci++
+			*enc = appendCmp((*enc)[:0], cmpMsg{
+				Kind:     c.Kind,
+				Matched:  c.Matched,
+				Stack:    uint32(c.Stack),
+				Index:    uint32(c.Index),
+				Last:     uint32(c.Last),
+				Actual:   c.Actual,
+				Expected: c.Expected,
+			})
+			if err := writeFrame(bw, fCmp, *enc); err != nil {
+				return err
+			}
+			continue
+		}
+		e := &rec.EOFs[ei]
+		ei++
+		*enc = appendEOF((*enc)[:0], eofMsg{Stack: uint32(e.Stack), Index: int64(e.Index)})
+		if err := writeFrame(bw, fEOF, *enc); err != nil {
+			return err
+		}
+	}
+	*enc = appendResult((*enc)[:0], resultMsg{
+		Exit:      int32(rec.Exit),
+		MaxAccess: int64(rec.MaxAccess),
+		LenUsed:   rec.LenUsed,
+		MaxDepth:  uint32(rec.MaxDepth),
+	})
+	return writeFrame(bw, fResult, *enc)
+}

@@ -15,6 +15,20 @@ const (
 	ExitReject = 1 // parse error
 )
 
+// Harness-reported exit statuses. Subjects themselves only ever
+// return ExitOK or ExitReject; execution harnesses that drive a
+// subject they cannot fully observe — the out-of-process shim
+// (internal/shim) — report these when an execution's real verdict was
+// lost. All are non-zero, so every engine treats them as rejections
+// and the campaign continues; harnesses must pair them with
+// trace.Tracer.MarkUndecided so the substitute verdict is never
+// memoised as a deciding prefix.
+const (
+	ExitCrash       = 3 // the child process died mid-execution
+	ExitHang        = 4 // the execution overran its deadline and was killed
+	ExitUnavailable = 5 // no child could be obtained (breaker open or spawn failure)
+)
+
 // Program is one instrumented subject.
 type Program interface {
 	// Name returns the subject's short name (e.g. "cjson").

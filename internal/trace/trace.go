@@ -153,10 +153,14 @@ type Tracer struct {
 	// marks any out-of-bounds access (tracked independently of the
 	// Comparisons option, which gates only the EOFs event list);
 	// lenUsed marks consultation of Len or Input, after which the
-	// run's behaviour may depend on the input's total length.
+	// run's behaviour may depend on the input's total length;
+	// undecided force-disqualifies the run from prefix-decidedness
+	// (MarkUndecided), for executions whose real behaviour could not
+	// be observed.
 	maxAccess int
 	eofSeen   bool
 	lenUsed   bool
+	undecided bool
 }
 
 // New returns a Tracer for one execution on input, recording according
@@ -237,6 +241,24 @@ func (t *Tracer) Input() []byte { t.lenUsed = true; return t.input }
 // consulted the total length may behave differently on an extended
 // input even when the extension's bytes are never read.
 func (t *Tracer) Len() int { t.lenUsed = true; return len(t.input) }
+
+// RawInput returns the input under execution without marking the run
+// length-dependent for the deciding-prefix analysis. It is reserved
+// for execution harnesses — the out-of-process shim (internal/shim)
+// reads the input here to forward it to the real parser, whose own
+// reads decide length-dependence. A subject must never use it: hiding
+// a length consultation from the analysis would make prefix-decided
+// cache replays unsound.
+func (t *Tracer) RawInput() []byte { return t.input }
+
+// MarkUndecided forces the run to be treated as not prefix-decided,
+// whatever else was recorded. Execution harnesses call it when the
+// subject's real behaviour could not be observed — a child process
+// crashed, hung past its deadline, or spoke garbage — so the
+// substitute verdict they return can never be memoised as a deciding
+// prefix (an empty crash trace would otherwise read as "rejected
+// after zero bytes", poisoning the cache for every input).
+func (t *Tracer) MarkUndecided() { t.undecided = true }
 
 // At reads the input character at offset i. If i is past the end of
 // the input it records an EOF access and returns ok == false; this is
@@ -472,6 +494,14 @@ type Record struct {
 	// prefix-decided (see DecidedPrefix). It is what the execution
 	// cache (internal/pcache) keys memoised rejections on.
 	Decided int
+
+	// MaxAccess and LenUsed expose the deciding-prefix inputs the
+	// Decided verdict was computed from: the largest in-bounds offset
+	// read through At (-1 if none) and whether the run consulted the
+	// input's total length. The out-of-process shim forwards them in
+	// its RESULT frame so a replayed trace reproduces Decided exactly.
+	MaxAccess int
+	LenUsed   bool
 }
 
 // Finish seals the tracer into a Record with exit status exit. The
@@ -497,7 +527,7 @@ func (t *Tracer) Finish(exit int) *Record {
 	// accepting parsers probe for or measure the input's end, so their
 	// verdict is inherently length-dependent.
 	decided := -1
-	if exit != 0 && !t.eofSeen && (!t.lenUsed || t.maxAccess+1 == len(t.input)) {
+	if exit != 0 && !t.undecided && !t.eofSeen && (!t.lenUsed || t.maxAccess+1 == len(t.input)) {
 		decided = t.maxAccess + 1
 	}
 	// The Record is sink-owned like every other per-execution buffer:
@@ -516,6 +546,8 @@ func (t *Tracer) Finish(exit int) *Record {
 		Edges:       t.edges,
 		MaxDepth:    t.maxDepth,
 		Decided:     decided,
+		MaxAccess:   t.maxAccess,
+		LenUsed:     t.lenUsed,
 	}
 	return &t.sink.rec
 }
