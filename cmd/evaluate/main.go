@@ -114,7 +114,11 @@ func main() {
 	if budget.Fleet > 1 {
 		mode = fmt.Sprintf("fleet of %d", budget.Fleet)
 	}
-	fmt.Printf("Running campaigns (%s): pFuzzer=%d execs, AFL=%d execs, KLEE=%d execs, pFuzzer+Mine=+%d execs, %d run(s) each...\n\n",
+	// Progress chatter goes to stderr: stdout carries only the report
+	// tables, so `evaluate -summary > results.txt` (and the -parallel
+	// live progress line, which internal/eval already sends to stderr)
+	// stays pipeline-clean.
+	fmt.Fprintf(os.Stderr, "Running campaigns (%s): pFuzzer=%d execs, AFL=%d execs, KLEE=%d execs, pFuzzer+Mine=+%d execs, %d run(s) each...\n\n",
 		mode, budget.PFuzzerExecs, budget.AFLExecs, budget.KLEEExecs, budget.EffectiveMineExecs(), budget.Runs)
 
 	results := eval.Matrix(entries, budget)
@@ -135,7 +139,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "evaluate: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("Wrote %s\n", filepath.Join(*outDir, "results.csv"))
+		fmt.Fprintf(os.Stderr, "Wrote %s\n", filepath.Join(*outDir, "results.csv"))
 	}
 }
 

@@ -33,6 +33,12 @@
 // re-reads history; a torn write can only affect the temp file, never
 // the published snapshot, and external corruption is caught by gzip's
 // own checksum.
+//
+// A journal is single-writer across processes: Create and Open take
+// an exclusive advisory flock on it and fail with ErrLocked while
+// another Store holds it, so a daemon and a concurrent
+// `pfuzzer -resume` on the same file cannot interleave appends. The
+// lock dies with the holding process — even kill -9 releases it.
 package corpus
 
 import (
@@ -92,14 +98,50 @@ type Store struct {
 // snapshot.
 func SnapPath(path string) string { return path + ".snap" }
 
+// ErrLocked reports that another process (or another Store in this
+// one) holds the journal's advisory lock. Wrapped by Create and Open;
+// test with errors.Is.
+var ErrLocked = errors.New("corpus: journal is locked by another process")
+
+// lockJournal takes the journal's advisory lock: an exclusive
+// non-blocking flock on the journal fd. Exactly one Store — across
+// all processes on this machine — may hold a journal open, which is
+// what keeps a daemon and a concurrent `pfuzzer -resume` on the same
+// directory from interleaving appends and corrupting the frame
+// stream. The lock rides the open file description, so it is released
+// automatically when the Store closes — or when the owning process
+// dies, however abruptly: a kill -9'd daemon never leaves a stale
+// lock behind.
+func lockJournal(f *os.File, path string) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+			return fmt.Errorf("%w: %s", ErrLocked, path)
+		}
+		return fmt.Errorf("corpus: locking %s: %w", path, err)
+	}
+	return nil
+}
+
 // Create creates (or truncates) a journal at path, removing any stale
 // snapshot sidecar, and writes the metadata header. The header is
 // fsynced — and so is the directory, so the journal entry itself
-// survives a crash right after Create returns.
+// survives a crash right after Create returns. Create takes the
+// journal's advisory lock before truncating anything: creating over a
+// journal another process holds open fails with ErrLocked and leaves
+// that journal untouched.
 func Create(path string, meta Meta) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	// No O_TRUNC here: the truncate must wait until the lock is held,
+	// or a failed Create would have already destroyed the journal the
+	// lock holder is appending to.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: create %s: %w", path, err)
+	}
+	if err := lockJournal(f, path); err != nil {
+		return nil, errors.Join(err, f.Close())
+	}
+	if err := f.Truncate(0); err != nil {
+		return nil, errors.Join(fmt.Errorf("corpus: truncating %s: %w", path, err), f.Close())
 	}
 	// A previous campaign's snapshot must not resume this one. Failing
 	// to remove it (other than it not existing) is fatal: silently
@@ -133,11 +175,16 @@ func Create(path string, meta Meta) (*Store, error) {
 // truncated or checksum-corrupt record — the possible remains of a
 // write cut short by a crash — and everything after it are dropped by
 // truncating the file there. TruncatedBytes reports how much was
-// dropped.
+// dropped. Open fails with ErrLocked when another process holds the
+// journal: resuming a campaign a live daemon is still appending to
+// would interleave the two writers' frames.
 func Open(path string) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: open %s: %w", path, err)
+	}
+	if err := lockJournal(f, path); err != nil {
+		return nil, errors.Join(err, f.Close())
 	}
 	data, err := io.ReadAll(f)
 	if err != nil {

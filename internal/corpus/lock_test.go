@@ -1,0 +1,75 @@
+package corpus
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalLockBothOrders pins the single-writer contract in both
+// acquisition orders: a journal held by one Store rejects both a
+// concurrent Open (resume racing a daemon) and a concurrent Create
+// (fresh campaign racing a daemon) — and the failed Create must leave
+// the locked journal's contents untouched, since truncation is the
+// whole corruption hazard.
+func TestJournalLockBothOrders(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+
+	// Order 1: Create holds, Open must fail.
+	s, err := Create(path, Meta{Subject: "expr", Seed: 1})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := s.AppendValid(7, []byte("held")); err != nil {
+		t.Fatalf("AppendValid: %v", err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("Open of a held journal: err = %v, want ErrLocked", err)
+	}
+
+	// Create over a held journal must fail too — without truncating.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if _, err := Create(path, Meta{Subject: "expr", Seed: 2}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("Create over a held journal: err = %v, want ErrLocked", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("failed Create modified the held journal: %d bytes -> %d bytes", len(before), len(after))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Order 2: Open holds, both Open and Create must fail; Close
+	// releases the lock and the next Open succeeds.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open: err = %v, want ErrLocked", err)
+	}
+	if _, err := Create(path, Meta{Subject: "expr", Seed: 3}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("Create while Open holds: err = %v, want ErrLocked", err)
+	}
+	if got := len(s2.Valids()); got != 1 {
+		t.Fatalf("reopened journal has %d valids, want 1", got)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after lock release: %v", err)
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -1,0 +1,230 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pfuzzer/internal/corpus"
+)
+
+// runChild is the PFUZZERD_CHILD mode of the test binary: a real
+// pfuzzerd process serving the daemon API over loopback, started (and
+// SIGKILLed) by TestCrashRecovery. The bound address is published
+// through a file because the port is picked by the kernel.
+func runChild() {
+	root := os.Getenv("PFUZZERD_ROOT")
+	addrFile := os.Getenv("PFUZZERD_ADDRFILE")
+	srv, err := New(Config{Root: root, Workers: 2, Slice: 512, SnapEvery: 1000})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(2)
+	}
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(2)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(2)
+	}
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(2)
+	}
+}
+
+// daemonProc is one child daemon process under test control.
+type daemonProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func (p *daemonProc) url(path string) string { return "http://" + p.addr + path }
+
+func (p *daemonProc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill() //nolint:errcheck // the process may already be gone
+		p.cmd.Wait()         //nolint:errcheck // exit status of a killed child is noise
+	}
+}
+
+// startDaemon launches the test binary in child mode over root and
+// waits for it to publish its address.
+func startDaemon(t *testing.T, root string) *daemonProc {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"PFUZZERD_CHILD=1",
+		"PFUZZERD_ROOT="+root,
+		"PFUZZERD_ADDRFILE="+addrFile,
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting child daemon: %v", err)
+	}
+	p := &daemonProc{cmd: cmd}
+	t.Cleanup(p.kill)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil {
+			p.addr = string(b)
+			return p
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("child daemon never published its address")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func httpSubmit(t *testing.T, p *daemonProc, sub Submission) string {
+	t.Helper()
+	body, err := json.Marshal(sub)
+	if err != nil {
+		t.Fatalf("encoding submission: %v", err)
+	}
+	resp, err := http.Post(p.url("/campaigns"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /campaigns: %v", err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /campaigns = %d: %+v", resp.StatusCode, st)
+	}
+	return st.ID
+}
+
+func httpStatus(t *testing.T, p *daemonProc, id string) Status {
+	t.Helper()
+	resp, err := http.Get(p.url("/campaigns/" + id))
+	if err != nil {
+		t.Fatalf("GET /campaigns/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return st
+}
+
+// TestCrashRecovery is the durability acceptance test: N campaigns
+// are submitted to a real daemon process over HTTP, the daemon is
+// SIGKILLed mid-run, a second daemon over the same state directory
+// resumes them to completion, and each journal must hold exactly the
+// corpus an uninterrupted run produces — the engine's determinism
+// plus the journal's dedup-by-input convergence, end to end through
+// kill -9.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	root := t.TempDir()
+	subs := []Submission{
+		{Tenant: "acme", Subject: "expr", Seed: 3, MaxExecs: 25000, SnapEvery: 2000},
+		{Tenant: "acme", Subject: "paren", Seed: 5, MaxExecs: 25000, SnapEvery: 2000},
+		{Tenant: "globex", Subject: "urlp", Seed: 7, MaxExecs: 25000, SnapEvery: 2000},
+	}
+	want := make([][][]byte, len(subs))
+	for i, sub := range subs {
+		want[i] = referenceValids(t, sub)
+	}
+
+	p1 := startDaemon(t, root)
+	ids := make([]string, len(subs))
+	for i, sub := range subs {
+		ids[i] = httpSubmit(t, p1, sub)
+	}
+
+	// Let every campaign get past a few snapshots, then pull the plug.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		ready := true
+		for _, id := range ids {
+			if httpStatus(t, p1, id).Execs < 4000 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaigns never reached the kill point")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := p1.cmd.Process.Signal(os.Kill); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	p1.cmd.Wait() //nolint:errcheck // killed: the exit status is the point
+
+	// Restart over the same root: every campaign must come back and
+	// run out its budget.
+	p2 := startDaemon(t, root)
+	// Generous: a race-built child runs the engine an order of
+	// magnitude slower.
+	deadline = time.Now().Add(300 * time.Second)
+	for {
+		done := true
+		for _, id := range ids {
+			st := httpStatus(t, p2, id)
+			if st.State == StateFailed {
+				t.Fatalf("resumed campaign %s failed: %s", id, st.Error)
+			}
+			if st.State != StateDone {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed campaigns never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i, id := range ids {
+		st := httpStatus(t, p2, id)
+		if st.Execs < subs[i].MaxExecs {
+			t.Fatalf("campaign %s retired at %d execs, budget %d", id, st.Execs, subs[i].MaxExecs)
+		}
+	}
+	p2.kill() // campaigns are settled; their journals are closed and unlocked
+
+	for i, id := range ids {
+		store, err := corpus.Open(filepath.Join(root, id, "corpus"))
+		if err != nil {
+			t.Fatalf("Open %s journal: %v", id, err)
+		}
+		got := store.ValidInputs()
+		if !sameCorpus(got, want[i]) {
+			t.Errorf("campaign %s (%s): corpus after kill -9 + resume has %d valids, uninterrupted run has %d",
+				id, subs[i].Subject, len(got), len(want[i]))
+		}
+		store.Close() //nolint:errcheck // read-only comparison
+	}
+}

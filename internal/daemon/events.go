@@ -1,0 +1,132 @@
+package daemon
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"sync"
+
+	"pfuzzer/internal/core"
+)
+
+// WireEvent is one campaign event as streamed to SSE subscribers:
+// the typed core.Event re-encoded for the wire. Input bytes travel
+// base64-encoded (journal inputs are arbitrary bytes, not UTF-8).
+// Queue pops are not forwarded — they are per-execution chatter that
+// would dwarf everything else on the stream; subscribe to /metrics
+// for rates instead.
+type WireEvent struct {
+	Kind      string `json:"kind"` // "valid" | "phase" | "cache" | "retired"
+	Execs     int    `json:"execs"`
+	InputB64  string `json:"input_b64,omitempty"`  // valid: the emitted input
+	NewBlocks int    `json:"new_blocks,omitempty"` // valid: blocks covered first
+	Mining    bool   `json:"mining,omitempty"`     // phase: entering/leaving a mining burst
+	Hits      int    `json:"hits,omitempty"`       // cache: cumulative hits
+	Misses    int    `json:"misses,omitempty"`     // cache: cumulative misses
+	State     string `json:"state,omitempty"`      // retired: terminal state
+}
+
+// wireEvent converts a core event for the stream; ok is false for
+// kinds that are not forwarded.
+func wireEvent(ev core.Event) (WireEvent, bool) {
+	switch ev.Kind {
+	case core.EventValid:
+		return WireEvent{
+			Kind: "valid", Execs: ev.Execs,
+			InputB64:  base64.StdEncoding.EncodeToString(ev.Input),
+			NewBlocks: ev.NewBlocks,
+		}, true
+	case core.EventPhase:
+		return WireEvent{Kind: "phase", Execs: ev.Execs, Mining: ev.Mining}, true
+	case core.EventCache:
+		return WireEvent{Kind: "cache", Execs: ev.Execs, Hits: ev.Hits, Misses: ev.Misses}, true
+	}
+	return WireEvent{}, false
+}
+
+// subBuffer is each subscriber's channel depth. A subscriber that
+// falls further behind than this loses events (dropped, counted) —
+// the campaign must never block on a slow reader.
+const subBuffer = 256
+
+// hub fans one campaign's event stream out to its SSE subscribers.
+// publish is called from the fleet worker stepping the campaign;
+// subscribe/cancel from HTTP handler goroutines.
+type hub struct {
+	mu      sync.Mutex
+	subs    map[chan []byte]struct{}
+	closed  bool
+	dropped int // events lost to slow subscribers, for the status page
+}
+
+func newHub() *hub { return &hub{subs: make(map[chan []byte]struct{})} }
+
+// publish marshals ev once and offers it to every subscriber without
+// blocking: a full subscriber buffer drops the event for that
+// subscriber only.
+func (h *hub) publish(ev WireEvent) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return // a WireEvent always marshals; defensive only
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- b:
+		default:
+			h.dropped++
+		}
+	}
+}
+
+// droppedCount reports how many events were lost to slow subscribers.
+func (h *hub) droppedCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// subscribe registers a new subscriber and returns its channel plus a
+// cancel function (idempotent). The channel is closed when the hub
+// closes — the campaign retired — or on cancel.
+func (h *hub) subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, subBuffer)
+	h.mu.Lock()
+	if h.closed {
+		close(ch)
+		h.mu.Unlock()
+		return ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			if _, live := h.subs[ch]; live {
+				delete(h.subs, ch)
+				close(ch)
+			}
+			h.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// close ends the stream: every subscriber channel is closed and
+// further publishes are dropped. Idempotent.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+	}
+	h.subs = nil
+}
