@@ -5,8 +5,17 @@
 //
 // Usage:
 //
-//	pfuzzerd -root state/ [-addr :7997] [-fleet-workers 4] [-slice n]
-//	         [-snap-every n] [-tenant-budget n]
+//	pfuzzerd -root state/ [-addr 127.0.0.1:7997] [-fleet-workers 4] [-slice n]
+//	         [-snap-every n] [-tenant-budget n] [-allow-shim path]...
+//
+// Trust model: the API has no authentication, so whoever can reach it
+// controls the daemon. The listener therefore defaults to loopback;
+// binding a non-loopback -addr hands campaign control to every
+// network peer and must only be done on a trusted network. The
+// submission's shim field is an argv the daemon executes, so it is
+// rejected unless its binary is allowlisted with -allow-shim
+// (repeatable, one binary path per flag) — with no -allow-shim flags,
+// shim submissions are refused outright.
 //
 // API (JSON over HTTP):
 //
@@ -52,12 +61,17 @@ import (
 func main() {
 	var (
 		root         = flag.String("root", "", "state directory: one subdirectory per campaign (required)")
-		addr         = flag.String("addr", ":7997", "HTTP listen address")
+		addr         = flag.String("addr", "127.0.0.1:7997", "HTTP listen address; the API is unauthenticated, bind beyond loopback only on a trusted network")
 		fleetWorkers = flag.Int("fleet-workers", 4, "fleet worker count: campaigns advanced concurrently")
 		slice        = flag.Int("slice", 0, "per-step execution slice (0 = fleet default); smaller interleaves tenants more fairly")
 		snapEvery    = flag.Int("snap-every", 10000, "default executions between journal snapshots (campaigns can override)")
 		tenantBudget = flag.Int("tenant-budget", 0, "default total execution budget per tenant across its campaigns (0 = unlimited)")
+		allowShims   []string
 	)
+	flag.Func("allow-shim", "shim binary `path` submissions may execute (repeatable; none = shim submissions rejected)", func(v string) error {
+		allowShims = append(allowShims, v)
+		return nil
+	})
 	flag.Parse()
 	if *root == "" {
 		fail("-root is required")
@@ -71,6 +85,7 @@ func main() {
 	srv, err := daemon.New(daemon.Config{
 		Root: *root, Workers: *fleetWorkers, Slice: *slice,
 		SnapEvery: *snapEvery, TenantBudget: *tenantBudget,
+		AllowShims: allowShims,
 	})
 	if err != nil {
 		fail("%v", err)

@@ -34,6 +34,24 @@ import (
 	"pfuzzer/internal/registry"
 )
 
+// Sentinel errors the HTTP layer classifies with errors.Is; handlers
+// must never match on error text.
+var (
+	// ErrUnknownSubject rejects a submission naming a subject the
+	// registry does not know.
+	ErrUnknownSubject = errors.New("daemon: unknown subject")
+	// ErrBudgetExhausted rejects a submission from a tenant whose
+	// execution budget is spent.
+	ErrBudgetExhausted = errors.New("daemon: no execution budget left")
+	// ErrNoCampaign reports a campaign ID absent from the table.
+	ErrNoCampaign = errors.New("daemon: no such campaign")
+	// ErrShuttingDown rejects submissions once Close has begun.
+	ErrShuttingDown = errors.New("daemon: server is shutting down")
+	// ErrShimDenied rejects a submission whose shim argv names a
+	// binary the daemon operator has not allowlisted.
+	ErrShimDenied = errors.New("daemon: shim binary not allowlisted")
+)
+
 // Config configures a daemon Server.
 type Config struct {
 	// Root is the state directory: one subdirectory per campaign
@@ -54,8 +72,33 @@ type Config struct {
 	// TenantBudget is the default total execution budget per tenant
 	// across all its campaigns (0 = unlimited).
 	TenantBudget int
+	// AllowShims is the allowlist of shim binary paths submissions may
+	// name in their shim argv. The shim field is an arbitrary command
+	// the daemon executes, so with an empty allowlist every shim
+	// submission is rejected (ErrShimDenied) — the operator must opt
+	// each binary in. The allowlist also gates resume: a persisted
+	// campaign whose shim is no longer allowlisted fails loudly
+	// instead of executing it.
+	AllowShims []string
 	// Log receives operational messages (nil = os.Stderr).
 	Log io.Writer
+}
+
+// checkShim validates a submission's shim argv against the
+// allowlist. Paths are compared cleaned, so /usr/bin//shim matches an
+// allowlisted /usr/bin/shim; anything else is denied — a mismatch can
+// only refuse execution, never grant it.
+func (c *Config) checkShim(argv []string) error {
+	if len(argv) == 0 {
+		return nil
+	}
+	bin := filepath.Clean(argv[0])
+	for _, a := range c.AllowShims {
+		if filepath.Clean(a) == bin {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q (operator must pass -allow-shim)", ErrShimDenied, argv[0])
 }
 
 func (c *Config) fill() {
@@ -257,7 +300,10 @@ func (s *Server) Submit(sub Submission) (Status, error) {
 	}
 	entry, ok := registry.Get(sub.Subject)
 	if !ok {
-		return Status{}, fmt.Errorf("daemon: unknown subject %q", sub.Subject)
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownSubject, sub.Subject)
+	}
+	if err := s.cfg.checkShim(sub.Shim); err != nil {
+		return Status{}, err
 	}
 	if sub.MaxExecs <= 0 {
 		sub.MaxExecs = 100000
@@ -267,13 +313,13 @@ func (s *Server) Submit(sub Submission) (Status, error) {
 	}
 	ten := s.tenantFor(sub.Tenant)
 	if ten.remaining() == 0 {
-		return Status{}, fmt.Errorf("daemon: tenant %q has no execution budget left", sub.Tenant)
+		return Status{}, fmt.Errorf("tenant %q: %w", sub.Tenant, ErrBudgetExhausted)
 	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return Status{}, errors.New("daemon: server is shutting down")
+		return Status{}, ErrShuttingDown
 	}
 	s.seq++
 	id := formatID(s.seq)
@@ -296,10 +342,30 @@ func (s *Server) Submit(sub Submission) (Status, error) {
 		os.RemoveAll(dir) //nolint:errcheck // best-effort rollback
 		return Status{}, err
 	}
-	s.adopt(r)
+	// Adoption and pool handoff happen in one critical section with a
+	// re-check of closed: Close sets closed and snapshots the table
+	// under this same lock and only stops the pool after releasing it,
+	// so a run adopted here is always either parked by Close or
+	// accepted by a still-running pool — never adopted with an open
+	// journal while its submitter is told the submission failed.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		r.closeStores()   //nolint:errcheck // rollback; nothing ran
+		os.RemoveAll(dir) //nolint:errcheck // best-effort rollback
+		return Status{}, ErrShuttingDown
+	}
+	s.camps[r.id] = r
+	s.order = append(s.order, r.id)
 	if err := s.pool.Submit(r.job); err != nil {
+		delete(s.camps, r.id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		r.closeStores()   //nolint:errcheck // rollback; nothing ran
+		os.RemoveAll(dir) //nolint:errcheck // best-effort rollback
 		return Status{}, err
 	}
+	s.mu.Unlock()
 	return r.status(), nil
 }
 
@@ -311,7 +377,7 @@ func (s *Server) Cancel(id string) error {
 	r := s.camps[id]
 	s.mu.Unlock()
 	if r == nil {
-		return fmt.Errorf("daemon: no campaign %s", id)
+		return fmt.Errorf("%w: %s", ErrNoCampaign, id)
 	}
 	r.mu.Lock()
 	settled := r.settled

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -466,5 +467,68 @@ func TestSubmitValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+}
+
+// TestShimAllowlist pins the shim security gate: the shim field is an
+// arbitrary argv the daemon executes on behalf of an unauthenticated
+// client, so a binary the operator has not allowlisted must be
+// rejected at submission — errors.Is-classifiable and HTTP 403 —
+// while an allowlisted binary passes the gate.
+func TestShimAllowlist(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if _, err := s.Submit(Submission{Subject: "expr", Shim: []string{"/bin/true"}}); !errors.Is(err, ErrShimDenied) {
+		t.Fatalf("Submit with unlisted shim = %v, want ErrShimDenied", err)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json",
+		strings.NewReader(`{"subject":"expr","shim":["/bin/true"]}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("submit with unlisted shim = %d, want %d", resp.StatusCode, http.StatusForbidden)
+	}
+
+	// Allowlisted, the argv reaches the shim layer: /bin/true speaks
+	// no shim protocol, so the submission fails at the handshake — any
+	// error but a denial proves the gate opened.
+	s2 := newTestServer(t, Config{AllowShims: []string{"/bin/true"}, Log: io.Discard})
+	_, err = s2.Submit(Submission{Subject: "expr", Shim: []string{"/bin/true"}})
+	if err == nil || errors.Is(err, ErrShimDenied) {
+		t.Fatalf("Submit with allowlisted shim = %v, want a handshake failure, not a denial", err)
+	}
+}
+
+// TestShimAllowlistGatesResume pins the restart half of the gate: a
+// persisted running campaign whose shim is not in the (possibly
+// tightened) allowlist of the daemon resuming it must fail loudly,
+// never execute the argv.
+func TestShimAllowlistGatesResume(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "c000001")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sp := &Spec{ID: "c000001", State: StateRunning}
+	sp.Subject = "expr"
+	sp.Shim = []string{"/bin/true"}
+	if err := writeSpec(dir, sp); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, Config{Root: root, Log: io.Discard})
+	st, ok := s.Campaign("c000001")
+	if !ok {
+		t.Fatal("persisted campaign missing from the table")
+	}
+	if st.State != StateFailed {
+		t.Fatalf("resume with unlisted shim: state %q, want %q", st.State, StateFailed)
+	}
+	if !strings.Contains(st.Error, ErrShimDenied.Error()) {
+		t.Fatalf("resume with unlisted shim: error %q does not record the denial", st.Error)
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -59,9 +58,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Submit(sub)
 	if err != nil {
 		code := http.StatusInternalServerError
-		if strings.Contains(err.Error(), "unknown subject") ||
-			strings.Contains(err.Error(), "no execution budget") {
+		switch {
+		case errors.Is(err, ErrUnknownSubject), errors.Is(err, ErrBudgetExhausted):
 			code = http.StatusUnprocessableEntity
+		case errors.Is(err, ErrShimDenied):
+			code = http.StatusForbidden
+		case errors.Is(err, ErrShuttingDown):
+			code = http.StatusServiceUnavailable
 		}
 		writeError(w, code, err)
 		return
@@ -86,7 +89,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.Cancel(id); err != nil {
 		code := http.StatusConflict
-		if strings.Contains(err.Error(), "no campaign") {
+		if errors.Is(err, ErrNoCampaign) {
 			code = http.StatusNotFound
 		}
 		writeError(w, code, err)

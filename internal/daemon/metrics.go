@@ -10,6 +10,12 @@ import (
 // the daemon takes no dependencies). Campaigns are emitted in
 // submission order and tenants sorted by name, so consecutive scrapes
 // diff cleanly.
+//
+// Per-campaign work totals (execs, valids, spec execs/hits) and
+// per-tenant spend are typed gauge, not counter: a campaign killed
+// before its first snapshot resumes from zero and re-climbs the
+// replayed prefix, so the series is not monotonic across daemon
+// restarts and rate()/increase() would double-count it.
 func (s *Server) writeMetrics(w io.Writer) {
 	sts := s.Campaigns()
 
@@ -31,8 +37,8 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE pfuzzerd_queue_depth gauge\n")
 	fmt.Fprintf(w, "pfuzzerd_queue_depth %d\n", s.QueueDepth())
 
-	fmt.Fprintf(w, "# HELP pfuzzerd_campaign_execs Subject executions spent by a campaign.\n")
-	fmt.Fprintf(w, "# TYPE pfuzzerd_campaign_execs counter\n")
+	fmt.Fprintf(w, "# HELP pfuzzerd_campaign_execs Subject executions spent by a campaign (may regress after a crash-restart).\n")
+	fmt.Fprintf(w, "# TYPE pfuzzerd_campaign_execs gauge\n")
 	for _, st := range sts {
 		fmt.Fprintf(w, "pfuzzerd_campaign_execs{campaign=%q,tenant=%q,subject=%q} %d\n",
 			st.ID, st.Tenant, st.Subject, st.Execs)
@@ -50,7 +56,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 	}
 
 	fmt.Fprintf(w, "# HELP pfuzzerd_campaign_valids Valid inputs a campaign has journaled.\n")
-	fmt.Fprintf(w, "# TYPE pfuzzerd_campaign_valids counter\n")
+	fmt.Fprintf(w, "# TYPE pfuzzerd_campaign_valids gauge\n")
 	for _, st := range sts {
 		fmt.Fprintf(w, "pfuzzerd_campaign_valids{campaign=%q,tenant=%q,subject=%q} %d\n",
 			st.ID, st.Tenant, st.Subject, st.Valids)
@@ -73,19 +79,19 @@ func (s *Server) writeMetrics(w io.Writer) {
 	}
 
 	fmt.Fprintf(w, "# HELP pfuzzerd_campaign_spec_execs Speculative executions run by a campaign's workers.\n")
-	fmt.Fprintf(w, "# TYPE pfuzzerd_campaign_spec_execs counter\n")
+	fmt.Fprintf(w, "# TYPE pfuzzerd_campaign_spec_execs gauge\n")
 	for _, st := range sts {
 		fmt.Fprintf(w, "pfuzzerd_campaign_spec_execs{campaign=%q} %d\n", st.ID, st.SpecExecs)
 	}
 
 	fmt.Fprintf(w, "# HELP pfuzzerd_campaign_spec_hits Speculative executions the trajectory consumed.\n")
-	fmt.Fprintf(w, "# TYPE pfuzzerd_campaign_spec_hits counter\n")
+	fmt.Fprintf(w, "# TYPE pfuzzerd_campaign_spec_hits gauge\n")
 	for _, st := range sts {
 		fmt.Fprintf(w, "pfuzzerd_campaign_spec_hits{campaign=%q} %d\n", st.ID, st.SpecHits)
 	}
 
-	fmt.Fprintf(w, "# HELP pfuzzerd_tenant_execs Executions spent by a tenant across its campaigns.\n")
-	fmt.Fprintf(w, "# TYPE pfuzzerd_tenant_execs counter\n")
+	fmt.Fprintf(w, "# HELP pfuzzerd_tenant_execs Executions spent by a tenant across its campaigns (may regress after a crash-restart).\n")
+	fmt.Fprintf(w, "# TYPE pfuzzerd_tenant_execs gauge\n")
 	tens := s.tenantsSorted()
 	for _, t := range tens {
 		t.mu.Lock()

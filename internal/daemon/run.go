@@ -96,6 +96,12 @@ func (r *run) wrapShim(entry registry.Entry) (registry.Entry, error) {
 	if r.sub.Shim[0] == "" {
 		return entry, errors.New("daemon: empty shim binary path")
 	}
+	// Submit already vetted the argv, but resume must re-vet: the spec
+	// on disk may predate this daemon's (possibly tightened) allowlist,
+	// and an unlisted shim must fail the resume loudly, not execute.
+	if err := r.srv.cfg.checkShim(r.sub.Shim); err != nil {
+		return entry, err
+	}
 	host, err := shim.NewHost(
 		shim.CmdLauncher{Path: r.sub.Shim[0], Args: r.sub.Shim[1:], Stderr: r.srv.cfg.Log},
 		shim.Options{Subject: entry.Name})
@@ -164,7 +170,7 @@ func (s *Server) freshRun(sp *Spec, entry registry.Entry, ten *tenant, dir strin
 func (s *Server) resumeRun(sp *Spec) (*run, error) {
 	entry, ok := registry.Get(sp.Subject)
 	if !ok {
-		return nil, fmt.Errorf("daemon: unknown subject %q", sp.Subject)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSubject, sp.Subject)
 	}
 	ten := s.tenantFor(sp.Tenant)
 	r := newRun(s, sp, ten)
